@@ -1,0 +1,52 @@
+//! ADAM model cost: wavefront timing extraction and functional
+//! activation, for the interface sizes of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesys_core::{inference_timing, AdamConfig};
+use genesys_neat::trace::OpCounters;
+use genesys_neat::{Genome, InnovationTracker, NeatConfig, Network, XorWow};
+
+fn evolved(inputs: usize, outputs: usize, rounds: usize) -> Genome {
+    let config = NeatConfig::builder(inputs, outputs).build().unwrap();
+    let mut rng = XorWow::seed_from_u64_value(3);
+    let mut innov = InnovationTracker::new(config.first_hidden_id());
+    let mut g = Genome::initial(0, &config, &mut rng);
+    let mut ops = OpCounters::new();
+    for _ in 0..rounds {
+        g.mutate_add_node(&mut innov, &mut rng, &mut ops);
+        g.mutate_add_conn(&mut rng, &mut ops);
+        g.mutate_attributes(&config, &mut rng, &mut ops);
+    }
+    g
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adam_inference_timing");
+    for (label, inputs, rounds) in
+        [("cartpole", 4usize, 4usize), ("lander", 8, 8), ("atari", 128, 16)]
+    {
+        let genome = evolved(inputs, 1, rounds);
+        let net = Network::from_genome(&genome).unwrap();
+        let cfg = AdamConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &genome, |b, g| {
+            b.iter(|| inference_timing(&net, g, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_activate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_activate");
+    for (label, inputs, rounds) in [("cartpole", 4usize, 4usize), ("atari", 128, 16)] {
+        let genome = evolved(inputs, 1, rounds);
+        let net = Network::from_genome(&genome).unwrap();
+        let obs = vec![0.3f64; inputs];
+        group.bench_with_input(BenchmarkId::from_parameter(label), &obs, |b, o| {
+            b.iter(|| net.activate(o));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing, bench_activate);
+criterion_main!(benches);

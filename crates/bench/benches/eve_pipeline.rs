@@ -1,0 +1,51 @@
+//! Throughput of the EvE PE functional pipeline versus genome size — the
+//! simulator kernel behind every evolution-phase number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genesys_core::{align_parents, EvePe, PeConfig};
+use genesys_neat::trace::OpCounters;
+use genesys_neat::{Genome, InnovationTracker, NeatConfig, XorWow};
+
+fn grown_genome(target_genes: usize) -> (Genome, NeatConfig) {
+    let config = NeatConfig::builder(8, 2).build().unwrap();
+    let mut rng = XorWow::seed_from_u64_value(5);
+    let mut innov = InnovationTracker::new(config.first_hidden_id());
+    let mut g = Genome::initial(0, &config, &mut rng);
+    let mut ops = OpCounters::new();
+    while g.num_genes() < target_genes {
+        g.mutate_add_node(&mut innov, &mut rng, &mut ops);
+        g.mutate_add_conn(&mut rng, &mut ops);
+    }
+    (g, config)
+}
+
+fn bench_pe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eve_pe_produce_child");
+    for &genes in &[16usize, 128, 1024] {
+        let (genome, config) = grown_genome(genes);
+        let stream = align_parents(&genome, &genome.clone());
+        let pe_config = PeConfig::from_neat(&config, genes);
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(genes), &stream, |b, s| {
+            let mut pe = EvePe::new(pe_config.clone(), 11);
+            b.iter(|| pe.produce_child(s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_align(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gene_split_align");
+    for &genes in &[128usize, 1024] {
+        let (genome, _) = grown_genome(genes);
+        let other = genome.clone();
+        group.throughput(Throughput::Elements(genes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(genes), &genes, |b, _| {
+            b.iter(|| align_parents(&genome, &other));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe, bench_align);
+criterion_main!(benches);

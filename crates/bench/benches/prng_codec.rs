@@ -1,0 +1,42 @@
+//! Microbenchmarks of the two tightest hardware-model kernels: the
+//! XOR-WOW PRNG and the 64-bit gene codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genesys_core::codec;
+use genesys_neat::gene::{ConnGene, NodeGene, NodeId};
+use genesys_neat::XorWow;
+
+fn bench_prng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xorwow");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("next_u32", |b| {
+        let mut rng = XorWow::seed_from_u64_value(1);
+        b.iter(|| rng.next_u32_value());
+    });
+    group.bench_function("next_f64", |b| {
+        let mut rng = XorWow::seed_from_u64_value(1);
+        b.iter(|| rng.next_f64());
+    });
+    group.bench_function("next_gaussian", |b| {
+        let mut rng = XorWow::seed_from_u64_value(1);
+        b.iter(|| rng.next_gaussian());
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gene_codec");
+    group.throughput(Throughput::Elements(1));
+    let node = NodeGene::hidden(NodeId(1234));
+    let conn = ConnGene::new(NodeId(3), NodeId(77), -1.25);
+    let node_word = codec::encode_node(&node);
+    let conn_word = codec::encode_conn(&conn);
+    group.bench_function("encode_node", |b| b.iter(|| codec::encode_node(&node)));
+    group.bench_function("encode_conn", |b| b.iter(|| codec::encode_conn(&conn)));
+    group.bench_function("decode_node", |b| b.iter(|| codec::decode(node_word)));
+    group.bench_function("decode_conn", |b| b.iter(|| codec::decode(conn_word)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_prng, bench_codec);
+criterion_main!(benches);

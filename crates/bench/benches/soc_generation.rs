@@ -1,0 +1,25 @@
+//! End-to-end SoC simulation cost: one full hardware generation
+//! (inference on real environments + functional EvE reproduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesys_core::{GenesysSoc, SocConfig};
+use genesys_gym::{CartPole, Environment};
+use genesys_neat::NeatConfig;
+
+fn bench_soc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_generation");
+    group.sample_size(10);
+    for &pop in &[16usize, 48] {
+        group.bench_with_input(BenchmarkId::new("cartpole", pop), &pop, |b, &n| {
+            let neat = NeatConfig::builder(4, 1).pop_size(n).build().unwrap();
+            let mut soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(32), neat, 3);
+            let mut factory =
+                |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+            b.iter(|| soc.run_generation(&mut factory));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soc);
+criterion_main!(benches);

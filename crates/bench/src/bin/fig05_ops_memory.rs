@@ -1,0 +1,67 @@
+//! Fig 5: distributions of (a) crossover+mutation operations and (b)
+//! memory footprint per generation, across generations and runs.
+//!
+//! Usage: `fig05_ops_memory [--pop N] [--generations N] [--runs N]`
+
+use genesys_bench::{default_suite_params, print_table, run_workload};
+use genesys_gym::EnvKind;
+
+fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize];
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (pop, generations, runs) = default_suite_params(&args);
+
+    let mut ops_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
+        eprintln!(
+            "profiling {} ({runs} runs × {generations} generations, pop {pop})...",
+            kind.label()
+        );
+        let mut ops_samples: Vec<f64> = Vec::new();
+        let mut mem_samples: Vec<f64> = Vec::new();
+        for r in 0..runs {
+            let run = run_workload(*kind, generations, (1000 * i + r) as u64, Some(pop));
+            for s in &run.history {
+                ops_samples.push(s.ops.total() as f64);
+                mem_samples.push(s.memory_bytes as f64);
+            }
+        }
+        let (min, q1, med, q3, max) = percentiles(ops_samples);
+        ops_rows.push(vec![
+            kind.label().to_string(),
+            format!("{min:.0}"),
+            format!("{q1:.0}"),
+            format!("{med:.0}"),
+            format!("{q3:.0}"),
+            format!("{max:.0}"),
+        ]);
+        let (min, q1, med, q3, max) = percentiles(mem_samples);
+        mem_rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.1}", min / 1024.0),
+            format!("{:.1}", q1 / 1024.0),
+            format!("{:.1}", med / 1024.0),
+            format!("{:.1}", q3 / 1024.0),
+            format!("{:.1}", max / 1024.0),
+        ]);
+    }
+    print_table(
+        "Fig 5(a): crossover + mutation ops per generation (distribution)",
+        &["Environment", "min", "p25", "median", "p75", "max"],
+        &ops_rows,
+    );
+    print_table(
+        "Fig 5(b): memory footprint per generation, KiB (distribution)",
+        &["Environment", "min", "p25", "median", "p75", "max"],
+        &mem_rows,
+    );
+    println!("\nPaper observations to check: ops in the thousands for the");
+    println!("classic-control class and ~100x higher for the Atari class;");
+    println!("footprint < 1 MB per generation for every workload.");
+}

@@ -1,0 +1,67 @@
+//! Fig 8: (a) SoC parameters, (b) roofline power and (c) area as a
+//! function of the number of EvE PEs (ADAM and SRAM held constant).
+
+use genesys_bench::print_table;
+use genesys_core::{SocConfig, TechModel};
+
+fn main() {
+    let tech = TechModel::default();
+    let design = SocConfig::default();
+
+    // ---- Fig 8(a): the design-point parameter table -----------------------
+    let rows = vec![
+        vec!["Tech node".into(), "15nm (analytical model)".into()],
+        vec!["Num EvE PE".into(), format!("{}", design.num_eve_pes)],
+        vec!["Num ADAM PE".into(), format!("{}", design.adam.num_macs())],
+        vec![
+            "EvE Area".into(),
+            format!("{:.2} mm2", tech.area_mm2(256, 1024, 1.5).eve_mm2),
+        ],
+        vec![
+            "ADAM Area".into(),
+            format!("{:.2} mm2", tech.area_mm2(256, 1024, 1.5).adam_mm2),
+        ],
+        vec!["GeneSys Area".into(), format!("{:.2} mm2", design.area_mm2())],
+        vec![
+            "Power".into(),
+            format!("{:.1} mW", design.roofline_power_mw()),
+        ],
+        vec!["Frequency".into(), "200 MHz".into()],
+        vec!["SRAM banks".into(), format!("{}", design.sram.banks)],
+        vec!["SRAM depth".into(), format!("{}", design.sram.depth)],
+    ];
+    print_table("Fig 8(a): GeneSys parameters", &["Parameter", "Value"], &rows);
+
+    // ---- Fig 8(b)/(c): sweeps ---------------------------------------------
+    let pes = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+    let rows: Vec<Vec<String>> = pes
+        .iter()
+        .map(|&n| {
+            let p = tech.roofline_power_mw(n);
+            let a = tech.area_mm2(n, 1024, 1.5);
+            vec![
+                format!("{n}"),
+                format!("{:.1}", p.eve_mw),
+                format!("{:.1}", p.sram_mw),
+                format!("{:.1}", p.adam_mw),
+                format!("{:.1}", p.cpu_mw),
+                format!("{:.1}", p.total()),
+                format!("{:.3}", a.eve_mm2),
+                format!("{:.3}", a.sram_mm2),
+                format!("{:.3}", a.adam_mm2),
+                format!("{:.3}", a.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 8(b)+(c): power (mW) and area (mm2) vs number of EvE PEs",
+        &[
+            "EvE PEs", "EvE mW", "SRAM mW", "ADAM mW", "M0 mW", "Net mW", "EvE mm2", "SRAM mm2",
+            "ADAM mm2", "Total mm2",
+        ],
+        &rows,
+    );
+    let p256 = tech.roofline_power_mw(256).total();
+    println!("\nAt 256 PEs: {:.1} mW — paper reports 947.5 mW (\"comfortably under 1 W\").", p256);
+    assert!(p256 < 1000.0);
+}

@@ -1,0 +1,133 @@
+//! Fig 9: runtime and energy per generation across platforms.
+//!
+//! (a) inference runtime (CPU_a, CPU_b, GPU_a, GPU_b),
+//! (b) inference energy (CPU_c, CPU_d, GPU_c, GPU_d, GENESYS),
+//! (c) evolution runtime (CPU_a, CPU_c),
+//! (d) evolution energy (GPU_a, GPU_c, GENESYS).
+//!
+//! Every column is driven by the same measured workload profile (Table
+//! III legend printed first).
+//!
+//! Usage: `fig09_runtime_energy [--pop N] [--generations N]`
+
+use genesys_bench::{genesys_cost, print_table, run_workload, sci};
+use genesys_core::SocConfig;
+use genesys_gym::EnvKind;
+use genesys_platforms::{CpuModel, GpuModel, TABLE_III};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
+    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+
+    // ---- Table III legend -------------------------------------------------
+    let rows: Vec<Vec<String>> = TABLE_III
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                p.inference.to_string(),
+                p.evolution.to_string(),
+                p.hardware.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: target system configurations",
+        &["Legend", "Inference", "Evolution", "Platform"],
+        &rows,
+    );
+
+    let i7 = CpuModel::i7();
+    let a57 = CpuModel::cortex_a57();
+    let gtx = GpuModel::gtx_1080();
+    let tegra = GpuModel::tegra();
+    let soc = SocConfig::default();
+
+    let mut inf_runtime = Vec::new();
+    let mut inf_energy = Vec::new();
+    let mut evo_runtime = Vec::new();
+    let mut evo_energy = Vec::new();
+    let mut speedups = Vec::new();
+
+    for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
+        eprintln!("profiling {} ({generations} generations, pop {pop})...", kind.label());
+        let run = run_workload(*kind, generations, 40 + i as u64, Some(pop));
+        let w = run.profile();
+        let gcost = genesys_cost(&run, &soc);
+
+        // Fig 9(a): inference runtime, desktop platforms (seconds).
+        let cpu_a = i7.inference_time_s(&w, false);
+        let cpu_b = i7.inference_time_s(&w, true);
+        let gpu_a = gtx.inference_gpu_a(&w).total_s();
+        let gpu_b = gtx.inference_gpu_b(&w).total_s();
+        inf_runtime.push(vec![
+            w.label.clone(),
+            sci(cpu_a),
+            sci(cpu_b),
+            sci(gpu_a),
+            sci(gpu_b),
+            sci(gcost.inference_s),
+        ]);
+        speedups.push(gpu_b.min(gpu_a) / gcost.inference_s);
+
+        // Fig 9(b): inference energy, embedded platforms + GeneSys (J).
+        let e_cpu_c = a57.energy_j(a57.inference_time_s(&w, false));
+        let e_cpu_d = a57.energy_j(a57.inference_time_s(&w, true));
+        let e_gpu_c = tegra.energy_j(tegra.inference_gpu_a(&w).total_s());
+        let e_gpu_d = tegra.energy_j(tegra.inference_gpu_b(&w).total_s());
+        inf_energy.push(vec![
+            w.label.clone(),
+            sci(e_cpu_c),
+            sci(e_cpu_d),
+            sci(e_gpu_c),
+            sci(e_gpu_d),
+            sci(gcost.inference_j),
+        ]);
+
+        // Fig 9(c): evolution runtime, CPUs (seconds).
+        evo_runtime.push(vec![
+            w.label.clone(),
+            sci(i7.evolution_time_s(&w)),
+            sci(a57.evolution_time_s(&w)),
+            sci(gcost.evolution_s),
+        ]);
+
+        // Fig 9(d): evolution energy, GPUs + GeneSys (J).
+        let e_gpu_a = gtx.energy_j(gtx.evolution_time_s(&w));
+        let e_gpu_c = tegra.energy_j(tegra.evolution_time_s(&w));
+        evo_energy.push(vec![
+            w.label.clone(),
+            sci(e_gpu_a),
+            sci(e_gpu_c),
+            sci(gcost.evolution_j),
+        ]);
+    }
+
+    print_table(
+        "Fig 9(a): inference runtime per generation, seconds",
+        &["Environment", "CPU_a", "CPU_b", "GPU_a", "GPU_b", "GENESYS"],
+        &inf_runtime,
+    );
+    print_table(
+        "Fig 9(b): inference energy per generation, joules",
+        &["Environment", "CPU_c", "CPU_d", "GPU_c", "GPU_d", "GENESYS"],
+        &inf_energy,
+    );
+    print_table(
+        "Fig 9(c): evolution runtime per generation, seconds",
+        &["Environment", "CPU_a", "CPU_c", "GENESYS"],
+        &evo_runtime,
+    );
+    print_table(
+        "Fig 9(d): evolution energy per generation, joules",
+        &["Environment", "GPU_a", "GPU_c", "GENESYS"],
+        &evo_energy,
+    );
+
+    let min_speedup = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nGeneSys inference beats the best GPU mapping by ≥{min_speedup:.0}× \
+         on every workload (paper: ~100×, 2–5 orders of magnitude in energy)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig 10: where inference time goes, and on-chip memory footprints.
+//!
+//! (a) GPU_a time split (MemCpyHtoD / MemCpyDtoH / Kernel),
+//! (b) GPU_b time split,
+//! (c) GENESYS split (buffer traffic vs compute),
+//! (d) memory footprint: GPU_a vs GPU_b vs GENESYS.
+//!
+//! Usage: `fig10_time_distribution [--pop N] [--generations N]`
+
+use genesys_bench::{genesys_cost, print_table, run_workload, sci};
+use genesys_core::SocConfig;
+use genesys_gym::EnvKind;
+use genesys_platforms::GpuModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
+    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+
+    let gtx = GpuModel::gtx_1080();
+    let soc = SocConfig::default();
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_g = Vec::new();
+    let mut rows_mem = Vec::new();
+
+    for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
+        eprintln!("profiling {}...", kind.label());
+        let run = run_workload(*kind, generations, 60 + i as u64, Some(pop));
+        let w = run.profile();
+        let g = genesys_cost(&run, &soc);
+
+        let a = gtx.inference_gpu_a(&w);
+        rows_a.push(vec![
+            w.label.clone(),
+            format!("{:.1}", a.h2d_s * 1e3),
+            format!("{:.1}", a.d2h_s * 1e3),
+            format!("{:.1}", a.kernel_s * 1e3),
+            format!("{:.0}%", a.memcpy_fraction() * 100.0),
+        ]);
+        let b = gtx.inference_gpu_b(&w);
+        rows_b.push(vec![
+            w.label.clone(),
+            format!("{:.1}", b.h2d_s * 1e3),
+            format!("{:.1}", b.d2h_s * 1e3),
+            format!("{:.1}", b.kernel_s * 1e3),
+            format!("{:.0}%", b.memcpy_fraction() * 100.0),
+        ]);
+        let transfer = g.buffer_transfer_s;
+        let compute = g.inference_s;
+        rows_g.push(vec![
+            w.label.clone(),
+            format!("{:.3}", transfer * 1e3),
+            format!("{:.3}", compute * 1e3),
+            format!("{:.0}%", transfer / (transfer + compute) * 100.0),
+        ]);
+
+        // Fig 10(d): footprints.
+        let fp_a = GpuModel::footprint_gpu_a_bytes(&w);
+        let fp_b = GpuModel::footprint_gpu_b_bytes(&w);
+        let fp_g = w.genesys_footprint_bytes();
+        rows_mem.push(vec![
+            w.label.clone(),
+            sci(fp_a as f64),
+            sci(fp_b as f64),
+            sci(fp_g as f64),
+            format!("{:.0}x", fp_g as f64 / fp_a as f64),
+            format!("{:.0}x", fp_b as f64 / fp_g as f64),
+        ]);
+    }
+
+    print_table(
+        "Fig 10(a): GPU_a inference time split, ms",
+        &["Environment", "HtoD", "DtoH", "Kernel", "memcpy%"],
+        &rows_a,
+    );
+    print_table(
+        "Fig 10(b): GPU_b inference time split, ms",
+        &["Environment", "HtoD", "DtoH", "Kernel", "memcpy%"],
+        &rows_b,
+    );
+    print_table(
+        "Fig 10(c): GENESYS inference split, ms (buffer traffic vs ADAM)",
+        &["Environment", "Buffer", "Compute", "transfer%"],
+        &rows_g,
+    );
+    print_table(
+        "Fig 10(d): memory footprint, bytes",
+        &["Environment", "GPU_a", "GPU_b", "GENESYS", "G/GPU_a", "GPU_b/G"],
+        &rows_mem,
+    );
+    println!("\nPaper observations to check: GPU_a ≈70% memcpy, GPU_b ≈20%,");
+    println!("GENESYS ≈15% (all data on-chip); GENESYS footprint ~100× GPU_a");
+    println!("(whole population resident) and ~100× smaller than GPU_b.");
+}

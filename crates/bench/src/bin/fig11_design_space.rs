@@ -1,0 +1,117 @@
+//! Fig 11: design-space studies.
+//!
+//! (a) gene-type composition per workload,
+//! (b) SRAM reads per cycle: point-to-point vs multicast tree vs #PEs,
+//! (c) SRAM energy and generation runtime vs #EvE PEs (Atari average).
+//!
+//! Usage: `fig11_design_space [--pop N] [--generations N]`
+
+use genesys_bench::{print_table, run_workload, WorkloadRun};
+use genesys_core::{replay_trace, GenomeBuffer, NocKind, SocConfig};
+use genesys_gym::EnvKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
+    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+    let soc = SocConfig::default();
+
+    // ---- Fig 11(a): gene composition --------------------------------------
+    let mut rows = Vec::new();
+    let mut atari_runs: Vec<WorkloadRun> = Vec::new();
+    for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
+        eprintln!("profiling {}...", kind.label());
+        let run = run_workload(*kind, generations, 80 + i as u64, Some(pop));
+        let last = run.history.last().expect("at least one generation");
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{}", last.total_conns),
+            format!("{}", last.total_nodes),
+            format!("{:.2}", last.total_conns as f64 / last.total_genes.max(1) as f64),
+        ]);
+        if kind.is_atari() {
+            atari_runs.push(run);
+        }
+    }
+    print_table(
+        "Fig 11(a): gene-type composition (population totals)",
+        &["Environment", "Num Connection", "Num Node", "Conn fraction"],
+        &rows,
+    );
+
+    // ---- Fig 11(b): SRAM reads/cycle, P2P vs multicast, vs #PEs -----------
+    let pe_sweep = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let mut rows = Vec::new();
+    for &pes in &pe_sweep {
+        let mut p2p_rpc = 0.0;
+        let mut mc_rpc = 0.0;
+        for run in &atari_runs {
+            for (noc, acc) in [(NocKind::PointToPoint, &mut p2p_rpc), (NocKind::MulticastTree, &mut mc_rpc)] {
+                let mut buffer = GenomeBuffer::new(soc.sram);
+                buffer.set_resident(run.parent_sizes.iter().sum::<usize>() * 2);
+                let rep = replay_trace(
+                    &run.final_trace,
+                    &run.parent_sizes,
+                    &run.child_sizes,
+                    pes,
+                    noc,
+                    &mut buffer,
+                );
+                *acc += rep.noc.reads_per_cycle();
+            }
+        }
+        let n = atari_runs.len().max(1) as f64;
+        rows.push(vec![
+            format!("{pes}"),
+            format!("{:.2}", p2p_rpc / n),
+            format!("{:.2}", mc_rpc / n),
+            format!("{:.1}x", (p2p_rpc / n) / (mc_rpc / n).max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Fig 11(b): SRAM reads per cycle vs #EvE PEs (Atari average)",
+        &["EvE PEs", "Point-to-Point", "Multicast Tree", "reduction"],
+        &rows,
+    );
+
+    // ---- Fig 11(c): SRAM energy + runtime vs #PEs -------------------------
+    let pe_sweep = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+    let mut rows = Vec::new();
+    for &pes in &pe_sweep {
+        let mut evo_cycles = 0.0;
+        let mut sram_uj = 0.0;
+        let mut adam_cycles = 0.0;
+        for run in &atari_runs {
+            let mut buffer = GenomeBuffer::new(soc.sram);
+            buffer.set_resident(run.parent_sizes.iter().sum::<usize>() * 2);
+            let rep = replay_trace(
+                &run.final_trace,
+                &run.parent_sizes,
+                &run.child_sizes,
+                pes,
+                NocKind::MulticastTree,
+                &mut buffer,
+            );
+            evo_cycles += rep.cycles as f64;
+            sram_uj += buffer.energy_uj();
+            let cost = genesys_bench::genesys_cost(run, &soc);
+            adam_cycles += cost.inference_s / soc.tech.cycle_time_s();
+        }
+        let n = atari_runs.len().max(1) as f64;
+        rows.push(vec![
+            format!("{pes}"),
+            format!("{:.0}", evo_cycles / n),
+            format!("{:.0}", adam_cycles / n),
+            format!("{:.2}", sram_uj / n),
+        ]);
+    }
+    print_table(
+        "Fig 11(c): per-generation EvE runtime, ADAM runtime (cycles) and SRAM energy (uJ) vs #EvE PEs",
+        &["EvE PEs", "EvE cycles", "ADAM cycles", "SRAM uJ"],
+        &rows,
+    );
+    println!("\nPaper trends to check: >100x read reduction with multicast;");
+    println!("near-exponential fall in evolution cycles with PE count, tapering");
+    println!("once PEs exceed the population (150 in the paper, {pop} here);");
+    println!("evolution compute-bound at low PE counts (EvE >> ADAM cycles).");
+}

@@ -1,0 +1,34 @@
+//! Table II: comparing DQN with the EA on an Atari workload.
+//!
+//! The EA column is *measured* from a `genesys-neat` run on the Alien RAM
+//! machine; the DQN column carries the paper's published characterization.
+//!
+//! Usage: `table2_dqn_vs_ea [--pop N] [--generations N]`
+
+use genesys_bench::{print_table, run_workload};
+use genesys_gym::EnvKind;
+use genesys_platforms::{table2, DqnSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pop = genesys_bench::arg_usize(&args, "--pop", 150);
+    let generations = genesys_bench::arg_usize(&args, "--generations", 5);
+
+    eprintln!("profiling Alien-ram ({generations} generations, pop {pop})...");
+    let run = run_workload(EnvKind::Alien, generations, 7, Some(pop));
+    let profile = run.profile();
+    let rows: Vec<Vec<String>> = table2(&DqnSpec::atari(), &profile)
+        .into_iter()
+        .map(|r| vec![r.dimension.to_string(), r.dqn, r.ea])
+        .collect();
+    print_table("Table II: DQN vs EA (both running ATARI)", &["", "DQN", "EA"], &rows);
+
+    println!("\nMeasured EA profile: {} env steps/gen, {} MACs/gen, {} evo ops/gen, {} genes",
+        profile.env_steps, profile.inference_macs, profile.evolution_ops, profile.total_genes);
+    assert!(
+        profile.genesys_footprint_bytes() < 1_000_000,
+        "paper claim: the entire generation fits in <1 MB"
+    );
+    println!("Claim check passed: generation footprint {} KB < 1 MB.",
+        profile.genesys_footprint_bytes() / 1024);
+}

@@ -1,0 +1,342 @@
+//! # genesys-bench — the experiment harness
+//!
+//! Shared machinery for the binaries that regenerate every table and
+//! figure of the GeneSys evaluation (see `DESIGN.md` §3 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured records).
+//!
+//! The central artifact is a [`WorkloadRun`]: an actual multi-generation
+//! run of `genesys-neat` on one Table I environment, with the measured op
+//! counts, genome statistics and reproduction traces that drive (a) the
+//! GeneSys SoC timing/energy models and (b) the CPU/GPU baseline models —
+//! exactly the paper's trace-driven methodology (Section VI-A).
+
+use genesys_core::{
+    inference_timing, replay_trace, AdamConfig, GenomeBuffer, ReplayReport, SocConfig, TechModel,
+};
+use genesys_gym::EnvKind;
+use genesys_neat::trace::GenerationTrace;
+use genesys_neat::{GenerationStats, Genome, Network, Population};
+use genesys_platforms::WorkloadProfile;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One profiled evolution run on a workload.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// The workload.
+    pub kind: EnvKind,
+    /// Per-generation statistics (fitness, genes, ops, reuse).
+    pub history: Vec<GenerationStats>,
+    /// Trace of the final generation's reproduction.
+    pub final_trace: GenerationTrace,
+    /// Gene counts of the final parent generation (trace parent indices).
+    pub parent_sizes: Vec<usize>,
+    /// Gene counts of the children the trace produced.
+    pub child_sizes: Vec<usize>,
+    /// The final parent generation's genomes (for ADAM timing).
+    pub parents: Vec<Genome>,
+    /// Mean environment steps per generation (totalled over population).
+    pub env_steps_per_gen: f64,
+    /// Mean inference MACs per generation.
+    pub macs_per_gen: f64,
+}
+
+impl WorkloadRun {
+    /// Builds the [`WorkloadProfile`] consumed by the platform models,
+    /// averaged over the profiled generations.
+    pub fn profile(&self) -> WorkloadProfile {
+        let gens = self.history.len().max(1) as f64;
+        let evolution_ops: u64 =
+            (self.history.iter().map(|s| s.ops.total()).sum::<u64>() as f64 / gens) as u64;
+        let total_genes: u64 =
+            (self.history.iter().map(|s| s.total_genes).sum::<usize>() as f64 / gens) as u64;
+        let max_nodes = self
+            .parents
+            .iter()
+            .map(Genome::num_nodes)
+            .max()
+            .unwrap_or(1);
+        let mean_nodes = self
+            .parents
+            .iter()
+            .map(|g| g.num_nodes() as f64)
+            .sum::<f64>()
+            / self.parents.len().max(1) as f64;
+        WorkloadProfile {
+            label: self.kind.label().to_string(),
+            pop_size: self.parents.len(),
+            env_steps: self.env_steps_per_gen as u64,
+            inference_macs: self.macs_per_gen as u64,
+            evolution_ops,
+            total_genes,
+            max_nodes,
+            mean_nodes,
+        }
+    }
+}
+
+/// Runs `generations` generations of NEAT on `kind`, recording statistics.
+/// `pop_size` overrides the paper's 150 (useful for fast smoke runs).
+pub fn run_workload(
+    kind: EnvKind,
+    generations: usize,
+    seed: u64,
+    pop_size: Option<usize>,
+) -> WorkloadRun {
+    let mut config = kind.neat_config();
+    if let Some(p) = pop_size {
+        config.pop_size = p;
+    }
+    let mut pop = Population::new(config, seed);
+    let mut history = Vec::with_capacity(generations);
+    let step_counter = AtomicU64::new(0);
+    let env_counter = AtomicU64::new(seed.wrapping_mul(0x9E37));
+    let mut total_steps = 0u64;
+    let mut total_macs = 0u64;
+    let mut parents: Vec<Genome> = Vec::new();
+    let mut parent_sizes: Vec<usize> = Vec::new();
+
+    for _ in 0..generations {
+        parents = pop.genomes().to_vec();
+        parent_sizes = parents.iter().map(Genome::num_genes).collect();
+        step_counter.store(0, Ordering::Relaxed);
+        let stats = pop.evolve_once(|net: &Network| {
+            let env_seed = env_counter.fetch_add(1, Ordering::Relaxed);
+            let mut env = kind.make(env_seed);
+            let mut obs = env.reset();
+            let mut fitness = 0.0;
+            loop {
+                let action = net.activate(&obs);
+                let step = env.step(&action);
+                fitness += step.reward;
+                step_counter.fetch_add(1, Ordering::Relaxed);
+                if step.done {
+                    break;
+                }
+                obs = step.observation;
+            }
+            fitness
+        });
+        let steps = step_counter.load(Ordering::Relaxed);
+        total_steps += steps;
+        total_macs += stats.inference_macs * steps / parents.len().max(1) as u64;
+        history.push(stats);
+    }
+    let child_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
+    let gens = generations.max(1) as f64;
+    WorkloadRun {
+        kind,
+        final_trace: pop.last_trace().cloned().unwrap_or_default(),
+        parent_sizes,
+        child_sizes,
+        parents,
+        env_steps_per_gen: total_steps as f64 / gens,
+        macs_per_gen: total_macs as f64 / gens,
+        history,
+    }
+}
+
+/// GeneSys per-generation runtime/energy derived from a workload run —
+/// the SoC columns of Figs 9 and 10.
+#[derive(Debug, Clone, Copy)]
+pub struct GenesysCost {
+    /// Inference runtime per generation, seconds.
+    pub inference_s: f64,
+    /// Evolution runtime per generation, seconds.
+    pub evolution_s: f64,
+    /// Inference energy per generation, joules.
+    pub inference_j: f64,
+    /// Evolution energy per generation, joules.
+    pub evolution_j: f64,
+    /// Genome-buffer traffic time (the SoC's "memcpy" analogue), seconds.
+    pub buffer_transfer_s: f64,
+    /// ADAM MAC utilization.
+    pub adam_utilization: f64,
+    /// EvE replay details.
+    pub replay: ReplayReport,
+}
+
+/// Computes GeneSys costs for a profiled run under a SoC configuration.
+pub fn genesys_cost(run: &WorkloadRun, soc: &SocConfig) -> GenesysCost {
+    let tech: &TechModel = &soc.tech;
+    let adam: &AdamConfig = &soc.adam;
+    // ---- Inference ---------------------------------------------------------
+    // GeneSys inference exploits PLP (Table III): the vectorize routine
+    // packs ready vertices from *multiple genomes* into each matrix–vector
+    // pass, so ADAM's 1024 MACs amortize across the population. We model a
+    // 50 % packing efficiency plus one staging cycle per environment step.
+    let pop = run.parents.len().max(1);
+    let mean_steps = run.env_steps_per_gen / pop as f64;
+    let mut macs = 0.0;
+    let mut util_acc = 0.0;
+    for genome in &run.parents {
+        let net = Network::from_genome(genome).expect("profiled genomes are valid");
+        let t = inference_timing(&net, genome, adam);
+        macs += mean_steps * t.macs as f64;
+        util_acc += t.utilization;
+    }
+    const PACKING_EFFICIENCY: f64 = 0.5;
+    let packed_cycles = macs / (adam.num_macs() as f64 * PACKING_EFFICIENCY);
+    let staging_cycles = run.env_steps_per_gen;
+    let inf_cycles = packed_cycles + staging_cycles;
+    let inference_s = inf_cycles * tech.cycle_time_s();
+
+    // ---- Evolution: trace replay on the EvE model -----------------------
+    let mut buffer = GenomeBuffer::new(soc.sram);
+    let resident: usize = run.parent_sizes.iter().sum::<usize>() * 2;
+    buffer.set_resident(resident);
+    let replay = replay_trace(
+        &run.final_trace,
+        &run.parent_sizes,
+        &run.child_sizes,
+        soc.num_eve_pes,
+        soc.noc_kind,
+        &mut buffer,
+    );
+    let evolution_s = replay.cycles as f64 * tech.cycle_time_s();
+
+    // ---- Energy ----------------------------------------------------------
+    let genes_streamed: u64 = run
+        .final_trace
+        .children
+        .iter()
+        .map(|c| c.genes_streamed)
+        .sum();
+    // Per-op dynamic energy plus the roofline SoC power over the phase's
+    // runtime (the paper's pessimistic "always computing" assumption).
+    let roofline_w = tech.roofline_power_mw(soc.num_eve_pes).total() / 1e3;
+    let evolution_j = (genes_streamed as f64 * tech.e_pe_gene_pj
+        + replay.noc.sram_reads as f64 * soc.sram.read_energy_pj
+        + (replay.noc.flits_delivered + replay.noc.flits_collected) as f64 * tech.e_noc_flit_pj)
+        / 1e12
+        + roofline_w * evolution_s;
+    // Inference reads: genomes mapped once + per-step vector staging.
+    let inf_reads: f64 = run.parent_sizes.iter().sum::<usize>() as f64
+        + run.env_steps_per_gen * (run.profile().mean_nodes);
+    let inference_j = (macs * tech.e_mac_pj + inf_reads * soc.sram.read_energy_pj) / 1e12
+        + roofline_w * inference_s;
+    // Buffer transfer time: the *visible* (non-overlapped) traffic — genome
+    // mapping at generation start, fitness/children writebacks, and the
+    // evolution-phase NoC reads — served one word per bank-cycle across the
+    // 48 banks. Per-step vector staging overlaps ADAM compute and is
+    // excluded (that overlap is why the banked organization exists).
+    let mapping_words = run.parent_sizes.iter().sum::<usize>() as f64;
+    let writeback_words = run.child_sizes.iter().sum::<usize>() as f64 + pop as f64;
+    let buffer_words = mapping_words + writeback_words + replay.noc.sram_reads as f64;
+    let buffer_transfer_s = buffer_words / soc.sram.banks as f64 * tech.cycle_time_s();
+
+    GenesysCost {
+        inference_s,
+        evolution_s,
+        inference_j,
+        evolution_j,
+        buffer_transfer_s,
+        adam_utilization: util_acc / pop as f64,
+        replay,
+    }
+}
+
+/// Formats a float in the paper's log-scale-friendly scientific notation.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:9.2e}")
+    }
+}
+
+/// Prints a header + aligned rows (simple fixed-width table).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Parses `--key value` style arguments with a default.
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The fast defaults used by the experiment binaries (full paper scale is
+/// reachable with `--pop 150 --generations 100 --runs 100`).
+pub fn default_suite_params(args: &[String]) -> (usize, usize, usize) {
+    let pop = arg_usize(args, "--pop", 64);
+    let generations = arg_usize(args, "--generations", 8);
+    let runs = arg_usize(args, "--runs", 3);
+    (pop, generations, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_workload_collects_history_and_trace() {
+        let run = run_workload(EnvKind::CartPole, 3, 7, Some(16));
+        assert_eq!(run.history.len(), 3);
+        assert_eq!(run.parents.len(), 16);
+        assert_eq!(run.parent_sizes.len(), 16);
+        assert_eq!(run.child_sizes.len(), 16);
+        assert!(!run.final_trace.children.is_empty());
+        assert!(run.env_steps_per_gen > 0.0);
+    }
+
+    #[test]
+    fn profile_reflects_measured_counts() {
+        let run = run_workload(EnvKind::CartPole, 3, 7, Some(16));
+        let p = run.profile();
+        assert_eq!(p.pop_size, 16);
+        assert!(p.env_steps > 0);
+        assert!(p.evolution_ops > 0);
+        assert!(p.total_genes > 0);
+        assert!(p.mean_nodes >= 5.0);
+    }
+
+    #[test]
+    fn genesys_cost_is_positive_and_fast() {
+        let run = run_workload(EnvKind::CartPole, 2, 9, Some(16));
+        let cost = genesys_cost(&run, &SocConfig::default());
+        assert!(cost.inference_s > 0.0);
+        assert!(cost.evolution_s > 0.0);
+        assert!(cost.inference_j > 0.0);
+        assert!(cost.evolution_j > 0.0);
+        // Sub-millisecond evolution at 200 MHz for a small workload.
+        assert!(cost.evolution_s < 1e-2, "{}", cost.evolution_s);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--pop", "32", "--generations", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "--pop", 64), 32);
+        assert_eq!(arg_usize(&args, "--runs", 3), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Network-on-chip models for gene distribution (Section IV-C4).
+//!
+//! Two designs from the paper: the base design of "separate high-bandwidth
+//! buses, one for the distribution and one for the collection", and a
+//! "tree-based network with multicast support" that exploits genome-level
+//! reuse (GLR) — when many PEs consume the same parent genome, a multicast
+//! tree reads each gene from SRAM **once** and forks it in the fabric,
+//! which Fig 11(b) shows cuts SRAM reads by >100×.
+
+use std::fmt;
+
+/// Which interconnect feeds the EvE PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NocKind {
+    /// Separate point-to-point distribution/collection buses: every PE
+    /// stream demands its own SRAM read.
+    #[default]
+    PointToPoint,
+    /// A fork tree with multicast: one SRAM read per *distinct* parent
+    /// gene per cycle, forked to all subscribing PEs.
+    MulticastTree,
+}
+
+impl fmt::Display for NocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocKind::PointToPoint => write!(f, "point-to-point"),
+            NocKind::MulticastTree => write!(f, "multicast-tree"),
+        }
+    }
+}
+
+/// Traffic counters for one simulated span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// SRAM reads issued on the distribution network.
+    pub sram_reads: u64,
+    /// Gene flits delivered to PEs (read amplification = delivered/reads).
+    pub flits_delivered: u64,
+    /// Child-gene flits collected from PEs to the Gene Merge block.
+    pub flits_collected: u64,
+    /// Cycles the distribution network was active.
+    pub active_cycles: u64,
+}
+
+impl NocStats {
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: &NocStats) {
+        self.sram_reads += other.sram_reads;
+        self.flits_delivered += other.flits_delivered;
+        self.flits_collected += other.flits_collected;
+        self.active_cycles += other.active_cycles;
+    }
+
+    /// Average SRAM reads per active cycle — the Fig 11(b) metric.
+    pub fn reads_per_cycle(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.sram_reads as f64 / self.active_cycles as f64
+        }
+    }
+}
+
+/// The distribution/collection network model.
+///
+/// Per delivery cycle, each active PE consumes one parent-gene pair. The
+/// model receives, for each cycle, the list of *(parent genome id, gene
+/// offset)* requests across PEs and charges SRAM reads according to the
+/// interconnect kind.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    kind: NocKind,
+    stats: NocStats,
+    scratch: Vec<(u64, u32)>,
+}
+
+impl Noc {
+    /// Creates a network of the given kind.
+    pub fn new(kind: NocKind) -> Self {
+        Noc {
+            kind,
+            stats: NocStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Interconnect kind.
+    pub fn kind(&self) -> NocKind {
+        self.kind
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Resets counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = NocStats::default();
+    }
+
+    /// Simulates one distribution cycle. `requests` holds one entry per
+    /// active PE input port: the (genome id, gene offset) it needs this
+    /// cycle. Returns the number of SRAM reads issued.
+    pub fn distribute_cycle(&mut self, requests: &[(u64, u32)]) -> u64 {
+        if requests.is_empty() {
+            return 0;
+        }
+        let reads = match self.kind {
+            NocKind::PointToPoint => requests.len() as u64,
+            NocKind::MulticastTree => {
+                // One read per distinct (genome, offset); the tree forks it.
+                self.scratch.clear();
+                self.scratch.extend_from_slice(requests);
+                self.scratch.sort_unstable();
+                self.scratch.dedup();
+                self.scratch.len() as u64
+            }
+        };
+        self.stats.sram_reads += reads;
+        self.stats.flits_delivered += requests.len() as u64;
+        self.stats.active_cycles += 1;
+        reads
+    }
+
+    /// Records `n` child genes collected toward the Gene Merge block.
+    pub fn collect(&mut self, n: u64) {
+        self.stats.flits_collected += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_reads_once_per_pe() {
+        let mut noc = Noc::new(NocKind::PointToPoint);
+        // 8 PEs all requesting the same parent gene.
+        let reqs = vec![(7u64, 3u32); 8];
+        assert_eq!(noc.distribute_cycle(&reqs), 8);
+        assert_eq!(noc.stats().sram_reads, 8);
+    }
+
+    #[test]
+    fn multicast_reads_once_per_distinct_gene() {
+        let mut noc = Noc::new(NocKind::MulticastTree);
+        let reqs = vec![(7u64, 3u32); 8];
+        assert_eq!(noc.distribute_cycle(&reqs), 1, "fork in the tree, not at SRAM");
+        // Mixed requests: 2 distinct genes.
+        let reqs = vec![(7, 3), (7, 3), (9, 1), (9, 1)];
+        assert_eq!(noc.distribute_cycle(&reqs), 2);
+    }
+
+    #[test]
+    fn multicast_never_beats_p2p_backwards() {
+        // Multicast reads <= p2p reads on any request pattern.
+        let patterns: Vec<Vec<(u64, u32)>> = vec![
+            vec![(1, 0), (2, 0), (3, 0)],
+            vec![(1, 0); 16],
+            vec![(1, 0), (1, 1), (1, 2)],
+            vec![],
+        ];
+        for p in patterns {
+            let mut a = Noc::new(NocKind::PointToPoint);
+            let mut b = Noc::new(NocKind::MulticastTree);
+            let ra = a.distribute_cycle(&p);
+            let rb = b.distribute_cycle(&p);
+            assert!(rb <= ra, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn reads_per_cycle_metric() {
+        let mut noc = Noc::new(NocKind::PointToPoint);
+        noc.distribute_cycle(&[(1, 0), (2, 0)]);
+        noc.distribute_cycle(&[(1, 1), (2, 1)]);
+        assert!((noc.stats().reads_per_cycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cycle_is_free() {
+        let mut noc = Noc::new(NocKind::MulticastTree);
+        assert_eq!(noc.distribute_cycle(&[]), 0);
+        assert_eq!(noc.stats().active_cycles, 0);
+    }
+
+    #[test]
+    fn collection_counted_separately() {
+        let mut noc = Noc::new(NocKind::PointToPoint);
+        noc.collect(42);
+        assert_eq!(noc.stats().flits_collected, 42);
+        assert_eq!(noc.stats().sram_reads, 0);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = NocStats {
+            sram_reads: 1,
+            flits_delivered: 2,
+            flits_collected: 3,
+            active_cycles: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.sram_reads, 2);
+        assert_eq!(a.active_cycles, 8);
+    }
+}

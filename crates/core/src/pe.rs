@@ -1,0 +1,538 @@
+//! The EvE processing element: a four-stage gene pipeline (Fig 7).
+//!
+//! Stages, in order: **Crossover Engine** (per-attribute parent selection
+//! against a programmable bias), **Perturbation Engine** (probability-gated
+//! attribute perturbation with limit-and-quantize), **Delete Gene Engine**
+//! (probability- and threshold-gated node deletion plus dangling-connection
+//! pruning via the node-ID registers), **Add Gene Engine** (node insertion
+//! by connection splitting; two-cycle connection insertion).
+//!
+//! The PE is *functional*: streaming two aligned parents through it
+//! produces the child's genes, with every continuous attribute snapped to
+//! the 64-bit gene word's fixed-point grid — the SoC evolves quantized
+//! genomes. It also keeps the cycle accounting used by the EvE engine
+//! model.
+
+use crate::codec::{quantize_attr, quantize_weight, Gene};
+use crate::stream::AlignedPair;
+use genesys_neat::gene::{ConnGene, NodeGene, NodeId, NodeType};
+use genesys_neat::trace::OpCounters;
+use genesys_neat::{Activation, Aggregation, NeatConfig, XorWow};
+
+/// Per-PE configuration registers: "Config: Crossover and Mutation
+/// (Perturb, Add, Delete) Probability" (Fig 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeConfig {
+    /// Crossover bias toward the fitter parent (default 0.5: "the ability
+    /// to program the bias, depending on which of the two parents
+    /// contributes more attributes").
+    pub crossover_bias: f64,
+    /// Per-attribute perturbation probability.
+    pub perturb_prob: f64,
+    /// Gaussian perturbation power for weights.
+    pub weight_power: f64,
+    /// Gaussian perturbation power for biases/responses.
+    pub attr_power: f64,
+    /// Weight clamp (the "Limit" in limit-and-quantize).
+    pub weight_limit: f64,
+    /// Bias/response clamp.
+    pub attr_limit: f64,
+    /// Probability of toggling a connection's enabled flag.
+    pub enable_flip_prob: f64,
+    /// Probability of re-drawing a node's activation.
+    pub activation_mutate_prob: f64,
+    /// Available activations.
+    pub activation_options: Vec<Activation>,
+    /// Probability of re-drawing a node's aggregation.
+    pub aggregation_mutate_prob: f64,
+    /// Available aggregations.
+    pub aggregation_options: Vec<Aggregation>,
+    /// Per-gene node deletion probability.
+    pub node_delete_prob: f64,
+    /// Per-gene connection deletion probability.
+    pub conn_delete_prob: f64,
+    /// Node deletions allowed per child ("if a threshold amount of nodes
+    /// are previously deleted, no more deletion happens in order to keep
+    /// the genome alive").
+    pub node_delete_limit: usize,
+    /// Per-connection-gene node-insertion probability.
+    pub node_add_prob: f64,
+    /// Per-connection-gene connection-insertion probability (arms the
+    /// two-cycle add mechanism).
+    pub conn_add_prob: f64,
+}
+
+impl PeConfig {
+    /// Derives PE configuration registers from a NEAT config, scaling the
+    /// per-genome structural probabilities down to per-gene rates so that
+    /// the *expected* number of structural mutations per child matches the
+    /// software algorithm (the hardware applies its probabilities at every
+    /// streamed gene; the software applies them once per genome).
+    pub fn from_neat(config: &NeatConfig, genes_per_child: usize) -> Self {
+        let per_gene = |p: f64| (p / genes_per_child.max(1) as f64).min(1.0);
+        PeConfig {
+            crossover_bias: 0.5,
+            perturb_prob: config.weight_mutate_rate,
+            weight_power: config.weight_perturb_power,
+            attr_power: config.bias_perturb_power,
+            weight_limit: config.weight_max,
+            attr_limit: config.bias_max,
+            enable_flip_prob: config.enabled_mutate_rate,
+            activation_mutate_prob: config.activation_mutate_rate,
+            activation_options: config.activation_options.clone(),
+            aggregation_mutate_prob: config.aggregation_mutate_rate,
+            aggregation_options: config.aggregation_options.clone(),
+            node_delete_prob: per_gene(config.node_delete_prob),
+            conn_delete_prob: per_gene(config.conn_delete_prob),
+            node_delete_limit: config.node_delete_limit,
+            node_add_prob: per_gene(config.node_add_prob),
+            conn_add_prob: per_gene(config.conn_add_prob),
+        }
+    }
+}
+
+/// Cycle counts for one child streamed through a PE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeCycles {
+    /// Control/fitness load cycles before streaming ("it takes 2 cycles to
+    /// load the parents' fitness values and other control information").
+    pub setup: u64,
+    /// One cycle per streamed gene pair.
+    pub stream: u64,
+    /// Extra cycles spent by the two-cycle connection-add mechanism.
+    pub add_extra: u64,
+    /// Pipeline drain (4 stages).
+    pub drain: u64,
+}
+
+impl PeCycles {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.setup + self.stream + self.add_extra + self.drain
+    }
+}
+
+/// Result of producing one child genome in a PE.
+#[derive(Debug)]
+pub struct PeOutput {
+    /// Child genes in stream order (Gene Merge sorts and validates them).
+    pub genes: Vec<Gene>,
+    /// Operation tallies (for trace cross-checks).
+    pub ops: OpCounters,
+    /// Cycle accounting.
+    pub cycles: PeCycles,
+}
+
+/// The node-ID register file of Fig 7: deleted ids, the running max id,
+/// and the pending source of the two-cycle connection add.
+#[derive(Debug, Default)]
+struct NodeIdRegs {
+    deleted: Vec<NodeId>,
+    max_id: u32,
+    pending_src: Option<NodeId>,
+}
+
+/// One EvE processing element.
+#[derive(Debug)]
+pub struct EvePe {
+    config: PeConfig,
+    prng: XorWow,
+}
+
+impl EvePe {
+    /// Creates a PE with its own PRNG stream (the shared PRNG block fans
+    /// out per-PE streams).
+    pub fn new(config: PeConfig, prng_seed: u64) -> Self {
+        EvePe {
+            config,
+            prng: XorWow::seed_from_u64_value(prng_seed),
+        }
+    }
+
+    /// Configuration registers.
+    pub fn config(&self) -> &PeConfig {
+        &self.config
+    }
+
+    /// Streams one child: consumes the aligned parent pairs and emits the
+    /// child's genes. Node genes must precede connection genes in `stream`
+    /// (the Gene Split order), which is what lets the delete/add engines
+    /// maintain valid node-ID registers.
+    pub fn produce_child(&mut self, stream: &[AlignedPair]) -> PeOutput {
+        let mut regs = NodeIdRegs::default();
+        let mut ops = OpCounters::new();
+        let mut out: Vec<Gene> = Vec::with_capacity(stream.len());
+        let mut add_extra = 0u64;
+
+        for pair in stream {
+            // ---- Stage 1: crossover -------------------------------------
+            let Some(gene) = self.crossover(pair, &mut ops) else {
+                continue; // gene only in the less-fit parent: dropped
+            };
+            // ---- Stage 2: perturbation ----------------------------------
+            let gene = self.perturb(gene, &mut ops);
+            // ---- Stage 3: delete ----------------------------------------
+            let Some(gene) = self.delete(gene, &mut regs, &mut ops) else {
+                continue;
+            };
+            // ---- Stage 4: add -------------------------------------------
+            self.add(gene, &mut regs, &mut ops, &mut out, &mut add_extra);
+        }
+
+        let cycles = PeCycles {
+            setup: 2,
+            stream: stream.len() as u64,
+            add_extra,
+            drain: 4,
+        };
+        PeOutput {
+            genes: out,
+            ops,
+            cycles,
+        }
+    }
+
+    fn crossover(&mut self, pair: &AlignedPair, ops: &mut OpCounters) -> Option<Gene> {
+        let bias = self.config.crossover_bias;
+        ops.crossover += 1;
+        match (pair.fit, pair.other) {
+            (Some(Gene::Node(a)), Some(Gene::Node(b))) => {
+                // Four attribute comparators, one PRNG draw each.
+                let mut child = a;
+                if !self.prng.chance(bias) {
+                    child.bias = b.bias;
+                }
+                if !self.prng.chance(bias) {
+                    child.response = b.response;
+                }
+                if !self.prng.chance(bias) {
+                    child.activation = b.activation;
+                }
+                if !self.prng.chance(bias) {
+                    child.aggregation = b.aggregation;
+                }
+                Some(Gene::Node(child))
+            }
+            (Some(Gene::Conn(a)), Some(Gene::Conn(b))) => {
+                let mut child = a;
+                if !self.prng.chance(bias) {
+                    child.weight = b.weight;
+                }
+                if !self.prng.chance(bias) {
+                    child.enabled = b.enabled;
+                }
+                Some(Gene::Conn(child))
+            }
+            // Disjoint/excess genes: inherited from the fitter parent only.
+            (Some(g), None) => Some(g),
+            (None, _) => None,
+            // Kind mismatch cannot occur: node and conn key spaces are
+            // aligned separately by Gene Split.
+            (Some(_), Some(_)) => unreachable!("gene split aligns kinds"),
+        }
+    }
+
+    fn perturb(&mut self, gene: Gene, ops: &mut OpCounters) -> Gene {
+        match gene {
+            Gene::Node(mut n) => {
+                if n.node_type != NodeType::Input {
+                    if self.prng.chance(self.config.perturb_prob) {
+                        let delta = self.prng.next_gaussian() * self.config.attr_power;
+                        n.bias = quantize_attr(
+                            (n.bias + delta).clamp(-self.config.attr_limit, self.config.attr_limit),
+                        );
+                        ops.perturb += 1;
+                    }
+                    if self.config.activation_mutate_prob > 0.0
+                        && self.prng.chance(self.config.activation_mutate_prob)
+                    {
+                        n.activation =
+                            Activation::random(&mut self.prng, &self.config.activation_options);
+                        ops.perturb += 1;
+                    }
+                    if self.config.aggregation_mutate_prob > 0.0
+                        && self.prng.chance(self.config.aggregation_mutate_prob)
+                    {
+                        n.aggregation =
+                            Aggregation::random(&mut self.prng, &self.config.aggregation_options);
+                        ops.perturb += 1;
+                    }
+                }
+                Gene::Node(n)
+            }
+            Gene::Conn(mut c) => {
+                if self.prng.chance(self.config.perturb_prob) {
+                    let delta = self.prng.next_gaussian() * self.config.weight_power;
+                    c.weight = quantize_weight(
+                        (c.weight + delta)
+                            .clamp(-self.config.weight_limit, self.config.weight_limit),
+                    );
+                    ops.perturb += 1;
+                }
+                if self.prng.chance(self.config.enable_flip_prob) {
+                    c.enabled = !c.enabled;
+                    ops.perturb += 1;
+                }
+                Gene::Conn(c)
+            }
+        }
+    }
+
+    fn delete(&mut self, gene: Gene, regs: &mut NodeIdRegs, ops: &mut OpCounters) -> Option<Gene> {
+        match gene {
+            Gene::Node(n) => {
+                regs.max_id = regs.max_id.max(n.id.0);
+                let deletable = n.node_type == NodeType::Hidden
+                    && regs.deleted.len() < self.config.node_delete_limit;
+                if deletable && self.prng.chance(self.config.node_delete_prob) {
+                    // "the node is nullified and its ID is stored"
+                    regs.deleted.push(n.id);
+                    ops.delete_node += 1;
+                    None
+                } else {
+                    Some(Gene::Node(n))
+                }
+            }
+            Gene::Conn(c) => {
+                // "This ID is later compared with the source and destination
+                // IDs of any of the connection genes to ensure no dangling
+                // connection exist."
+                if regs.deleted.contains(&c.key.src) || regs.deleted.contains(&c.key.dst) {
+                    ops.delete_conn += 1;
+                    return None;
+                }
+                if self.prng.chance(self.config.conn_delete_prob) {
+                    ops.delete_conn += 1;
+                    return None;
+                }
+                Some(Gene::Conn(c))
+            }
+        }
+    }
+
+    fn add(
+        &mut self,
+        gene: Gene,
+        regs: &mut NodeIdRegs,
+        ops: &mut OpCounters,
+        out: &mut Vec<Gene>,
+        add_extra: &mut u64,
+    ) {
+        match gene {
+            Gene::Node(n) => out.push(Gene::Node(n)),
+            Gene::Conn(c) => {
+                // Node insertion: split the incoming connection. "the logic
+                // inserts a new gene with default attributes and a node ID
+                // greater than any other node present in the network.
+                // Additionally two new connection genes are generated and
+                // the incoming connection gene is dropped."
+                if self.prng.chance(self.config.node_add_prob) {
+                    regs.max_id += 1;
+                    let new_id = NodeId(regs.max_id);
+                    out.push(Gene::Node(NodeGene::hidden(new_id)));
+                    out.push(Gene::Conn(ConnGene::new(c.key.src, new_id, 1.0)));
+                    out.push(Gene::Conn(ConnGene::new(new_id, c.key.dst, c.weight)));
+                    ops.add_node += 1;
+                    ops.add_conn += 2;
+                    return;
+                }
+                // Two-cycle connection insertion: a stored source from a
+                // previous gene pairs with this gene's destination.
+                if let Some(src) = regs.pending_src.take() {
+                    if src != c.key.dst && !regs.deleted.contains(&src) {
+                        out.push(Gene::Conn(ConnGene::with_default_attributes(
+                            src, c.key.dst,
+                        )));
+                        ops.add_conn += 1;
+                        *add_extra += 1;
+                    }
+                }
+                if self.prng.chance(self.config.conn_add_prob) {
+                    regs.pending_src = Some(c.key.src);
+                }
+                out.push(Gene::Conn(c));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{align_parents, merge_child};
+    use genesys_neat::{Genome, NeatConfig};
+
+    fn cfg() -> NeatConfig {
+        NeatConfig::builder(3, 2).build().unwrap()
+    }
+
+    fn pe_config_off() -> PeConfig {
+        // All mutation disabled: PE acts as a pure crossover pipe.
+        PeConfig {
+            crossover_bias: 0.5,
+            perturb_prob: 0.0,
+            weight_power: 0.5,
+            attr_power: 0.5,
+            weight_limit: 30.0,
+            attr_limit: 30.0,
+            enable_flip_prob: 0.0,
+            activation_mutate_prob: 0.0,
+            activation_options: vec![Activation::Sigmoid],
+            aggregation_mutate_prob: 0.0,
+            aggregation_options: vec![Aggregation::Sum],
+            node_delete_prob: 0.0,
+            conn_delete_prob: 0.0,
+            node_delete_limit: 8,
+            node_add_prob: 0.0,
+            conn_add_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn pure_crossover_of_identical_parents_is_identity() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut pe = EvePe::new(pe_config_off(), 9);
+        let stream = align_parents(&g, &g.clone());
+        let out = pe.produce_child(&stream);
+        assert_eq!(out.genes.len(), g.num_genes());
+        assert_eq!(out.ops.crossover as usize, g.num_genes());
+        assert_eq!(out.ops.mutations(), 0);
+        let merged = merge_child(1, 3, 2, out.genes).unwrap();
+        assert_eq!(merged.genome.num_genes(), g.num_genes());
+    }
+
+    #[test]
+    fn cycle_accounting_matches_stream_length() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut pe = EvePe::new(pe_config_off(), 9);
+        let stream = align_parents(&g, &g.clone());
+        let out = pe.produce_child(&stream);
+        assert_eq!(out.cycles.setup, 2);
+        assert_eq!(out.cycles.stream as usize, stream.len());
+        assert_eq!(out.cycles.drain, 4);
+        assert_eq!(out.cycles.total(), 2 + stream.len() as u64 + 4);
+    }
+
+    #[test]
+    fn node_add_splits_incoming_connection() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut config = pe_config_off();
+        config.node_add_prob = 1.0; // force a split on the first conn gene
+        config.node_delete_limit = 0;
+        let mut pe = EvePe::new(config, 9);
+        let stream = align_parents(&g, &g.clone());
+        let out = pe.produce_child(&stream);
+        assert!(out.ops.add_node >= 1);
+        assert_eq!(out.ops.add_conn, out.ops.add_node * 2);
+        let merged = merge_child(1, 3, 2, out.genes).unwrap();
+        assert!(merged.genome.num_nodes() > g.num_nodes());
+        assert!(merged.genome.validate().is_ok());
+    }
+
+    #[test]
+    fn new_node_ids_exceed_existing_max() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let max_before = g.max_node_id();
+        let mut config = pe_config_off();
+        config.node_add_prob = 0.5;
+        let mut pe = EvePe::new(config, 10);
+        let out = pe.produce_child(&align_parents(&g, &g.clone()));
+        for gene in &out.genes {
+            if let Gene::Node(n) = gene {
+                if n.node_type == NodeType::Hidden {
+                    assert!(n.id.0 > max_before);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_respects_limit_and_prunes_dangling() {
+        let c = cfg();
+        let mut rng = XorWow::seed_from_u64_value(3);
+        let mut innov = genesys_neat::InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut rng);
+        let mut ops = genesys_neat::trace::OpCounters::new();
+        for _ in 0..5 {
+            g.mutate_add_node(&mut innov, &mut rng, &mut ops);
+        }
+        let mut config = pe_config_off();
+        config.node_delete_prob = 1.0;
+        config.node_delete_limit = 2;
+        let mut pe = EvePe::new(config, 11);
+        let out = pe.produce_child(&align_parents(&g, &g.clone()));
+        assert_eq!(out.ops.delete_node, 2, "threshold caps deletions");
+        let merged = merge_child(1, 3, 2, out.genes).unwrap();
+        assert!(merged.genome.validate().is_ok(), "no dangling connections");
+    }
+
+    #[test]
+    fn two_cycle_conn_add_emits_valid_connections() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut config = pe_config_off();
+        config.conn_add_prob = 1.0;
+        let mut pe = EvePe::new(config, 12);
+        let out = pe.produce_child(&align_parents(&g, &g.clone()));
+        assert!(out.ops.add_conn > 0, "arming every cycle must add something");
+        assert!(out.cycles.add_extra > 0);
+        let merged = merge_child(1, 3, 2, out.genes).unwrap();
+        assert!(merged.genome.validate().is_ok());
+    }
+
+    #[test]
+    fn perturbation_quantizes_to_codec_grid() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut config = pe_config_off();
+        config.perturb_prob = 1.0;
+        let mut pe = EvePe::new(config, 13);
+        let out = pe.produce_child(&align_parents(&g, &g.clone()));
+        for gene in &out.genes {
+            if let Gene::Conn(c) = gene {
+                assert_eq!(c.weight, quantize_weight(c.weight), "on-grid weight");
+            }
+        }
+        assert!(out.ops.perturb > 0);
+    }
+
+    #[test]
+    fn deterministic_given_prng_seed() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let mut config = pe_config_off();
+        config.perturb_prob = 0.5;
+        config.node_add_prob = 0.1;
+        let stream = align_parents(&g, &g.clone());
+        let mut pe1 = EvePe::new(config.clone(), 77);
+        let mut pe2 = EvePe::new(config, 77);
+        let o1 = pe1.produce_child(&stream);
+        let o2 = pe2.produce_child(&stream);
+        assert_eq!(o1.genes, o2.genes);
+        assert_eq!(o1.ops, o2.ops);
+    }
+
+    #[test]
+    fn fitter_parent_dominates_disjoint_inheritance() {
+        let c = cfg();
+        let mut rng = XorWow::seed_from_u64_value(5);
+        let mut innov = genesys_neat::InnovationTracker::new(c.first_hidden_id());
+        let base = Genome::initial(0, &c, &mut rng);
+        let mut grown = base.clone();
+        let mut ops = genesys_neat::trace::OpCounters::new();
+        grown.mutate_add_node(&mut innov, &mut rng, &mut ops);
+        let mut pe = EvePe::new(pe_config_off(), 6);
+        // grown is the fitter parent: child inherits its extra structure.
+        let out = pe.produce_child(&align_parents(&grown, &base));
+        assert_eq!(out.genes.len(), grown.num_genes());
+        // base is the fitter parent: extra structure is dropped.
+        let out = pe.produce_child(&align_parents(&base, &grown));
+        assert_eq!(out.genes.len(), base.num_genes());
+    }
+
+    #[test]
+    fn pe_config_from_neat_scales_structural_rates() {
+        let c = cfg();
+        let pc = PeConfig::from_neat(&c, 100);
+        assert!((pc.node_add_prob - c.node_add_prob / 100.0).abs() < 1e-12);
+        assert!((pc.conn_delete_prob - c.conn_delete_prob / 100.0).abs() < 1e-12);
+        assert_eq!(pc.node_delete_limit, c.node_delete_limit);
+    }
+}

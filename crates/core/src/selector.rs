@@ -1,0 +1,296 @@
+//! The Gene Selector: fitness sharing, thresholding and parent selection
+//! (Section IV-C4), "handled by a software thread on the CPU".
+//!
+//! Three steps, per the paper: (1) fitness values "are read and adjusted to
+//! implement fitness sharing", (2) "the threshold is calculated using the
+//! adjusted fitness values", (3) "the parents for the next generation are
+//! chosen and the list of parents for the children is forwarded to the
+//! gene splitting logic". The selector also performs the **greedy PE
+//! allocation** "such that maximum number of children can be created from
+//! the parents currently in the SRAM" — the genome-level-reuse (GLR)
+//! optimization Fig 11(c) quantifies.
+
+use genesys_neat::reproduction::allocate_offspring;
+use genesys_neat::{Genome, NeatConfig, SpeciesSet, XorWow};
+
+/// One planned mating: which parents produce which child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatingPlan {
+    /// Child index in the next generation.
+    pub child_index: usize,
+    /// Index of the fitter parent in the current generation.
+    pub fit_parent: usize,
+    /// Index of the other parent (== `fit_parent` for asexual children).
+    pub other_parent: usize,
+    /// Elite copies bypass the PEs.
+    pub is_elite: bool,
+}
+
+impl MatingPlan {
+    /// Canonical parent-pair key (order-independent), used to group
+    /// children that can share multicast reads.
+    pub fn pair_key(&self) -> (usize, usize) {
+        if self.fit_parent <= self.other_parent {
+            (self.fit_parent, self.other_parent)
+        } else {
+            (self.other_parent, self.fit_parent)
+        }
+    }
+}
+
+/// Runs the three selector steps and returns the child list forwarded to
+/// Gene Split. Mirrors the software algorithm's selection exactly
+/// (speciation, fitness sharing, survival threshold, elitism) so that the
+/// hardware loop and `genesys-neat` see the same selection pressure.
+pub fn select_parents(
+    genomes: &[Genome],
+    species: &mut SpeciesSet,
+    config: &NeatConfig,
+    generation: usize,
+    rng: &mut XorWow,
+) -> Vec<MatingPlan> {
+    species.speciate(genomes, config, generation);
+    species.remove_stagnant(genomes, config, generation);
+    species.share_fitness(genomes);
+
+    let adjusted: Vec<f64> = species.iter().map(|s| s.adjusted_fitness).collect();
+    let floor = config.min_species_size.max(config.elitism);
+    let alloc = allocate_offspring(&adjusted, config.pop_size, floor);
+
+    let mut plans: Vec<MatingPlan> = Vec::with_capacity(config.pop_size);
+    for (s, &spawn) in species.iter().zip(alloc.iter()) {
+        if spawn == 0 {
+            continue;
+        }
+        let mut ranked: Vec<usize> = s.members.clone();
+        ranked.sort_by(|&a, &b| {
+            let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+            let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+            fb.partial_cmp(&fa).expect("finite fitness")
+        });
+        let elites = config.elitism.min(spawn);
+        for &e in ranked.iter().take(elites) {
+            plans.push(MatingPlan {
+                child_index: plans.len(),
+                fit_parent: e,
+                other_parent: e,
+                is_elite: true,
+            });
+        }
+        let pool_size = ((ranked.len() as f64 * config.survival_threshold).ceil() as usize)
+            .clamp(1, ranked.len());
+        let pool = &ranked[..pool_size.max(2.min(ranked.len()))];
+        for _ in elites..spawn {
+            let p1 = pool[rng.below(pool.len())];
+            let p2 = if pool.len() > 1 && rng.chance(config.crossover_prob) {
+                pool[rng.below(pool.len())]
+            } else {
+                p1
+            };
+            let (fit, other) = if genomes[p1].fitness() >= genomes[p2].fitness() {
+                (p1, p2)
+            } else {
+                (p2, p1)
+            };
+            plans.push(MatingPlan {
+                child_index: plans.len(),
+                fit_parent: fit,
+                other_parent: other,
+                is_elite: false,
+            });
+        }
+    }
+    // Top-up if rounding or extinction left the plan short.
+    if plans.len() < config.pop_size {
+        let best = (0..genomes.len())
+            .max_by(|&a, &b| {
+                genomes[a]
+                    .fitness()
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .partial_cmp(&genomes[b].fitness().unwrap_or(f64::NEG_INFINITY))
+                    .expect("finite fitness")
+            })
+            .unwrap_or(0);
+        while plans.len() < config.pop_size {
+            plans.push(MatingPlan {
+                child_index: plans.len(),
+                fit_parent: best,
+                other_parent: best,
+                is_elite: false,
+            });
+        }
+    }
+    plans.truncate(config.pop_size);
+    plans
+}
+
+/// PE assignment policy — an ablation axis (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// The paper's policy: group children sharing parents into the same
+    /// round so a multicast tree can service them with single reads.
+    #[default]
+    Greedy,
+    /// Naive round-robin in child order (no reuse grouping).
+    RoundRobin,
+}
+
+/// PE work schedule: `rounds[r]` holds the children processed concurrently
+/// in round `r` ("we allocate only one PE per child genome").
+#[derive(Debug, Clone, Default)]
+pub struct PeSchedule {
+    /// Per-round mating plans; each round's length is ≤ the PE count.
+    pub rounds: Vec<Vec<MatingPlan>>,
+}
+
+impl PeSchedule {
+    /// Number of non-elite children scheduled.
+    pub fn num_children(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+}
+
+/// Schedules non-elite children onto `num_pes` PEs.
+pub fn allocate_pes(plans: &[MatingPlan], num_pes: usize, policy: AllocPolicy) -> PeSchedule {
+    assert!(num_pes > 0, "at least one PE required");
+    let mut work: Vec<MatingPlan> = plans.iter().filter(|p| !p.is_elite).copied().collect();
+    if policy == AllocPolicy::Greedy {
+        // Children sharing a parent pair become adjacent, so each round
+        // touches as few distinct parents as possible.
+        work.sort_by_key(|p| p.pair_key());
+    }
+    let rounds = work.chunks(num_pes).map(<[MatingPlan]>::to_vec).collect();
+    PeSchedule { rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesys_neat::NeatConfig;
+
+    fn evaluated_population(n: usize) -> (Vec<Genome>, NeatConfig) {
+        let c = NeatConfig::builder(3, 1).pop_size(n).build().unwrap();
+        let mut rng = XorWow::seed_from_u64_value(8);
+        let mut genomes: Vec<Genome> = (0..n as u64)
+            .map(|k| Genome::initial(k, &c, &mut rng))
+            .collect();
+        for (i, g) in genomes.iter_mut().enumerate() {
+            g.set_fitness(i as f64);
+        }
+        (genomes, c)
+    }
+
+    #[test]
+    fn selector_produces_pop_size_plans() {
+        let (genomes, c) = evaluated_population(30);
+        let mut species = SpeciesSet::new();
+        let mut rng = XorWow::seed_from_u64_value(1);
+        let plans = select_parents(&genomes, &mut species, &c, 0, &mut rng);
+        assert_eq!(plans.len(), 30);
+        assert!(plans.iter().any(|p| p.is_elite));
+    }
+
+    #[test]
+    fn parents_meet_the_survival_threshold() {
+        let (genomes, c) = evaluated_population(50);
+        let mut species = SpeciesSet::new();
+        let mut rng = XorWow::seed_from_u64_value(2);
+        let plans = select_parents(&genomes, &mut species, &c, 0, &mut rng);
+        // One species of 50, survival 0.2: parents come from the top 10
+        // (fitness >= 40).
+        for p in plans.iter().filter(|p| !p.is_elite) {
+            assert!(genomes[p.fit_parent].fitness().unwrap() >= 40.0);
+            assert!(genomes[p.other_parent].fitness().unwrap() >= 40.0);
+        }
+    }
+
+    #[test]
+    fn fit_parent_is_the_fitter_one() {
+        let (genomes, c) = evaluated_population(40);
+        let mut species = SpeciesSet::new();
+        let mut rng = XorWow::seed_from_u64_value(3);
+        let plans = select_parents(&genomes, &mut species, &c, 0, &mut rng);
+        for p in plans {
+            assert!(genomes[p.fit_parent].fitness() >= genomes[p.other_parent].fitness());
+        }
+    }
+
+    #[test]
+    fn greedy_allocation_groups_shared_parents() {
+        let plans: Vec<MatingPlan> = (0..8)
+            .map(|i| MatingPlan {
+                child_index: i,
+                fit_parent: i % 2, // alternating pairs (0,?) (1,?)
+                other_parent: 5,
+                is_elite: false,
+            })
+            .collect();
+        let sched = allocate_pes(&plans, 4, AllocPolicy::Greedy);
+        assert_eq!(sched.rounds.len(), 2);
+        // Each greedy round touches exactly 2 distinct parents.
+        for round in &sched.rounds {
+            let mut parents: Vec<usize> = round
+                .iter()
+                .flat_map(|p| [p.fit_parent, p.other_parent])
+                .collect();
+            parents.sort_unstable();
+            parents.dedup();
+            assert_eq!(parents.len(), 2, "{round:?}");
+        }
+        // Round-robin rounds touch 3 (both pair-keys interleaved).
+        let rr = allocate_pes(&plans, 4, AllocPolicy::RoundRobin);
+        let mut parents: Vec<usize> = rr.rounds[0]
+            .iter()
+            .flat_map(|p| [p.fit_parent, p.other_parent])
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        assert_eq!(parents.len(), 3);
+    }
+
+    #[test]
+    fn elites_are_not_scheduled_on_pes() {
+        let plans = vec![
+            MatingPlan {
+                child_index: 0,
+                fit_parent: 0,
+                other_parent: 0,
+                is_elite: true,
+            },
+            MatingPlan {
+                child_index: 1,
+                fit_parent: 0,
+                other_parent: 1,
+                is_elite: false,
+            },
+        ];
+        let sched = allocate_pes(&plans, 8, AllocPolicy::Greedy);
+        assert_eq!(sched.num_children(), 1);
+    }
+
+    #[test]
+    fn rounds_respect_pe_count() {
+        let plans: Vec<MatingPlan> = (0..100)
+            .map(|i| MatingPlan {
+                child_index: i,
+                fit_parent: 0,
+                other_parent: 1,
+                is_elite: false,
+            })
+            .collect();
+        let sched = allocate_pes(&plans, 16, AllocPolicy::Greedy);
+        assert_eq!(sched.rounds.len(), 7);
+        assert!(sched.rounds.iter().all(|r| r.len() <= 16));
+    }
+
+    #[test]
+    fn pair_key_is_order_independent() {
+        let a = MatingPlan {
+            child_index: 0,
+            fit_parent: 9,
+            other_parent: 3,
+            is_elite: false,
+        };
+        assert_eq!(a.pair_key(), (3, 9));
+    }
+}

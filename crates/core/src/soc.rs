@@ -1,0 +1,426 @@
+//! The GeneSys SoC: the full closed learning loop of Section IV-B.
+//!
+//! One [`GenesysSoc::run_generation`] call executes the walkthrough's ten
+//! steps: genomes are mapped onto ADAM (1), interact with their
+//! environment instances (2–5), rewards become fitness (6), the CPU-side
+//! selector picks parents (7), Gene Split streams them into the EvE PEs
+//! (8–9), and Gene Merge writes the children back to the genome buffer
+//! (10). The children are produced *functionally* by the PE pipeline —
+//! quantized, hardware-semantics evolution — while every phase is also
+//! accounted in cycles and energy.
+
+use crate::adam::{inference_timing, AdamReport};
+use crate::config::SocConfig;
+use crate::energy::EnergyBreakdown;
+use crate::eve::{EveEngine, MergeDrops};
+use crate::pe::PeConfig;
+use crate::selector::{allocate_pes, select_parents};
+use crate::sram::{GenomeBuffer, SramStats};
+use genesys_gym::Environment;
+use genesys_neat::trace::OpCounters;
+use genesys_neat::{Genome, NeatConfig, Network, SpeciesSet, XorWow};
+
+/// Inference-phase accounting (walkthrough steps 1–6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InferencePhase {
+    /// Environment steps executed across the population.
+    pub env_steps: u64,
+    /// ADAM timing, accumulated over all inferences.
+    pub adam: AdamReport,
+    /// Serialized inference cycles for the generation.
+    pub cycles: u64,
+}
+
+/// Evolution-phase accounting (walkthrough steps 7–10).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvolutionPhase {
+    /// EvE cycles for the generation.
+    pub cycles: u64,
+    /// Reproduction operations performed by the PEs.
+    pub ops: OpCounters,
+    /// SRAM reads issued by the gene-distribution NoC.
+    pub noc_sram_reads: u64,
+    /// Gene flits delivered to PEs.
+    pub noc_flits: u64,
+    /// Gene Merge repairs.
+    pub drops: MergeDrops,
+    /// PE rounds.
+    pub rounds: usize,
+    /// CPU cycles spent in the selector.
+    pub selector_cpu_cycles: u64,
+}
+
+/// Report for one full generation on the SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationReport {
+    /// Generation index that was evaluated.
+    pub generation: usize,
+    /// Best raw fitness.
+    pub max_fitness: f64,
+    /// Mean raw fitness.
+    pub mean_fitness: f64,
+    /// Living species after speciation.
+    pub num_species: usize,
+    /// Total genes across the population.
+    pub total_genes: usize,
+    /// Genome-buffer footprint (8 B/gene).
+    pub memory_bytes: usize,
+    /// Steps 1–6.
+    pub inference: InferencePhase,
+    /// Steps 7–10.
+    pub evolution: EvolutionPhase,
+    /// Buffer counters for the generation.
+    pub sram: SramStats,
+    /// Energy accounting.
+    pub energy: EnergyBreakdown,
+    /// Inference wall time at the SoC clock, seconds.
+    pub inference_runtime_s: f64,
+    /// Evolution wall time at the SoC clock, seconds.
+    pub evolution_runtime_s: f64,
+}
+
+/// The GeneSys system-on-chip.
+#[derive(Debug)]
+pub struct GenesysSoc {
+    soc: SocConfig,
+    neat: NeatConfig,
+    genomes: Vec<Genome>,
+    species: SpeciesSet,
+    rng: XorWow,
+    generation: usize,
+    next_key: u64,
+    best_ever: Option<Genome>,
+}
+
+impl GenesysSoc {
+    /// Boots the SoC with generation 0 resident in the genome buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neat` fails validation.
+    pub fn new(soc: SocConfig, neat: NeatConfig, seed: u64) -> Self {
+        neat.validate().expect("invalid NeatConfig");
+        let mut rng = XorWow::seed_from_u64_value(seed);
+        let genomes: Vec<Genome> = (0..neat.pop_size as u64)
+            .map(|k| Genome::initial(k, &neat, &mut rng))
+            .collect();
+        GenesysSoc {
+            next_key: neat.pop_size as u64,
+            soc,
+            neat,
+            genomes,
+            species: SpeciesSet::new(),
+            rng,
+            generation: 0,
+            best_ever: None,
+        }
+    }
+
+    /// Current generation index.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Genomes currently resident in the genome buffer.
+    pub fn genomes(&self) -> &[Genome] {
+        &self.genomes
+    }
+
+    /// The SoC configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The NEAT configuration programmed by the CPU.
+    pub fn neat_config(&self) -> &NeatConfig {
+        &self.neat
+    }
+
+    /// Best genome observed so far.
+    pub fn best_genome(&self) -> Option<&Genome> {
+        self.best_ever.as_ref()
+    }
+
+    /// Runs one generation against environments produced by `env_factory`
+    /// (one instance per genome — the paper's "n Environment Instances").
+    pub fn run_generation(
+        &mut self,
+        env_factory: &mut dyn FnMut(usize) -> Box<dyn Environment>,
+    ) -> GenerationReport {
+        let tech = self.soc.tech;
+        let mut buffer = GenomeBuffer::new(self.soc.sram);
+        let total_genes: usize = self.genomes.iter().map(Genome::num_genes).sum();
+        // Parents stay resident while children are written: double buffer.
+        buffer.set_resident(total_genes * 2);
+
+        // ---- Steps 1–6: inference + fitness --------------------------------
+        let mut inference = InferencePhase::default();
+        let mut best_idx = 0usize;
+        let mut best_fit = f64::NEG_INFINITY;
+        let mut fitness_sum = 0.0;
+        for idx in 0..self.genomes.len() {
+            let genome = &self.genomes[idx];
+            let net = Network::from_genome(genome).expect("resident genomes are valid");
+            let timing = inference_timing(&net, genome, &self.soc.adam);
+            // Step 1: map the genome over the MAC units (one pass of its
+            // genes from the buffer).
+            buffer.read_genes(genome.num_genes() as u64);
+            let mut env = env_factory(idx);
+            let mut fitness = 0.0;
+            let mut steps = 0u64;
+            for _ in 0..self.soc.episodes_per_eval.max(1) {
+                let mut obs = env.reset();
+                loop {
+                    let action = net.activate(&obs);
+                    let step = env.step(&action);
+                    fitness += step.reward;
+                    steps += 1;
+                    if step.done {
+                        break;
+                    }
+                    obs = step.observation;
+                }
+            }
+            fitness /= self.soc.episodes_per_eval.max(1) as f64;
+            // Steps 2–5: every environment step is one packed inference.
+            inference.env_steps += steps;
+            inference.cycles += steps * timing.total_cycles();
+            let mut acc = timing;
+            acc.array_cycles *= steps;
+            acc.vectorize_cycles *= steps;
+            acc.macs *= steps;
+            inference.adam.merge(&acc);
+            // Per-step input-vector staging reads.
+            buffer.read_genes(steps * net.num_nodes() as u64);
+            // Step 6: fitness is augmented to the genome in SRAM.
+            self.genomes[idx].set_fitness(fitness);
+            buffer.write_genes(1);
+            fitness_sum += fitness;
+            if fitness > best_fit {
+                best_fit = fitness;
+                best_idx = idx;
+            }
+        }
+        inference.adam.utilization = if inference.adam.array_cycles > 0 {
+            inference.adam.macs as f64
+                / (inference.adam.array_cycles as f64 * self.soc.adam.num_macs() as f64)
+        } else {
+            0.0
+        };
+        if self
+            .best_ever
+            .as_ref()
+            .and_then(Genome::fitness)
+            .is_none_or(|f| best_fit > f)
+        {
+            self.best_ever = Some(self.genomes[best_idx].clone());
+        }
+
+        // ---- Step 7: selection (CPU) ----------------------------------------
+        let plans = select_parents(
+            &self.genomes,
+            &mut self.species,
+            &self.neat,
+            self.generation,
+            &mut self.rng,
+        );
+        // Selector cost model: rank + threshold scan per genome.
+        let selector_cpu_cycles = (self.genomes.len() as u64) * 64;
+
+        // ---- Steps 8–10: EvE reproduction ----------------------------------
+        let schedule = allocate_pes(&plans, self.soc.num_eve_pes, self.soc.alloc_policy);
+        let mean_genes = (total_genes / self.genomes.len().max(1)).max(1);
+        let pe_config = PeConfig::from_neat(&self.neat, mean_genes);
+        let mut engine = EveEngine::new(
+            self.soc.num_eve_pes,
+            pe_config,
+            self.soc.noc_kind,
+            self.soc.prng_seed ^ (self.generation as u64) << 32,
+        );
+        let report = engine.reproduce(
+            &self.genomes,
+            &plans,
+            &schedule,
+            &mut buffer,
+            &mut self.next_key,
+        );
+        let evolution = EvolutionPhase {
+            cycles: report.cycles,
+            ops: report.ops,
+            noc_sram_reads: report.noc.sram_reads,
+            noc_flits: report.noc.flits_delivered + report.noc.flits_collected,
+            drops: report.drops,
+            rounds: report.rounds,
+            selector_cpu_cycles,
+        };
+
+        // ---- Energy ----------------------------------------------------------
+        let energy = EnergyBreakdown {
+            eve_uj: evolution.ops.crossover as f64 * tech.e_pe_gene_pj / 1e6,
+            adam_uj: inference.adam.macs as f64 * tech.e_mac_pj / 1e6,
+            sram_uj: buffer.energy_uj(),
+            noc_uj: evolution.noc_flits as f64 * tech.e_noc_flit_pj / 1e6,
+            cpu_uj: (selector_cpu_cycles + inference.adam.vectorize_cycles) as f64
+                * tech.e_cpu_cycle_pj
+                / 1e6,
+        };
+
+        let num_species = self.species.len();
+        let result = GenerationReport {
+            generation: self.generation,
+            max_fitness: best_fit,
+            mean_fitness: fitness_sum / self.genomes.len().max(1) as f64,
+            num_species,
+            total_genes,
+            memory_bytes: total_genes * 8,
+            inference,
+            evolution,
+            sram: *buffer.stats(),
+            energy,
+            inference_runtime_s: inference.cycles as f64 * tech.cycle_time_s(),
+            evolution_runtime_s: report.cycles as f64 * tech.cycle_time_s(),
+        };
+        self.genomes = report.children;
+        self.generation += 1;
+        result
+    }
+
+    /// Runs generations until the NEAT target fitness is reached or
+    /// `max_generations` have been evaluated. Returns the per-generation
+    /// reports and whether the target was reached.
+    pub fn run_until(
+        &mut self,
+        max_generations: usize,
+        env_factory: &mut dyn FnMut(usize) -> Box<dyn Environment>,
+    ) -> (Vec<GenerationReport>, bool) {
+        let mut reports = Vec::new();
+        for _ in 0..max_generations {
+            let report = self.run_generation(env_factory);
+            let hit = self
+                .neat
+                .target_fitness
+                .is_some_and(|t| report.max_fitness >= t);
+            reports.push(report);
+            if hit {
+                return (reports, true);
+            }
+        }
+        (reports, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesys_gym::{CartPole, EnvKind};
+
+    fn small_soc(pop: usize) -> GenesysSoc {
+        let neat = NeatConfig::builder(4, 1)
+            .pop_size(pop)
+            .target_fitness(Some(195.0))
+            .build()
+            .unwrap();
+        GenesysSoc::new(SocConfig::default().with_num_eve_pes(16), neat, 42)
+    }
+
+    #[test]
+    fn one_generation_produces_full_report() {
+        let mut soc = small_soc(20);
+        let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+        let report = soc.run_generation(&mut factory);
+        assert_eq!(report.generation, 0);
+        assert!(report.max_fitness >= 1.0, "CartPole always earns some reward");
+        assert!(report.inference.env_steps > 0);
+        assert!(report.inference.adam.macs > 0);
+        assert!(report.evolution.cycles > 0);
+        assert!(report.energy.total() > 0.0);
+        assert_eq!(soc.generation(), 1);
+        assert_eq!(soc.genomes().len(), 20);
+    }
+
+    #[test]
+    fn genomes_stay_valid_across_generations() {
+        let mut soc = small_soc(16);
+        let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+        for _ in 0..5 {
+            soc.run_generation(&mut factory);
+            for g in soc.genomes() {
+                assert!(g.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_evolution_improves_cartpole_fitness() {
+        let mut soc = small_soc(48);
+        let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+        let first = soc.run_generation(&mut factory).max_fitness;
+        let mut best = first;
+        for _ in 0..20 {
+            best = best.max(soc.run_generation(&mut factory).max_fitness);
+        }
+        assert!(
+            best > first,
+            "20 generations of hardware evolution should improve on {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut soc = small_soc(16);
+            let mut factory =
+                |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                let r = soc.run_generation(&mut factory);
+                out.push((r.max_fitness, r.total_genes, r.evolution.cycles));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_generation_budget() {
+        let mut soc = small_soc(10);
+        let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+        let (reports, _) = soc.run_until(4, &mut factory);
+        assert!(reports.len() <= 4);
+    }
+
+    #[test]
+    fn quantized_genomes_round_trip_the_codec() {
+        use crate::codec::{encode_genome, decode_genome};
+        let mut soc = small_soc(12);
+        let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
+        soc.run_generation(&mut factory);
+        // Children produced by the PEs carry only representable attribute
+        // values, so an encode/decode round trip is lossless.
+        for g in soc.genomes() {
+            let words = encode_genome(g);
+            let back = decode_genome(g.key(), g.num_inputs(), g.num_outputs(), &words).unwrap();
+            for (a, b) in g.conns().zip(back.conns()) {
+                assert_eq!(a.weight, b.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_every_suite_env() {
+        for kind in [EnvKind::MountainCar, EnvKind::Acrobot] {
+            let neat = kind.neat_config();
+            let (inputs, outputs) = kind.interface();
+            let small = NeatConfig::builder(inputs, outputs)
+                .pop_size(8)
+                .conn_add_prob(neat.conn_add_prob)
+                .build()
+                .unwrap();
+            let mut soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(4), small, 7);
+            let mut factory =
+                move |i: usize| -> Box<dyn Environment> { kind.make(i as u64) };
+            let report = soc.run_generation(&mut factory);
+            assert!(report.inference.env_steps > 0, "{}", kind.label());
+        }
+    }
+}

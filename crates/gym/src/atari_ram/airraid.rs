@@ -1,0 +1,278 @@
+//! AirRaid: a fixed-shooter RAM machine.
+//!
+//! The player slides along the bottom of a 16-column playfield defending
+//! two buildings from waves of descending bombers. Six actions mirror the
+//! Atari button set: noop, fire, right, left, right+fire, left+fire.
+
+use super::{RamGame, RAM_SIZE};
+use genesys_neat::XorWow;
+
+const WIDTH: u8 = 16;
+const HEIGHT: u8 = 12;
+const MAX_ENEMIES: usize = 8;
+const MAX_BULLETS: usize = 4;
+const ENEMY_SCORE: f64 = 25.0;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Enemy {
+    x: u8,
+    y: u8,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bullet {
+    x: u8,
+    y: u8,
+    live: bool,
+}
+
+/// The AirRaid game state.
+#[derive(Debug, Clone)]
+pub struct AirRaid {
+    rng: XorWow,
+    player_x: u8,
+    lives: u8,
+    score: f64,
+    tick: u32,
+    wave: u8,
+    enemies: [Enemy; MAX_ENEMIES],
+    bullets: [Bullet; MAX_BULLETS],
+    building_hp: [u8; 2],
+}
+
+impl AirRaid {
+    /// Creates a game seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut game = AirRaid {
+            rng: XorWow::seed_from_u64_value(seed ^ 0xA12A_1D00),
+            player_x: WIDTH / 2,
+            lives: 3,
+            score: 0.0,
+            tick: 0,
+            wave: 0,
+            enemies: [Enemy::default(); MAX_ENEMIES],
+            bullets: [Bullet::default(); MAX_BULLETS],
+            building_hp: [4, 4],
+        };
+        game.spawn_wave();
+        game
+    }
+
+    fn spawn_wave(&mut self) {
+        self.wave = self.wave.wrapping_add(1);
+        let count = (4 + (self.wave as usize % 4)).min(MAX_ENEMIES);
+        for (i, e) in self.enemies.iter_mut().enumerate() {
+            if i < count {
+                *e = Enemy {
+                    x: self.rng.below(WIDTH as usize) as u8,
+                    y: (self.rng.below(3)) as u8,
+                    alive: true,
+                };
+            } else {
+                e.alive = false;
+            }
+        }
+    }
+
+    fn fire(&mut self) {
+        if let Some(b) = self.bullets.iter_mut().find(|b| !b.live) {
+            *b = Bullet {
+                x: self.player_x,
+                y: HEIGHT - 1,
+                live: true,
+            };
+        }
+    }
+}
+
+impl RamGame for AirRaid {
+    fn name(&self) -> &'static str {
+        "AirRaid_ram_v0"
+    }
+
+    fn n_actions(&self) -> usize {
+        6
+    }
+
+    fn restart(&mut self) {
+        self.player_x = WIDTH / 2;
+        self.lives = 3;
+        self.score = 0.0;
+        self.tick = 0;
+        self.wave = 0;
+        self.bullets = [Bullet::default(); MAX_BULLETS];
+        self.building_hp = [4, 4];
+        self.spawn_wave();
+    }
+
+    fn tick(&mut self, action: usize) -> f64 {
+        if self.game_over() {
+            return 0.0;
+        }
+        let before = self.score;
+        // 0 noop, 1 fire, 2 right, 3 left, 4 right+fire, 5 left+fire
+        match action {
+            2 | 4 => self.player_x = (self.player_x + 1).min(WIDTH - 1),
+            3 | 5 => self.player_x = self.player_x.saturating_sub(1),
+            _ => {}
+        }
+        if matches!(action, 1 | 4 | 5) && self.tick.is_multiple_of(3) {
+            self.fire();
+        }
+        // Bullets climb two rows per frame.
+        for b in &mut self.bullets {
+            if b.live {
+                if b.y >= 2 {
+                    b.y -= 2;
+                } else {
+                    b.live = false;
+                }
+            }
+        }
+        // Enemies descend every 4th frame with a lateral drift.
+        let descend = self.tick.is_multiple_of(4);
+        for i in 0..MAX_ENEMIES {
+            if !self.enemies[i].alive {
+                continue;
+            }
+            if descend {
+                self.enemies[i].y += 1;
+                let drift = self.rng.below(3);
+                self.enemies[i].x = match drift {
+                    0 => self.enemies[i].x.saturating_sub(1),
+                    2 => (self.enemies[i].x + 1).min(WIDTH - 1),
+                    _ => self.enemies[i].x,
+                };
+            }
+            // Bullet collision.
+            for b in &mut self.bullets {
+                if b.live && b.x == self.enemies[i].x && b.y <= self.enemies[i].y + 1 {
+                    b.live = false;
+                    self.enemies[i].alive = false;
+                    self.score += ENEMY_SCORE;
+                }
+            }
+            // Reached the ground: damages a building (or the player).
+            if self.enemies[i].alive && self.enemies[i].y >= HEIGHT - 1 {
+                self.enemies[i].alive = false;
+                let which = usize::from(self.enemies[i].x >= WIDTH / 2);
+                if self.building_hp[which] > 0 {
+                    self.building_hp[which] -= 1;
+                } else {
+                    self.lives = self.lives.saturating_sub(1);
+                }
+            }
+        }
+        if self.enemies.iter().all(|e| !e.alive) {
+            self.score += 50.0; // wave-clear bonus
+            self.spawn_wave();
+        }
+        self.tick += 1;
+        self.score - before
+    }
+
+    fn game_over(&self) -> bool {
+        self.lives == 0
+    }
+
+    fn write_ram(&self, ram: &mut [u8; RAM_SIZE]) {
+        ram.fill(0);
+        ram[0] = self.player_x;
+        ram[1] = self.lives;
+        let score = (self.score as u32).min(u32::from(u16::MAX));
+        ram[2] = (score & 0xFF) as u8;
+        ram[3] = (score >> 8) as u8;
+        ram[4] = (self.tick & 0xFF) as u8;
+        ram[5] = self.wave;
+        ram[6] = self.building_hp[0];
+        ram[7] = self.building_hp[1];
+        for (i, e) in self.enemies.iter().enumerate() {
+            ram[8 + i] = e.x;
+            ram[16 + i] = e.y;
+            ram[24 + i] = u8::from(e.alive);
+        }
+        for (i, b) in self.bullets.iter().enumerate() {
+            ram[32 + i] = b.x;
+            ram[36 + i] = b.y;
+            ram[40 + i] = u8::from(b.live);
+        }
+    }
+
+    fn score(&self) -> f64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firing_under_enemies_scores() {
+        let mut game = AirRaid::new(7);
+        let mut total = 0.0;
+        for _ in 0..600 {
+            // Track the first live enemy and shoot.
+            let target = game.enemies.iter().find(|e| e.alive).map(|e| e.x);
+            let action = match target {
+                Some(x) if x > game.player_x => 4,
+                Some(x) if x < game.player_x => 5,
+                _ => 1,
+            };
+            total += game.tick(action);
+            if game.game_over() {
+                break;
+            }
+        }
+        assert!(total > 0.0, "aimed fire should score, got {total}");
+    }
+
+    #[test]
+    fn idle_play_eventually_loses() {
+        let mut game = AirRaid::new(8);
+        for _ in 0..5000 {
+            game.tick(0);
+            if game.game_over() {
+                break;
+            }
+        }
+        assert!(game.game_over(), "undefended buildings fall and lives drain");
+    }
+
+    #[test]
+    fn restart_resets_state() {
+        let mut game = AirRaid::new(9);
+        for _ in 0..100 {
+            game.tick(1);
+        }
+        game.restart();
+        assert_eq!(game.lives, 3);
+        assert_eq!(game.score(), 0.0);
+        assert_eq!(game.tick, 0);
+    }
+
+    #[test]
+    fn ram_reflects_player_motion() {
+        let mut game = AirRaid::new(10);
+        let mut ram = [0u8; RAM_SIZE];
+        game.write_ram(&mut ram);
+        let x0 = ram[0];
+        game.tick(2); // move right
+        game.write_ram(&mut ram);
+        assert_eq!(ram[0], x0 + 1);
+    }
+
+    #[test]
+    fn player_stays_in_bounds() {
+        let mut game = AirRaid::new(11);
+        for _ in 0..50 {
+            game.tick(3);
+        }
+        assert_eq!(game.player_x, 0);
+        for _ in 0..50 {
+            game.tick(2);
+        }
+        assert_eq!(game.player_x, WIDTH - 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Alien: a maze-chase RAM machine.
+//!
+//! The player walks a 13×11 maze collecting eggs while three aliens give
+//! chase. Five actions: noop, up, down, left, right. Eating every egg
+//! clears the level for a bonus and respawns the board.
+
+use super::{RamGame, RAM_SIZE};
+use genesys_neat::XorWow;
+
+const W: usize = 13;
+const H: usize = 11;
+const N_ALIENS: usize = 3;
+const EGG_SCORE: f64 = 10.0;
+const CLEAR_SCORE: f64 = 100.0;
+
+/// The Alien game state.
+#[derive(Debug, Clone)]
+pub struct Alien {
+    rng: XorWow,
+    player: (u8, u8),
+    aliens: [(u8, u8); N_ALIENS],
+    eggs: [u16; H], // bitmap per row, bit x = egg present
+    lives: u8,
+    score: f64,
+    tick: u32,
+    level: u8,
+}
+
+/// Deterministic maze: border walls plus a lattice of pillars.
+fn is_wall(x: usize, y: usize) -> bool {
+    if x == 0 || y == 0 || x == W - 1 || y == H - 1 {
+        return true;
+    }
+    x.is_multiple_of(2) && y.is_multiple_of(2)
+}
+
+impl Alien {
+    /// Creates a game seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut game = Alien {
+            rng: XorWow::seed_from_u64_value(seed ^ 0xA11E_0000),
+            player: (1, 1),
+            aliens: [(0, 0); N_ALIENS],
+            eggs: [0; H],
+            lives: 3,
+            score: 0.0,
+            tick: 0,
+            level: 0,
+        };
+        game.spawn_level();
+        game
+    }
+
+    fn spawn_level(&mut self) {
+        self.level = self.level.wrapping_add(1);
+        self.player = (1, 1);
+        // Aliens start at the three far corners.
+        self.aliens = [
+            (W as u8 - 2, H as u8 - 2),
+            (W as u8 - 2, 1),
+            (1, H as u8 - 2),
+        ];
+        for y in 0..H {
+            let mut row = 0u16;
+            for x in 0..W {
+                if !is_wall(x, y) && (x, y) != (1, 1) {
+                    row |= 1 << x;
+                }
+            }
+            self.eggs[y] = row;
+        }
+    }
+
+    fn eggs_remaining(&self) -> u32 {
+        self.eggs.iter().map(|r| r.count_ones()).sum()
+    }
+
+    fn try_move(pos: (u8, u8), action: usize) -> (u8, u8) {
+        let (x, y) = (pos.0 as i32, pos.1 as i32);
+        let (nx, ny) = match action {
+            1 => (x, y - 1),
+            2 => (x, y + 1),
+            3 => (x - 1, y),
+            4 => (x + 1, y),
+            _ => (x, y),
+        };
+        if nx < 0 || ny < 0 || nx >= W as i32 || ny >= H as i32 || is_wall(nx as usize, ny as usize)
+        {
+            pos
+        } else {
+            (nx as u8, ny as u8)
+        }
+    }
+
+    fn chase_step(&mut self, i: usize) {
+        let (ax, ay) = self.aliens[i];
+        let (px, py) = self.player;
+        // 3-in-4 chance to chase greedily, else a random legal move —
+        // keeps the pursuit beatable.
+        let action = if self.rng.below(4) < 3 {
+            if ax != px && (self.rng.chance(0.5) || ay == py) {
+                if px > ax {
+                    4
+                } else {
+                    3
+                }
+            } else if py > ay {
+                2
+            } else {
+                1
+            }
+        } else {
+            1 + self.rng.below(4)
+        };
+        self.aliens[i] = Self::try_move((ax, ay), action);
+    }
+
+    fn collide(&self) -> bool {
+        self.aliens.contains(&self.player)
+    }
+}
+
+impl RamGame for Alien {
+    fn name(&self) -> &'static str {
+        "Alien_ram_v0"
+    }
+
+    fn n_actions(&self) -> usize {
+        5
+    }
+
+    fn restart(&mut self) {
+        self.lives = 3;
+        self.score = 0.0;
+        self.tick = 0;
+        self.level = 0;
+        self.spawn_level();
+    }
+
+    fn tick(&mut self, action: usize) -> f64 {
+        if self.game_over() {
+            return 0.0;
+        }
+        let before = self.score;
+        self.player = Self::try_move(self.player, action);
+        // Eat the egg under the player.
+        let (px, py) = (self.player.0 as usize, self.player.1 as usize);
+        if self.eggs[py] & (1 << px) != 0 {
+            self.eggs[py] &= !(1 << px);
+            self.score += EGG_SCORE;
+        }
+        // Aliens move every other frame (player is faster).
+        if self.tick.is_multiple_of(2) {
+            for i in 0..N_ALIENS {
+                self.chase_step(i);
+            }
+        }
+        if self.collide() {
+            self.lives = self.lives.saturating_sub(1);
+            self.player = (1, 1);
+            self.aliens = [
+                (W as u8 - 2, H as u8 - 2),
+                (W as u8 - 2, 1),
+                (1, H as u8 - 2),
+            ];
+        }
+        if self.eggs_remaining() == 0 {
+            self.score += CLEAR_SCORE;
+            self.spawn_level();
+        }
+        self.tick += 1;
+        self.score - before
+    }
+
+    fn game_over(&self) -> bool {
+        self.lives == 0
+    }
+
+    fn write_ram(&self, ram: &mut [u8; RAM_SIZE]) {
+        ram.fill(0);
+        ram[0] = self.player.0;
+        ram[1] = self.player.1;
+        ram[2] = self.lives;
+        let score = (self.score as u32).min(u32::from(u16::MAX));
+        ram[3] = (score & 0xFF) as u8;
+        ram[4] = (score >> 8) as u8;
+        ram[5] = (self.tick & 0xFF) as u8;
+        ram[6] = self.level;
+        for (i, &(x, y)) in self.aliens.iter().enumerate() {
+            ram[8 + 2 * i] = x;
+            ram[9 + 2 * i] = y;
+        }
+        for (y, &row) in self.eggs.iter().enumerate() {
+            ram[16 + 2 * y] = (row & 0xFF) as u8;
+            ram[17 + 2 * y] = (row >> 8) as u8;
+        }
+    }
+
+    fn score(&self) -> f64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maze_has_open_cells_and_walls() {
+        assert!(is_wall(0, 0));
+        assert!(!is_wall(1, 1));
+        assert!(is_wall(2, 2));
+        assert!(!is_wall(1, 2));
+    }
+
+    #[test]
+    fn moving_over_eggs_scores() {
+        let mut game = Alien::new(1);
+        let r = game.tick(4); // step right onto an egg cell
+        assert_eq!(r, EGG_SCORE);
+    }
+
+    #[test]
+    fn walls_block_movement() {
+        let mut game = Alien::new(2);
+        game.tick(1); // up into the border: blocked
+        assert_eq!(game.player, (1, 1));
+        game.tick(3); // left into the border: blocked
+        assert_eq!(game.player, (1, 1));
+    }
+
+    #[test]
+    fn aliens_eventually_catch_an_idle_player() {
+        let mut game = Alien::new(3);
+        for _ in 0..2000 {
+            game.tick(0);
+            if game.game_over() {
+                break;
+            }
+        }
+        assert!(game.lives < 3, "idle player should be caught at least once");
+    }
+
+    #[test]
+    fn collision_costs_a_life_and_resets_positions() {
+        let mut game = Alien::new(4);
+        game.aliens[0] = game.player;
+        let lives_before = game.lives;
+        game.tick(0);
+        assert_eq!(game.lives, lives_before - 1);
+        assert_eq!(game.player, (1, 1));
+    }
+
+    #[test]
+    fn egg_count_decreases_monotonically_within_level() {
+        let mut game = Alien::new(5);
+        let start = game.eggs_remaining();
+        game.tick(4);
+        game.tick(2);
+        assert!(game.eggs_remaining() < start);
+    }
+
+    #[test]
+    fn ram_encodes_positions() {
+        let game = Alien::new(6);
+        let mut ram = [0u8; RAM_SIZE];
+        game.write_ram(&mut ram);
+        assert_eq!((ram[0], ram[1]), (1, 1));
+        assert_eq!(ram[2], 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! Amidar: a lattice-tracing RAM machine.
+//!
+//! The player walks the edges of a rectangular lattice, painting every
+//! segment it crosses; painting the full perimeter of a cell banks a
+//! bonus. Four patrol enemies trace fixed circuits. Five actions: noop,
+//! up, down, left, right.
+
+use super::{RamGame, RAM_SIZE};
+use genesys_neat::XorWow;
+
+/// Lattice dimensions in intersections.
+const NX: usize = 8;
+const NY: usize = 6;
+const N_ENEMIES: usize = 4;
+const SEGMENT_SCORE: f64 = 1.0;
+const CELL_SCORE: f64 = 10.0;
+
+/// Horizontal segment id: between (x, y) and (x+1, y).
+fn h_seg(x: usize, y: usize) -> usize {
+    y * (NX - 1) + x
+}
+
+/// Vertical segment id: between (x, y) and (x, y+1), offset past the
+/// horizontal ids.
+fn v_seg(x: usize, y: usize) -> usize {
+    (NX - 1) * NY + y * NX + x
+}
+
+const N_SEGMENTS: usize = (NX - 1) * NY + NX * (NY - 1);
+
+/// The Amidar game state.
+#[derive(Debug, Clone)]
+pub struct Amidar {
+    rng: XorWow,
+    player: (u8, u8),
+    enemies: [(u8, u8); N_ENEMIES],
+    painted: [u8; N_SEGMENTS.div_ceil(8)],
+    banked_cells: [u8; ((NX - 1) * (NY - 1)).div_ceil(8)],
+    lives: u8,
+    score: f64,
+    tick: u32,
+}
+
+impl Amidar {
+    /// Creates a game seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Amidar {
+            rng: XorWow::seed_from_u64_value(seed ^ 0xA31D_A200),
+            player: (0, 0),
+            enemies: [
+                (NX as u8 - 1, 0),
+                (NX as u8 - 1, NY as u8 - 1),
+                (0, NY as u8 - 1),
+                (NX as u8 / 2, NY as u8 / 2),
+            ],
+            painted: [0; N_SEGMENTS.div_ceil(8)],
+            banked_cells: [0; ((NX - 1) * (NY - 1)).div_ceil(8)],
+            lives: 3,
+            score: 0.0,
+            tick: 0,
+        }
+    }
+
+    fn is_painted(&self, seg: usize) -> bool {
+        self.painted[seg / 8] & (1 << (seg % 8)) != 0
+    }
+
+    fn paint(&mut self, seg: usize) -> bool {
+        let fresh = !self.is_painted(seg);
+        self.painted[seg / 8] |= 1 << (seg % 8);
+        fresh
+    }
+
+    fn cell_banked(&self, cell: usize) -> bool {
+        self.banked_cells[cell / 8] & (1 << (cell % 8)) != 0
+    }
+
+    fn bank_cell(&mut self, cell: usize) {
+        self.banked_cells[cell / 8] |= 1 << (cell % 8);
+    }
+
+    /// Segment crossed when moving from `from` in direction `action`,
+    /// with the destination intersection; `None` if the move leaves the
+    /// lattice.
+    fn segment_for(from: (u8, u8), action: usize) -> Option<(usize, (u8, u8))> {
+        let (x, y) = (from.0 as usize, from.1 as usize);
+        match action {
+            1 if y > 0 => Some((v_seg(x, y - 1), (from.0, from.1 - 1))),
+            2 if y + 1 < NY => Some((v_seg(x, y), (from.0, from.1 + 1))),
+            3 if x > 0 => Some((h_seg(x - 1, y), (from.0 - 1, from.1))),
+            4 if x + 1 < NX => Some((h_seg(x, y), (from.0 + 1, from.1))),
+            _ => None,
+        }
+    }
+
+    /// Checks the up-to-four cells adjacent to intersection `at` for a
+    /// freshly completed perimeter and banks them.
+    fn bank_completed_cells(&mut self, at: (u8, u8)) -> f64 {
+        let mut bonus = 0.0;
+        let (ax, ay) = (at.0 as isize, at.1 as isize);
+        for cx in [ax - 1, ax] {
+            for cy in [ay - 1, ay] {
+                if cx < 0 || cy < 0 || cx as usize >= NX - 1 || cy as usize >= NY - 1 {
+                    continue;
+                }
+                let (cx, cy) = (cx as usize, cy as usize);
+                let cell = cy * (NX - 1) + cx;
+                if self.cell_banked(cell) {
+                    continue;
+                }
+                let complete = self.is_painted(h_seg(cx, cy))
+                    && self.is_painted(h_seg(cx, cy + 1))
+                    && self.is_painted(v_seg(cx, cy))
+                    && self.is_painted(v_seg(cx + 1, cy));
+                if complete {
+                    self.bank_cell(cell);
+                    bonus += CELL_SCORE;
+                }
+            }
+        }
+        bonus
+    }
+
+    /// Fraction of segments painted.
+    pub fn painted_fraction(&self) -> f64 {
+        let painted: u32 = self.painted.iter().map(|b| b.count_ones()).sum();
+        f64::from(painted) / N_SEGMENTS as f64
+    }
+}
+
+impl RamGame for Amidar {
+    fn name(&self) -> &'static str {
+        "Amidar_ram_v0"
+    }
+
+    fn n_actions(&self) -> usize {
+        5
+    }
+
+    fn restart(&mut self) {
+        self.player = (0, 0);
+        self.enemies = [
+            (NX as u8 - 1, 0),
+            (NX as u8 - 1, NY as u8 - 1),
+            (0, NY as u8 - 1),
+            (NX as u8 / 2, NY as u8 / 2),
+        ];
+        self.painted.fill(0);
+        self.banked_cells.fill(0);
+        self.lives = 3;
+        self.score = 0.0;
+        self.tick = 0;
+    }
+
+    fn tick(&mut self, action: usize) -> f64 {
+        if self.game_over() {
+            return 0.0;
+        }
+        let before = self.score;
+        if let Some((seg, dest)) = Self::segment_for(self.player, action) {
+            if self.paint(seg) {
+                self.score += SEGMENT_SCORE;
+            }
+            self.player = dest;
+            self.score += self.bank_completed_cells(dest);
+        }
+        // Enemies patrol: biased random walk along the lattice, moving
+        // every other frame.
+        if self.tick % 2 == 1 {
+            for i in 0..N_ENEMIES {
+                let dir = 1 + self.rng.below(4);
+                if let Some((_, dest)) = Self::segment_for(self.enemies[i], dir) {
+                    self.enemies[i] = dest;
+                }
+            }
+        }
+        if self.enemies.contains(&self.player) {
+            self.lives = self.lives.saturating_sub(1);
+            self.player = (0, 0);
+        }
+        // Board cleared: bonus and repaint.
+        if self.painted_fraction() >= 1.0 {
+            self.score += 100.0;
+            self.painted.fill(0);
+            self.banked_cells.fill(0);
+        }
+        self.tick += 1;
+        self.score - before
+    }
+
+    fn game_over(&self) -> bool {
+        self.lives == 0
+    }
+
+    fn write_ram(&self, ram: &mut [u8; RAM_SIZE]) {
+        ram.fill(0);
+        ram[0] = self.player.0;
+        ram[1] = self.player.1;
+        ram[2] = self.lives;
+        let score = (self.score as u32).min(u32::from(u16::MAX));
+        ram[3] = (score & 0xFF) as u8;
+        ram[4] = (score >> 8) as u8;
+        ram[5] = (self.tick & 0xFF) as u8;
+        for (i, &(x, y)) in self.enemies.iter().enumerate() {
+            ram[8 + 2 * i] = x;
+            ram[9 + 2 * i] = y;
+        }
+        ram[16..16 + self.painted.len()].copy_from_slice(&self.painted);
+        let off = 16 + self.painted.len();
+        ram[off..off + self.banked_cells.len()].copy_from_slice(&self.banked_cells);
+    }
+
+    fn score(&self) -> f64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_ids_are_unique_and_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..NY {
+            for x in 0..NX - 1 {
+                assert!(seen.insert(h_seg(x, y)));
+            }
+        }
+        for y in 0..NY - 1 {
+            for x in 0..NX {
+                assert!(seen.insert(v_seg(x, y)));
+            }
+        }
+        assert_eq!(seen.len(), N_SEGMENTS);
+        assert!(seen.into_iter().all(|s| s < N_SEGMENTS));
+    }
+
+    #[test]
+    fn painting_a_fresh_segment_scores_once() {
+        let mut game = Amidar::new(1);
+        let r1 = game.tick(4); // paint first segment
+        assert!(r1 >= SEGMENT_SCORE);
+        game.tick(3); // walk back over the same segment
+        let r3 = game.tick(4); // repaint: no score
+        assert_eq!(r3, 0.0);
+    }
+
+    #[test]
+    fn completing_a_cell_banks_bonus() {
+        let mut game = Amidar::new(2);
+        // Trace the perimeter of cell (0,0): right, down, left, up.
+        let mut total = 0.0;
+        for a in [4, 2, 3, 1] {
+            total += game.tick(a);
+        }
+        assert!(
+            total >= 4.0 * SEGMENT_SCORE + CELL_SCORE,
+            "perimeter walk banks the cell, got {total}"
+        );
+    }
+
+    #[test]
+    fn moves_off_lattice_are_ignored() {
+        let mut game = Amidar::new(3);
+        game.tick(1); // up from (0,0): off-lattice
+        assert_eq!(game.player, (0, 0));
+        game.tick(3); // left: off-lattice
+        assert_eq!(game.player, (0, 0));
+    }
+
+    #[test]
+    fn enemy_contact_costs_a_life() {
+        let mut game = Amidar::new(4);
+        game.enemies[0] = (0, 0);
+        game.tick(0);
+        assert_eq!(game.lives, 2);
+    }
+
+    #[test]
+    fn restart_clears_paint() {
+        let mut game = Amidar::new(5);
+        game.tick(4);
+        assert!(game.painted_fraction() > 0.0);
+        game.restart();
+        assert_eq!(game.painted_fraction(), 0.0);
+        assert_eq!(game.score(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Asterix: a lane-runner RAM machine.
+//!
+//! Objects stream horizontally across eight lanes. The player hops
+//! between lanes and columns collecting tankards (+50) while avoiding
+//! lyres (lose a life). Five actions: noop, up, down, left, right.
+
+use super::{RamGame, RAM_SIZE};
+use genesys_neat::XorWow;
+
+const LANES: usize = 8;
+const COLS: u8 = 16;
+const MAX_OBJECTS: usize = 8;
+const GOOD_SCORE: f64 = 50.0;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Object {
+    lane: u8,
+    x: u8,
+    /// +1 moving right, -1 moving left.
+    dir: i8,
+    /// True = collectible tankard, false = deadly lyre.
+    good: bool,
+    live: bool,
+}
+
+/// The Asterix game state.
+#[derive(Debug, Clone)]
+pub struct Asterix {
+    rng: XorWow,
+    player: (u8, u8), // (lane, column)
+    objects: [Object; MAX_OBJECTS],
+    lives: u8,
+    score: f64,
+    tick: u32,
+}
+
+impl Asterix {
+    /// Creates a game seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Asterix {
+            rng: XorWow::seed_from_u64_value(seed ^ 0xA57E_2100),
+            player: (LANES as u8 / 2, COLS / 2),
+            objects: [Object::default(); MAX_OBJECTS],
+            lives: 3,
+            score: 0.0,
+            tick: 0,
+        }
+    }
+
+    fn spawn(&mut self) {
+        if let Some(slot) = self.objects.iter_mut().find(|o| !o.live) {
+            let from_left = self.rng.chance(0.5);
+            *slot = Object {
+                lane: self.rng.below(LANES) as u8,
+                x: if from_left { 0 } else { COLS - 1 },
+                dir: if from_left { 1 } else { -1 },
+                good: self.rng.chance(0.6),
+                live: true,
+            };
+        }
+    }
+}
+
+impl RamGame for Asterix {
+    fn name(&self) -> &'static str {
+        "Asterix_ram_v0"
+    }
+
+    fn n_actions(&self) -> usize {
+        5
+    }
+
+    fn restart(&mut self) {
+        self.player = (LANES as u8 / 2, COLS / 2);
+        self.objects = [Object::default(); MAX_OBJECTS];
+        self.lives = 3;
+        self.score = 0.0;
+        self.tick = 0;
+    }
+
+    fn tick(&mut self, action: usize) -> f64 {
+        if self.game_over() {
+            return 0.0;
+        }
+        let before = self.score;
+        match action {
+            1 => self.player.0 = self.player.0.saturating_sub(1),
+            2 => self.player.0 = (self.player.0 + 1).min(LANES as u8 - 1),
+            3 => self.player.1 = self.player.1.saturating_sub(1),
+            4 => self.player.1 = (self.player.1 + 1).min(COLS - 1),
+            _ => {}
+        }
+        // Spawn pressure grows slightly with time.
+        if self.tick.is_multiple_of(5) || (self.tick.is_multiple_of(3) && self.tick > 500) {
+            self.spawn();
+        }
+        for obj in &mut self.objects {
+            if !obj.live {
+                continue;
+            }
+            let nx = obj.x as i16 + i16::from(obj.dir);
+            if nx < 0 || nx >= i16::from(COLS) {
+                obj.live = false;
+                continue;
+            }
+            obj.x = nx as u8;
+            if (obj.lane, obj.x) == self.player {
+                obj.live = false;
+                if obj.good {
+                    self.score += GOOD_SCORE;
+                } else {
+                    self.lives = self.lives.saturating_sub(1);
+                }
+            }
+        }
+        self.tick += 1;
+        self.score - before
+    }
+
+    fn game_over(&self) -> bool {
+        self.lives == 0
+    }
+
+    fn write_ram(&self, ram: &mut [u8; RAM_SIZE]) {
+        ram.fill(0);
+        ram[0] = self.player.0;
+        ram[1] = self.player.1;
+        ram[2] = self.lives;
+        let score = (self.score as u32).min(u32::from(u16::MAX));
+        ram[3] = (score & 0xFF) as u8;
+        ram[4] = (score >> 8) as u8;
+        ram[5] = (self.tick & 0xFF) as u8;
+        for (i, o) in self.objects.iter().enumerate() {
+            ram[8 + i] = o.lane;
+            ram[16 + i] = o.x;
+            ram[24 + i] = o.dir as u8;
+            ram[32 + i] = u8::from(o.good);
+            ram[40 + i] = u8::from(o.live);
+        }
+    }
+
+    fn score(&self) -> f64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn player_moves_within_grid() {
+        let mut game = Asterix::new(1);
+        for _ in 0..20 {
+            game.tick(1);
+        }
+        assert_eq!(game.player.0, 0);
+        for _ in 0..20 {
+            game.tick(2);
+        }
+        assert_eq!(game.player.0, LANES as u8 - 1);
+    }
+
+    #[test]
+    fn collecting_a_good_object_scores() {
+        let mut game = Asterix::new(2);
+        game.objects[0] = Object {
+            lane: game.player.0,
+            x: game.player.1 - 1,
+            dir: 1,
+            good: true,
+            live: true,
+        };
+        let r = game.tick(0);
+        assert_eq!(r, GOOD_SCORE);
+        assert!(!game.objects[0].live);
+    }
+
+    #[test]
+    fn touching_a_lyre_costs_a_life() {
+        let mut game = Asterix::new(3);
+        game.objects[0] = Object {
+            lane: game.player.0,
+            x: game.player.1 - 1,
+            dir: 1,
+            good: false,
+            live: true,
+        };
+        game.tick(0);
+        assert_eq!(game.lives, 2);
+    }
+
+    #[test]
+    fn objects_expire_at_the_borders() {
+        let mut game = Asterix::new(4);
+        game.objects[0] = Object {
+            lane: 0,
+            x: COLS - 1,
+            dir: 1,
+            good: true,
+            live: true,
+        };
+        game.tick(0);
+        assert!(!game.objects[0].live);
+    }
+
+    #[test]
+    fn random_play_runs_long_and_scores_something() {
+        let mut game = Asterix::new(5);
+        let mut rng = XorWow::seed_from_u64_value(99);
+        let mut total = 0.0;
+        for _ in 0..3000 {
+            total += game.tick(rng.below(5));
+            if game.game_over() {
+                break;
+            }
+        }
+        assert!(total >= 0.0);
+    }
+
+    #[test]
+    fn ram_layout_is_stable() {
+        let game = Asterix::new(6);
+        let mut ram = [0u8; RAM_SIZE];
+        game.write_ram(&mut ram);
+        assert_eq!(ram[0], LANES as u8 / 2);
+        assert_eq!(ram[1], COLS / 2);
+        assert_eq!(ram[2], 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! CartPole-v0: balance an inverted pendulum on a moving cart.
+//!
+//! Bit-faithful re-implementation of the classic control dynamics used by
+//! OpenAI gym (Barto, Sutton & Anderson 1983): Euler integration with
+//! `tau = 0.02 s`, force ±10 N, termination at |x| > 2.4 or |θ| > 12°.
+//! Observation: four floats. Action: one binary value (Table I).
+
+use crate::env::{binary_action, ActionKind, Environment, Step};
+use genesys_neat::XorWow;
+
+const GRAVITY: f64 = 9.8;
+const MASS_CART: f64 = 1.0;
+const MASS_POLE: f64 = 0.1;
+const TOTAL_MASS: f64 = MASS_CART + MASS_POLE;
+const LENGTH: f64 = 0.5; // half pole length
+const POLE_MASS_LENGTH: f64 = MASS_POLE * LENGTH;
+const FORCE_MAG: f64 = 10.0;
+const TAU: f64 = 0.02;
+const THETA_LIMIT: f64 = 12.0 * std::f64::consts::PI / 180.0;
+const X_LIMIT: f64 = 2.4;
+
+/// The CartPole-v0 environment.
+#[derive(Debug, Clone)]
+pub struct CartPole {
+    rng: XorWow,
+    state: [f64; 4], // x, x_dot, theta, theta_dot
+    steps: usize,
+    done: bool,
+}
+
+impl CartPole {
+    /// Episode length required for the v0 win criterion.
+    pub const MAX_STEPS: usize = 200;
+
+    /// Creates a CartPole whose initial-state randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut env = CartPole {
+            rng: XorWow::seed_from_u64_value(seed ^ 0xCA57_0000),
+            state: [0.0; 4],
+            steps: 0,
+            done: false,
+        };
+        env.reset();
+        env
+    }
+
+    /// Current raw state `[x, x_dot, theta, theta_dot]`.
+    pub fn state(&self) -> [f64; 4] {
+        self.state
+    }
+}
+
+impl Environment for CartPole {
+    fn name(&self) -> &'static str {
+        "CartPole_v0"
+    }
+
+    fn observation_dim(&self) -> usize {
+        4
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+
+    fn action_kind(&self) -> ActionKind {
+        ActionKind::Discrete(2)
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        for s in &mut self.state {
+            *s = self.rng.uniform(-0.05, 0.05);
+        }
+        self.steps = 0;
+        self.done = false;
+        self.state.to_vec()
+    }
+
+    fn step(&mut self, action: &[f64]) -> Step {
+        assert_eq!(action.len(), 1, "CartPole takes one binary output");
+        if self.done {
+            return Step {
+                observation: self.state.to_vec(),
+                reward: 0.0,
+                done: true,
+            };
+        }
+        let force = if binary_action(action[0]) {
+            FORCE_MAG
+        } else {
+            -FORCE_MAG
+        };
+        let [x, x_dot, theta, theta_dot] = self.state;
+        let cos_t = theta.cos();
+        let sin_t = theta.sin();
+        let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin_t) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin_t - cos_t * temp)
+            / (LENGTH * (4.0 / 3.0 - MASS_POLE * cos_t * cos_t / TOTAL_MASS));
+        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_t / TOTAL_MASS;
+        self.state = [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ];
+        self.steps += 1;
+        let fell =
+            self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
+        self.done = fell || self.steps >= Self::MAX_STEPS;
+        Step {
+            observation: self.state.to_vec(),
+            reward: 1.0,
+            done: self.done,
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        Self::MAX_STEPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_is_small_random_state() {
+        let mut env = CartPole::new(1);
+        let obs = env.reset();
+        assert_eq!(obs.len(), 4);
+        assert!(obs.iter().all(|v| v.abs() <= 0.05));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = CartPole::new(9);
+        let mut b = CartPole::new(9);
+        a.reset();
+        b.reset();
+        for _ in 0..50 {
+            let sa = a.step(&[0.9]);
+            let sb = b.step(&[0.9]);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn constant_push_fails_quickly() {
+        let mut env = CartPole::new(3);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let s = env.step(&[1.0]); // always push right
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert!(steps < 200, "constant force should topple the pole");
+    }
+
+    #[test]
+    fn alternating_policy_survives_longer_than_constant() {
+        let run = |alternate: bool| {
+            let mut env = CartPole::new(4);
+            env.reset();
+            let mut steps = 0usize;
+            loop {
+                // crude hand policy: push against pole lean
+                let action = if alternate {
+                    if env.state()[2] > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    1.0
+                };
+                let s = env.step(&[action]);
+                steps += 1;
+                if s.done {
+                    break;
+                }
+            }
+            steps
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    fn episode_caps_at_200() {
+        let mut env = CartPole::new(5);
+        env.reset();
+        let mut total = 0usize;
+        for _ in 0..300 {
+            // Near-perfect policy: push against lean.
+            let a = if env.state()[2] > 0.0 { 1.0 } else { 0.0 };
+            let s = env.step(&[a]);
+            total += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert!(total <= 200);
+    }
+
+    #[test]
+    fn step_after_done_is_inert() {
+        let mut env = CartPole::new(6);
+        env.reset();
+        while !env.step(&[1.0]).done {}
+        let s = env.step(&[1.0]);
+        assert!(s.done);
+        assert_eq!(s.reward, 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The environment abstraction (Table I of the paper).
+//!
+//! Every environment exposes an observation vector, accepts the **raw
+//! output vector of a NEAT network** as its action (each environment
+//! performs its own decoding — binary threshold, n-way quantization, or
+//! continuous torques — exactly as Table I describes the action spaces),
+//! and returns a scalar reward stream that the CPU thread of the SoC turns
+//! into fitness.
+
+use std::fmt;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Next observation.
+    pub observation: Vec<f64>,
+    /// Reward earned by the action.
+    pub reward: f64,
+    /// True when the episode ended (success, failure or time limit).
+    pub done: bool,
+}
+
+/// Kind of action interface, for documentation and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// `n`-way discrete choice decoded from the network outputs.
+    Discrete(usize),
+    /// `n` continuous torques/controls.
+    Continuous(usize),
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::Discrete(n) => write!(f, "discrete({n})"),
+            ActionKind::Continuous(n) => write!(f, "continuous({n})"),
+        }
+    }
+}
+
+/// A reinforcement-learning environment in the OpenAI-gym mould.
+///
+/// Implementations are deterministic functions of their construction seed,
+/// which is what lets every experiment in this reproduction be replayed
+/// bit-for-bit.
+pub trait Environment {
+    /// Stable environment name (matches the paper's workload labels).
+    fn name(&self) -> &'static str;
+
+    /// Dimension of the observation vector.
+    fn observation_dim(&self) -> usize;
+
+    /// Number of network outputs the environment expects (Table I's
+    /// "Action" column: e.g. one binary value for CartPole, four torques
+    /// for the walker).
+    fn action_dim(&self) -> usize;
+
+    /// Action interface kind (for reporting).
+    fn action_kind(&self) -> ActionKind;
+
+    /// Resets to a (seed-derived) initial state and returns the first
+    /// observation.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Advances one timestep using the raw network outputs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action.len() != self.action_dim()`.
+    fn step(&mut self, action: &[f64]) -> Step;
+
+    /// Episode step limit.
+    fn max_steps(&self) -> usize;
+}
+
+/// Decodes a single sigmoid-range output into an `n`-way discrete choice by
+/// uniform quantization of `[0, 1]` — Table I's "one integer, less than n"
+/// action encoding.
+pub fn quantize_action(output: f64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let clamped = output.clamp(0.0, 1.0);
+    ((clamped * n as f64) as usize).min(n - 1)
+}
+
+/// Decodes a single output into a binary choice (CartPole's "one binary
+/// value").
+pub fn binary_action(output: f64) -> bool {
+    output > 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_covers_all_bins() {
+        assert_eq!(quantize_action(0.0, 3), 0);
+        assert_eq!(quantize_action(0.4, 3), 1);
+        assert_eq!(quantize_action(0.99, 3), 2);
+        assert_eq!(quantize_action(1.0, 3), 2, "upper edge maps to last bin");
+        assert_eq!(quantize_action(-5.0, 3), 0, "clamped below");
+        assert_eq!(quantize_action(5.0, 3), 2, "clamped above");
+    }
+
+    #[test]
+    fn quantize_single_bin() {
+        for v in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(quantize_action(v, 1), 0);
+        }
+    }
+
+    #[test]
+    fn binary_threshold() {
+        assert!(!binary_action(0.5));
+        assert!(binary_action(0.51));
+        assert!(!binary_action(0.2));
+    }
+
+    #[test]
+    fn action_kind_display() {
+        assert_eq!(ActionKind::Discrete(4).to_string(), "discrete(4)");
+        assert_eq!(ActionKind::Continuous(6).to_string(), "continuous(6)");
+    }
+}

@@ -1,0 +1,257 @@
+//! # genesys-gym — the GeneSys workload suite (Table I)
+//!
+//! Re-implementations of the environments the paper evaluates on:
+//!
+//! | Environment | Observation | Action (network outputs) |
+//! |-------------|-------------|--------------------------|
+//! | [`Acrobot`] | 6 floats | 1 float → torque ∈ {-1,0,1} |
+//! | [`Bipedal`] | 24 floats | 4 continuous torques |
+//! | [`CartPole`] | 4 floats | 1 binary value |
+//! | [`MountainCar`] | 2 floats | 1 integer < 3 |
+//! | [`LunarLander`] | 8 floats | 1 integer < 4 |
+//! | Atari-RAM ([`atari_ram`]) | 128 bytes | 1 integer (button) |
+//!
+//! Classic-control dynamics are bit-faithful to OpenAI gym; the Box2D and
+//! Atari workloads are reduced-order substitutes documented in
+//! `DESIGN.md` §4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genesys_gym::{CartPole, Environment, rollout};
+//! use genesys_neat::{Genome, NeatConfig, Network, XorWow};
+//!
+//! let config = NeatConfig::for_env("cartpole", 4, 1);
+//! let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(1));
+//! let net = Network::from_genome(&genome)?;
+//! let mut env = CartPole::new(42);
+//! let fitness = rollout(&net, &mut env, 1);
+//! assert!(fitness >= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod acrobot;
+pub mod atari_ram;
+pub mod bipedal;
+pub mod cartpole;
+pub mod env;
+pub mod lunar_lander;
+pub mod mountain_car;
+pub mod nonstationary;
+
+pub use acrobot::Acrobot;
+pub use atari_ram::{AirRaidRam, AlienRam, AmidarRam, AsterixRam, RamEnv, RamGame, RAM_SIZE};
+pub use bipedal::Bipedal;
+pub use cartpole::CartPole;
+pub use env::{binary_action, quantize_action, ActionKind, Environment, Step};
+pub use lunar_lander::LunarLander;
+pub use mountain_car::MountainCar;
+pub use nonstationary::DriftingCartPole;
+
+use genesys_neat::{NeatConfig, Network};
+
+/// Runs `episodes` episodes of `env` under the policy `net`, returning the
+/// mean cumulative reward — the fitness value step 6 of the SoC walkthrough
+/// augments to the genome.
+pub fn rollout(net: &Network, env: &mut dyn Environment, episodes: usize) -> f64 {
+    assert!(episodes > 0, "at least one episode required");
+    let mut total = 0.0;
+    for _ in 0..episodes {
+        let mut obs = env.reset();
+        loop {
+            let action = net.activate(&obs);
+            let step = env.step(&action);
+            total += step.reward;
+            obs = step.observation;
+            if step.done {
+                break;
+            }
+        }
+    }
+    total / episodes as f64
+}
+
+/// The workload suite, by paper label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvKind {
+    /// CartPole-v0.
+    CartPole,
+    /// MountainCar-v0.
+    MountainCar,
+    /// Acrobot.
+    Acrobot,
+    /// LunarLander-v2.
+    LunarLander,
+    /// Bipedal walker.
+    Bipedal,
+    /// AirRaid-ram-v0.
+    AirRaid,
+    /// Alien-ram-v0.
+    Alien,
+    /// Amidar-ram-v0.
+    Amidar,
+    /// Asterix-ram-v0.
+    Asterix,
+}
+
+impl EnvKind {
+    /// The six workloads of the paper's Fig 9/10 evaluation.
+    pub const FIG9_SUITE: [EnvKind; 6] = [
+        EnvKind::CartPole,
+        EnvKind::MountainCar,
+        EnvKind::LunarLander,
+        EnvKind::AirRaid,
+        EnvKind::Amidar,
+        EnvKind::Alien,
+    ];
+
+    /// Every implemented workload.
+    pub const ALL: [EnvKind; 9] = [
+        EnvKind::CartPole,
+        EnvKind::MountainCar,
+        EnvKind::Acrobot,
+        EnvKind::LunarLander,
+        EnvKind::Bipedal,
+        EnvKind::AirRaid,
+        EnvKind::Alien,
+        EnvKind::Amidar,
+        EnvKind::Asterix,
+    ];
+
+    /// Paper-style display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvKind::CartPole => "CartPole_v0",
+            EnvKind::MountainCar => "MountainCar_v0",
+            EnvKind::Acrobot => "Acrobot",
+            EnvKind::LunarLander => "LunarLander_v2",
+            EnvKind::Bipedal => "BipedalWalker",
+            EnvKind::AirRaid => "AirRaid-ram-v0",
+            EnvKind::Alien => "Alien-ram-v0",
+            EnvKind::Amidar => "Amidar-ram-v0",
+            EnvKind::Asterix => "Asterix-ram-v0",
+        }
+    }
+
+    /// `(observation_dim, action_dim)`: the NEAT interface sizes.
+    pub fn interface(self) -> (usize, usize) {
+        match self {
+            EnvKind::CartPole => (4, 1),
+            EnvKind::MountainCar => (2, 1),
+            EnvKind::Acrobot => (6, 1),
+            EnvKind::LunarLander => (8, 1),
+            EnvKind::Bipedal => (24, 4),
+            EnvKind::AirRaid | EnvKind::Alien | EnvKind::Amidar | EnvKind::Asterix => (128, 1),
+        }
+    }
+
+    /// True for the 128-byte RAM workloads.
+    pub fn is_atari(self) -> bool {
+        matches!(
+            self,
+            EnvKind::AirRaid | EnvKind::Alien | EnvKind::Amidar | EnvKind::Asterix
+        )
+    }
+
+    /// Instantiates the environment with a seed.
+    pub fn make(self, seed: u64) -> Box<dyn Environment> {
+        match self {
+            EnvKind::CartPole => Box::new(CartPole::new(seed)),
+            EnvKind::MountainCar => Box::new(MountainCar::new(seed)),
+            EnvKind::Acrobot => Box::new(Acrobot::new(seed)),
+            EnvKind::LunarLander => Box::new(LunarLander::new(seed)),
+            EnvKind::Bipedal => Box::new(Bipedal::new(seed)),
+            EnvKind::AirRaid => Box::new(AirRaidRam::from_seed(seed)),
+            EnvKind::Alien => Box::new(AlienRam::from_seed(seed)),
+            EnvKind::Amidar => Box::new(AmidarRam::from_seed(seed)),
+            EnvKind::Asterix => Box::new(AsterixRam::from_seed(seed)),
+        }
+    }
+
+    /// A [`NeatConfig`] preset tuned for this workload (paper defaults:
+    /// population 150, initial zero-weight full connection).
+    pub fn neat_config(self) -> NeatConfig {
+        let (inputs, outputs) = self.interface();
+        let family = match self {
+            EnvKind::CartPole => "cartpole",
+            EnvKind::MountainCar => "mountaincar",
+            EnvKind::Acrobot => "acrobot",
+            EnvKind::LunarLander => "lunarlander",
+            EnvKind::Bipedal => "bipedal",
+            _ => "atari",
+        };
+        NeatConfig::for_env(family, inputs, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesys_neat::{Genome, XorWow};
+
+    #[test]
+    fn every_env_matches_its_declared_interface() {
+        for kind in EnvKind::ALL {
+            let mut env = kind.make(5);
+            let (obs_dim, act_dim) = kind.interface();
+            assert_eq!(env.observation_dim(), obs_dim, "{}", kind.label());
+            assert_eq!(env.action_dim(), act_dim, "{}", kind.label());
+            let obs = env.reset();
+            assert_eq!(obs.len(), obs_dim, "{}", kind.label());
+            let step = env.step(&vec![0.5; act_dim]);
+            assert_eq!(step.observation.len(), obs_dim, "{}", kind.label());
+            assert!(step.reward.is_finite());
+        }
+    }
+
+    #[test]
+    fn rollout_runs_initial_genomes_on_all_envs() {
+        for kind in EnvKind::ALL {
+            let config = kind.neat_config();
+            let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(3));
+            let net = genesys_neat::Network::from_genome(&genome).unwrap();
+            let mut env = kind.make(11);
+            let fit = rollout(&net, env.as_mut(), 1);
+            assert!(fit.is_finite(), "{}: {fit}", kind.label());
+        }
+    }
+
+    #[test]
+    fn episodes_terminate_within_max_steps() {
+        for kind in EnvKind::ALL {
+            let mut env = kind.make(17);
+            let act_dim = env.action_dim();
+            env.reset();
+            let mut steps = 0usize;
+            loop {
+                let s = env.step(&vec![0.61; act_dim]);
+                steps += 1;
+                if s.done {
+                    break;
+                }
+                assert!(
+                    steps <= env.max_steps() + 1,
+                    "{} exceeded its step limit",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neat_configs_are_valid_for_all_envs() {
+        for kind in EnvKind::ALL {
+            assert!(kind.neat_config().validate().is_ok(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn fig9_suite_is_subset_of_all() {
+        for kind in EnvKind::FIG9_SUITE {
+            assert!(EnvKind::ALL.contains(&kind));
+        }
+    }
+}

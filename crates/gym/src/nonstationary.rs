@@ -1,0 +1,220 @@
+//! Non-stationary environments: the paper's continuous-learning setting.
+//!
+//! GeneSys targets agents that face "the dynamically changing nature of
+//! the problem" (challenge (iii) of the introduction) through continuous,
+//! lifelong interaction. This wrapper makes any environment drift: after
+//! every `period` episodes the underlying dynamics are perturbed (via the
+//! inner environment's own seed stream), so a converged population must
+//! keep re-adapting — the behaviour `examples/continuous_learning.rs`
+//! demonstrates.
+
+use crate::env::{ActionKind, Environment, Step};
+
+/// A drifting variant of CartPole: pole length and push force change every
+/// `period` resets, within physically plausible bounds. Observation and
+/// action interfaces are unchanged, so evolved genomes remain compatible —
+/// only their fitness landscape moves.
+#[derive(Debug, Clone)]
+pub struct DriftingCartPole {
+    seed: u64,
+    episode: u64,
+    period: u64,
+    state: [f64; 4],
+    steps: usize,
+    done: bool,
+    // Current regime.
+    pole_half_length: f64,
+    force_mag: f64,
+    rng: genesys_neat::XorWow,
+}
+
+impl DriftingCartPole {
+    /// Episode step cap (matches CartPole-v0).
+    pub const MAX_STEPS: usize = 200;
+
+    /// Creates a drifting cart-pole whose regime changes every `period`
+    /// episodes.
+    pub fn new(seed: u64, period: u64) -> Self {
+        let mut env = DriftingCartPole {
+            seed,
+            episode: 0,
+            period: period.max(1),
+            state: [0.0; 4],
+            steps: 0,
+            done: false,
+            pole_half_length: 0.5,
+            force_mag: 10.0,
+            rng: genesys_neat::XorWow::seed_from_u64_value(seed ^ 0xD21F_7000),
+        };
+        env.apply_regime();
+        env
+    }
+
+    /// Positions the environment at a global episode index, so distributed
+    /// evaluations can agree on the regime in force.
+    pub fn with_episode(mut self, episode: u64) -> Self {
+        self.episode = episode;
+        self.apply_regime();
+        self
+    }
+
+    /// The regime index currently in force.
+    pub fn regime(&self) -> u64 {
+        self.episode / self.period
+    }
+
+    /// Current (pole half-length, force magnitude).
+    pub fn physics(&self) -> (f64, f64) {
+        (self.pole_half_length, self.force_mag)
+    }
+
+    fn apply_regime(&mut self) {
+        // Derive the regime deterministically from (seed, regime index) so
+        // all population members face the same drifted world.
+        let mut regime_rng = genesys_neat::XorWow::seed_from_u64_value(
+            self.seed ^ self.regime().wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        self.pole_half_length = regime_rng.uniform(0.25, 1.0);
+        self.force_mag = regime_rng.uniform(6.0, 14.0);
+    }
+}
+
+impl Environment for DriftingCartPole {
+    fn name(&self) -> &'static str {
+        "DriftingCartPole"
+    }
+
+    fn observation_dim(&self) -> usize {
+        4
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+
+    fn action_kind(&self) -> ActionKind {
+        ActionKind::Discrete(2)
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.episode += 1;
+        self.apply_regime();
+        for s in &mut self.state {
+            *s = self.rng.uniform(-0.05, 0.05);
+        }
+        self.steps = 0;
+        self.done = false;
+        self.state.to_vec()
+    }
+
+    fn step(&mut self, action: &[f64]) -> Step {
+        assert_eq!(action.len(), 1, "DriftingCartPole takes one binary output");
+        if self.done {
+            return Step {
+                observation: self.state.to_vec(),
+                reward: 0.0,
+                done: true,
+            };
+        }
+        // Same dynamics as CartPole, parameterized by the drifted regime.
+        const GRAVITY: f64 = 9.8;
+        const MASS_CART: f64 = 1.0;
+        const MASS_POLE: f64 = 0.1;
+        const TOTAL_MASS: f64 = MASS_CART + MASS_POLE;
+        const TAU: f64 = 0.02;
+        let length = self.pole_half_length;
+        let pole_mass_length = MASS_POLE * length;
+        let force = if crate::env::binary_action(action[0]) {
+            self.force_mag
+        } else {
+            -self.force_mag
+        };
+        let [x, x_dot, theta, theta_dot] = self.state;
+        let cos_t = theta.cos();
+        let sin_t = theta.sin();
+        let temp = (force + pole_mass_length * theta_dot * theta_dot * sin_t) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin_t - cos_t * temp)
+            / (length * (4.0 / 3.0 - MASS_POLE * cos_t * cos_t / TOTAL_MASS));
+        let x_acc = temp - pole_mass_length * theta_acc * cos_t / TOTAL_MASS;
+        self.state = [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ];
+        self.steps += 1;
+        let fell = self.state[0].abs() > 2.4
+            || self.state[2].abs() > 12.0 * std::f64::consts::PI / 180.0;
+        self.done = fell || self.steps >= Self::MAX_STEPS;
+        Step {
+            observation: self.state.to_vec(),
+            reward: 1.0,
+            done: self.done,
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        Self::MAX_STEPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_change_on_schedule() {
+        let mut env = DriftingCartPole::new(1, 3);
+        let initial = env.physics();
+        // 3 episodes in regime 0.
+        for _ in 0..3 {
+            env.reset();
+        }
+        assert_eq!(env.regime(), 1);
+        let drifted = env.physics();
+        assert_ne!(initial, drifted, "physics must drift between regimes");
+    }
+
+    #[test]
+    fn same_regime_same_physics_for_all_agents() {
+        // Two instances with the same seed see identical regimes: the
+        // whole population faces the same world.
+        let mut a = DriftingCartPole::new(9, 2);
+        let mut b = DriftingCartPole::new(9, 2);
+        for _ in 0..6 {
+            a.reset();
+            b.reset();
+            assert_eq!(a.physics(), b.physics());
+        }
+    }
+
+    #[test]
+    fn physics_stays_in_plausible_bounds() {
+        let mut env = DriftingCartPole::new(4, 1);
+        for _ in 0..50 {
+            env.reset();
+            let (len, force) = env.physics();
+            assert!((0.25..=1.0).contains(&len));
+            assert!((6.0..=14.0).contains(&force));
+        }
+    }
+
+    #[test]
+    fn episodes_still_terminate() {
+        let mut env = DriftingCartPole::new(5, 4);
+        env.reset();
+        let mut steps = 0;
+        while !env.step(&[1.0]).done {
+            steps += 1;
+            assert!(steps <= DriftingCartPole::MAX_STEPS + 1);
+        }
+    }
+
+    #[test]
+    fn interface_matches_cartpole() {
+        let env = DriftingCartPole::new(6, 5);
+        assert_eq!(env.observation_dim(), 4);
+        assert_eq!(env.action_dim(), 1);
+        assert_eq!(env.action_kind(), ActionKind::Discrete(2));
+    }
+}

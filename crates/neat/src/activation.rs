@@ -1,0 +1,222 @@
+//! Node activation functions.
+//!
+//! NEAT node genes carry an *activation* attribute (Fig 6 of the paper
+//! reserves 4 bits for it in the 64-bit gene encoding, so up to 16 kinds).
+//! The set below mirrors `neat-python`'s defaults, which is the codebase the
+//! paper instrumented.
+
+use crate::rng::XorWow;
+use std::fmt;
+
+/// Activation applied by a node: `output = act(bias + response * aggregated)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Activation {
+    /// Steepened logistic sigmoid used by classic NEAT: `1/(1+e^(-4.9z))`,
+    /// rescaled by `neat-python` to `sigmoid(5z)`.
+    #[default]
+    Sigmoid = 0,
+    /// Hyperbolic tangent of `2.5z`.
+    Tanh = 1,
+    /// Rectified linear unit.
+    Relu = 2,
+    /// Identity pass-through.
+    Identity = 3,
+    /// Sine of `5z`.
+    Sin = 4,
+    /// Gaussian bump `e^(-5z^2)` clamped to `z ∈ [-3.4, 3.4]`.
+    Gauss = 5,
+    /// Absolute value.
+    Abs = 6,
+    /// Identity clamped to `[-1, 1]`.
+    Clamped = 7,
+    /// Square.
+    Square = 8,
+    /// Cube.
+    Cube = 9,
+    /// Natural exponential of `z` clamped to `[-60, 60]`.
+    Exp = 10,
+    /// `log(max(z, 1e-7))`.
+    Log = 11,
+    /// Hat function `max(0, 1-|z|)`.
+    Hat = 12,
+    /// Softplus `0.2 * ln(1 + e^(5z))`.
+    Softplus = 13,
+    /// Inverse `1/z` (0 maps to 0).
+    Inv = 14,
+    /// Scaled ELU.
+    Selu = 15,
+}
+
+/// Number of distinct activation kinds (fits the 4-bit hardware field).
+pub const ACTIVATION_COUNT: u8 = 16;
+
+impl Activation {
+    /// All activation kinds, in hardware-encoding order.
+    pub const ALL: [Activation; ACTIVATION_COUNT as usize] = [
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::Identity,
+        Activation::Sin,
+        Activation::Gauss,
+        Activation::Abs,
+        Activation::Clamped,
+        Activation::Square,
+        Activation::Cube,
+        Activation::Exp,
+        Activation::Log,
+        Activation::Hat,
+        Activation::Softplus,
+        Activation::Inv,
+        Activation::Selu,
+    ];
+
+    /// Applies the activation to a pre-activation value `z`.
+    ///
+    /// Every branch is total: inputs are clamped where the underlying
+    /// function would overflow, so the result is always finite for finite
+    /// input.
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => {
+                let z = (5.0 * z).clamp(-60.0, 60.0);
+                1.0 / (1.0 + (-z).exp())
+            }
+            Activation::Tanh => (2.5 * z).clamp(-60.0, 60.0).tanh(),
+            Activation::Relu => z.max(0.0),
+            Activation::Identity => z,
+            Activation::Sin => (5.0 * z).clamp(-60.0, 60.0).sin(),
+            Activation::Gauss => {
+                let z = z.clamp(-3.4, 3.4);
+                (-5.0 * z * z).exp()
+            }
+            Activation::Abs => z.abs(),
+            Activation::Clamped => z.clamp(-1.0, 1.0),
+            Activation::Square => z * z,
+            Activation::Cube => z * z * z,
+            Activation::Exp => z.clamp(-60.0, 60.0).exp(),
+            Activation::Log => z.max(1e-7).ln(),
+            Activation::Hat => (1.0 - z.abs()).max(0.0),
+            Activation::Softplus => {
+                let z = (5.0 * z).clamp(-60.0, 60.0);
+                0.2 * (1.0 + z.exp()).ln()
+            }
+            Activation::Inv => {
+                if z == 0.0 {
+                    0.0
+                } else {
+                    (1.0 / z).clamp(-1e12, 1e12)
+                }
+            }
+            Activation::Selu => {
+                let lam = 1.050_700_987_355_480_5;
+                let alpha = 1.673_263_242_354_377_2;
+                if z > 0.0 {
+                    lam * z
+                } else {
+                    lam * alpha * (z.clamp(-60.0, 0.0).exp() - 1.0)
+                }
+            }
+        }
+    }
+
+    /// Hardware encoding (the 4-bit activation field of the gene word).
+    pub fn to_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the 4-bit hardware field. Out-of-range codes wrap modulo the
+    /// table size, mirroring what a hardware decoder with a 4-bit field does.
+    pub fn from_code(code: u8) -> Activation {
+        Activation::ALL[(code % ACTIVATION_COUNT) as usize]
+    }
+
+    /// Picks a uniformly random activation from `options`.
+    ///
+    /// Falls back to [`Activation::Sigmoid`] when `options` is empty.
+    pub fn random(rng: &mut XorWow, options: &[Activation]) -> Activation {
+        if options.is_empty() {
+            Activation::Sigmoid
+        } else {
+            options[rng.below(options.len())]
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+            Activation::Sin => "sin",
+            Activation::Gauss => "gauss",
+            Activation::Abs => "abs",
+            Activation::Clamped => "clamped",
+            Activation::Square => "square",
+            Activation::Cube => "cube",
+            Activation::Exp => "exp",
+            Activation::Log => "log",
+            Activation::Hat => "hat",
+            Activation::Softplus => "softplus",
+            Activation::Inv => "inv",
+            Activation::Selu => "selu",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for act in Activation::ALL {
+            assert_eq!(Activation::from_code(act.to_code()), act);
+        }
+    }
+
+    #[test]
+    fn sigmoid_limits() {
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn clamped_stays_in_unit_box() {
+        assert_eq!(Activation::Clamped.apply(9.0), 1.0);
+        assert_eq!(Activation::Clamped.apply(-9.0), -1.0);
+        assert_eq!(Activation::Clamped.apply(0.25), 0.25);
+    }
+
+    #[test]
+    fn all_finite_on_extreme_inputs() {
+        for act in Activation::ALL {
+            for z in [-1e9, -100.0, -1.0, 0.0, 1.0, 100.0, 1e9] {
+                let y = act.apply(z);
+                assert!(y.is_finite(), "{act} produced non-finite output for {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_respects_options() {
+        let mut rng = XorWow::seed_from_u64_value(3);
+        let options = [Activation::Tanh, Activation::Relu];
+        for _ in 0..100 {
+            let a = Activation::random(&mut rng, &options);
+            assert!(options.contains(&a));
+        }
+        assert_eq!(Activation::random(&mut rng, &[]), Activation::Sigmoid);
+    }
+}

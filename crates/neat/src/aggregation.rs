@@ -1,0 +1,155 @@
+//! Node aggregation functions.
+//!
+//! A node gene's *aggregation* attribute (3 bits in the hardware gene word,
+//! Fig 6) selects how incoming weighted activations are combined before the
+//! activation function is applied.
+
+use crate::rng::XorWow;
+use std::fmt;
+
+/// Aggregation applied to the weighted inputs of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Aggregation {
+    /// Arithmetic sum (the classic NEAT default, and the only one ADAM's
+    /// MAC array implements natively).
+    #[default]
+    Sum = 0,
+    /// Product of all inputs.
+    Product = 1,
+    /// Maximum input.
+    Max = 2,
+    /// Minimum input.
+    Min = 3,
+    /// Arithmetic mean.
+    Mean = 4,
+    /// Input with the largest absolute value.
+    MaxAbs = 5,
+    /// Median input.
+    Median = 6,
+}
+
+/// Number of distinct aggregation kinds (fits the 3-bit hardware field).
+pub const AGGREGATION_COUNT: u8 = 7;
+
+impl Aggregation {
+    /// All aggregation kinds, in hardware-encoding order.
+    pub const ALL: [Aggregation; AGGREGATION_COUNT as usize] = [
+        Aggregation::Sum,
+        Aggregation::Product,
+        Aggregation::Max,
+        Aggregation::Min,
+        Aggregation::Mean,
+        Aggregation::MaxAbs,
+        Aggregation::Median,
+    ];
+
+    /// Applies the aggregation to a slice of weighted inputs.
+    ///
+    /// An empty slice aggregates to `0.0` (product to `1.0`), matching
+    /// `neat-python` semantics for nodes with no enabled incoming edges.
+    pub fn apply(self, inputs: &[f64]) -> f64 {
+        if inputs.is_empty() {
+            return match self {
+                Aggregation::Product => 1.0,
+                _ => 0.0,
+            };
+        }
+        match self {
+            Aggregation::Sum => inputs.iter().sum(),
+            Aggregation::Product => inputs.iter().product(),
+            Aggregation::Max => inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Min => inputs.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Mean => inputs.iter().sum::<f64>() / inputs.len() as f64,
+            Aggregation::MaxAbs => inputs
+                .iter()
+                .copied()
+                .fold(0.0, |best: f64, v| if v.abs() > best.abs() { v } else { best }),
+            Aggregation::Median => {
+                let mut sorted = inputs.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN inputs"));
+                let mid = sorted.len() / 2;
+                if sorted.len() % 2 == 1 {
+                    sorted[mid]
+                } else {
+                    0.5 * (sorted[mid - 1] + sorted[mid])
+                }
+            }
+        }
+    }
+
+    /// Hardware encoding (the 3-bit aggregation field of the gene word).
+    pub fn to_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the 3-bit hardware field, wrapping out-of-range codes.
+    pub fn from_code(code: u8) -> Aggregation {
+        Aggregation::ALL[(code % AGGREGATION_COUNT) as usize]
+    }
+
+    /// Picks a uniformly random aggregation from `options`.
+    ///
+    /// Falls back to [`Aggregation::Sum`] when `options` is empty.
+    pub fn random(rng: &mut XorWow, options: &[Aggregation]) -> Aggregation {
+        if options.is_empty() {
+            Aggregation::Sum
+        } else {
+            options[rng.below(options.len())]
+        }
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Aggregation::Sum => "sum",
+            Aggregation::Product => "product",
+            Aggregation::Max => "max",
+            Aggregation::Min => "min",
+            Aggregation::Mean => "mean",
+            Aggregation::MaxAbs => "maxabs",
+            Aggregation::Median => "median",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for agg in Aggregation::ALL {
+            assert_eq!(Aggregation::from_code(agg.to_code()), agg);
+        }
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(Aggregation::Sum.apply(&xs), 6.0);
+        assert_eq!(Aggregation::Mean.apply(&xs), 2.0);
+    }
+
+    #[test]
+    fn product_of_empty_is_one() {
+        assert_eq!(Aggregation::Product.apply(&[]), 1.0);
+        assert_eq!(Aggregation::Sum.apply(&[]), 0.0);
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [-5.0, 2.0, 4.0];
+        assert_eq!(Aggregation::Max.apply(&xs), 4.0);
+        assert_eq!(Aggregation::Min.apply(&xs), -5.0);
+        assert_eq!(Aggregation::MaxAbs.apply(&xs), -5.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(Aggregation::Median.apply(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(Aggregation::Median.apply(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for configuration and genome validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`NeatConfig`](crate::NeatConfig) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A probability-like field was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The population size was zero.
+    EmptyPopulation,
+    /// The number of inputs or outputs was zero.
+    EmptyInterface,
+    /// A numeric bound was inconsistent (e.g. `weight_min > weight_max`).
+    InvalidBound {
+        /// Name of the offending field pair.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ProbabilityOutOfRange { field } => {
+                write!(f, "probability field `{field}` must lie in [0, 1]")
+            }
+            ConfigError::EmptyPopulation => write!(f, "population size must be at least 1"),
+            ConfigError::EmptyInterface => {
+                write!(f, "number of inputs and outputs must both be at least 1")
+            }
+            ConfigError::InvalidBound { field } => {
+                write!(f, "bound `{field}` is inconsistent (min exceeds max)")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Error returned when assembling a [`Genome`](crate::Genome) from parts that
+/// violate its structural invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenomeError {
+    /// A connection referenced a node id that is not present in the genome.
+    DanglingConnection {
+        /// Source node id of the offending connection.
+        src: u32,
+        /// Destination node id of the offending connection.
+        dst: u32,
+    },
+    /// A connection's destination was an input node (inputs have no
+    /// incoming edges in NEAT).
+    ConnectionIntoInput {
+        /// Destination node id of the offending connection.
+        dst: u32,
+    },
+    /// The connection graph contained a cycle; phenotypes must stay
+    /// feed-forward (the paper's inference is "processing an acyclic
+    /// directed graph").
+    Cycle,
+    /// An expected input or output node was missing.
+    MissingInterfaceNode {
+        /// Node id that was expected but absent.
+        id: u32,
+    },
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::DanglingConnection { src, dst } => {
+                write!(f, "connection {src}->{dst} references a missing node")
+            }
+            GenomeError::ConnectionIntoInput { dst } => {
+                write!(f, "connection terminates at input node {dst}")
+            }
+            GenomeError::Cycle => write!(f, "connection graph contains a cycle"),
+            GenomeError::MissingInterfaceNode { id } => {
+                write!(f, "interface node {id} is missing from the genome")
+            }
+        }
+    }
+}
+
+impl Error for GenomeError {}

@@ -1,0 +1,255 @@
+//! Gene types: the basic building blocks of a genome (Fig 3(c)).
+//!
+//! NEAT uses two gene kinds: **node genes** describing neurons (id, type,
+//! bias, response, activation, aggregation) and **connection genes**
+//! describing synapses (source, destination, weight, enabled flag). Both are
+//! addressed by stable keys — the node id, or the `(src, dst)` pair — which
+//! is exactly what the hardware Gene Split block aligns on when streaming
+//! two parents into a PE.
+
+use crate::activation::Activation;
+use crate::aggregation::Aggregation;
+use std::fmt;
+
+/// Identifier of a node gene.
+///
+/// Input nodes occupy ids `0..num_inputs`, output nodes
+/// `num_inputs..num_inputs+num_outputs`, and hidden nodes are handed out by
+/// the [`InnovationTracker`](crate::InnovationTracker) above that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw id value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Structural role of a node (the 2-bit *type* field of the hardware gene
+/// word: `00` hidden, `01` input, `10` output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum NodeType {
+    /// Hidden node, created by add-node mutations.
+    #[default]
+    Hidden = 0,
+    /// Input (sensor) node; receives an observation component.
+    Input = 1,
+    /// Output (actuator) node; drives an action component.
+    Output = 2,
+}
+
+impl NodeType {
+    /// Hardware encoding of the node type field.
+    pub fn to_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the 2-bit node type field; the reserved `11` pattern decodes
+    /// as hidden.
+    pub fn from_code(code: u8) -> NodeType {
+        match code & 0b11 {
+            1 => NodeType::Input,
+            2 => NodeType::Output,
+            _ => NodeType::Hidden,
+        }
+    }
+}
+
+/// A node gene: one neuron of the evolved network.
+///
+/// Attributes follow Fig 6 of the paper: `{bias, response, activation,
+/// aggregation}`. The node computes
+/// `activation(bias + response * aggregation(weighted inputs))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeGene {
+    /// Stable key of this gene.
+    pub id: NodeId,
+    /// Structural role (input/hidden/output).
+    pub node_type: NodeType,
+    /// Additive bias.
+    pub bias: f64,
+    /// Multiplicative gain applied to the aggregated input.
+    pub response: f64,
+    /// Activation function.
+    pub activation: Activation,
+    /// Aggregation function.
+    pub aggregation: Aggregation,
+}
+
+impl NodeGene {
+    /// Creates a hidden node with the given id and default attributes
+    /// (zero bias, unit response, sigmoid over sum) — the defaults the
+    /// hardware Add-Gene engine inserts.
+    pub fn hidden(id: NodeId) -> Self {
+        NodeGene {
+            id,
+            node_type: NodeType::Hidden,
+            bias: 0.0,
+            response: 1.0,
+            activation: Activation::Sigmoid,
+            aggregation: Aggregation::Sum,
+        }
+    }
+
+    /// Creates an input node. Input nodes are pass-throughs: their
+    /// attributes are never used during evaluation but participate in the
+    /// gene stream for alignment.
+    pub fn input(id: NodeId) -> Self {
+        NodeGene {
+            node_type: NodeType::Input,
+            ..NodeGene::hidden(id)
+        }
+    }
+
+    /// Creates an output node with default attributes.
+    pub fn output(id: NodeId) -> Self {
+        NodeGene {
+            node_type: NodeType::Output,
+            ..NodeGene::hidden(id)
+        }
+    }
+
+    /// Distance between the attribute sets of two node genes, used by
+    /// genome compatibility (Section II-D speciation). Mirrors
+    /// `neat-python`: |Δbias| + |Δresponse| + 1 per differing discrete
+    /// attribute.
+    pub fn attribute_distance(&self, other: &NodeGene) -> f64 {
+        let mut d = (self.bias - other.bias).abs() + (self.response - other.response).abs();
+        if self.activation != other.activation {
+            d += 1.0;
+        }
+        if self.aggregation != other.aggregation {
+            d += 1.0;
+        }
+        d
+    }
+}
+
+/// Key of a connection gene: ordered `(source, destination)` node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnKey {
+    /// Source node id.
+    pub src: NodeId,
+    /// Destination node id.
+    pub dst: NodeId,
+}
+
+impl ConnKey {
+    /// Creates a connection key.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        ConnKey { src, dst }
+    }
+}
+
+impl fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// A connection gene: one synapse of the evolved network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnGene {
+    /// Stable key of this gene.
+    pub key: ConnKey,
+    /// Synaptic weight.
+    pub weight: f64,
+    /// Disabled connections stay in the genome (and may be re-enabled by
+    /// crossover) but do not contribute to evaluation.
+    pub enabled: bool,
+}
+
+impl ConnGene {
+    /// Creates an enabled connection with the given weight.
+    pub fn new(src: NodeId, dst: NodeId, weight: f64) -> Self {
+        ConnGene {
+            key: ConnKey::new(src, dst),
+            weight,
+            enabled: true,
+        }
+    }
+
+    /// The default connection the hardware Add-Gene engine inserts:
+    /// unit weight, enabled.
+    pub fn with_default_attributes(src: NodeId, dst: NodeId) -> Self {
+        ConnGene::new(src, dst, 1.0)
+    }
+
+    /// Distance between attribute sets of two connection genes (see
+    /// [`NodeGene::attribute_distance`]).
+    pub fn attribute_distance(&self, other: &ConnGene) -> f64 {
+        let mut d = (self.weight - other.weight).abs();
+        if self.enabled != other.enabled {
+            d += 1.0;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_type_codes_roundtrip() {
+        for t in [NodeType::Hidden, NodeType::Input, NodeType::Output] {
+            assert_eq!(NodeType::from_code(t.to_code()), t);
+        }
+        // Reserved pattern decodes as hidden.
+        assert_eq!(NodeType::from_code(0b11), NodeType::Hidden);
+    }
+
+    #[test]
+    fn constructors_set_types() {
+        assert_eq!(NodeGene::input(NodeId(0)).node_type, NodeType::Input);
+        assert_eq!(NodeGene::output(NodeId(1)).node_type, NodeType::Output);
+        assert_eq!(NodeGene::hidden(NodeId(2)).node_type, NodeType::Hidden);
+    }
+
+    #[test]
+    fn node_distance_counts_discrete_mismatch() {
+        let a = NodeGene::hidden(NodeId(5));
+        let mut b = a;
+        assert_eq!(a.attribute_distance(&b), 0.0);
+        b.bias = 1.5;
+        assert!((a.attribute_distance(&b) - 1.5).abs() < 1e-12);
+        b.activation = Activation::Relu;
+        assert!((a.attribute_distance(&b) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conn_distance() {
+        let a = ConnGene::new(NodeId(0), NodeId(3), 1.0);
+        let mut b = a;
+        b.weight = -1.0;
+        b.enabled = false;
+        assert!((a.attribute_distance(&b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conn_key_ordering_is_lexicographic() {
+        let a = ConnKey::new(NodeId(0), NodeId(5));
+        let b = ConnKey::new(NodeId(1), NodeId(0));
+        assert!(a < b, "keys sort by source first — the genome buffer layout");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ConnKey::new(NodeId(1), NodeId(2)).to_string(), "n1->n2");
+    }
+}

@@ -1,0 +1,830 @@
+//! Genomes: collections of genes describing one neural network.
+//!
+//! A genome stores its node and connection genes in ordered maps keyed by
+//! gene key, mirroring the hardware genome buffer layout: "the genes are
+//! stored in two logical clusters, one for each type; within each cluster,
+//! the genes are stored by sorting them in ascending order of IDs"
+//! (Section IV-C5). Iterating [`Genome::nodes`] then [`Genome::conns`]
+//! therefore reproduces the exact stream order the Gene Split block feeds
+//! to the EvE PEs.
+
+use crate::activation::Activation;
+use crate::aggregation::Aggregation;
+use crate::config::{InitialWeights, NeatConfig};
+use crate::error::GenomeError;
+use crate::gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
+use crate::innovation::InnovationTracker;
+use crate::rng::XorWow;
+use crate::trace::OpCounters;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Bytes per gene in the hardware encoding (64-bit gene word, Fig 6).
+pub const GENE_BYTES: usize = 8;
+
+/// One individual: a collection of node and connection genes plus the
+/// fitness it earned in the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Genome {
+    key: u64,
+    nodes: BTreeMap<NodeId, NodeGene>,
+    conns: BTreeMap<ConnKey, ConnGene>,
+    num_inputs: usize,
+    num_outputs: usize,
+    fitness: Option<f64>,
+}
+
+impl Genome {
+    /// Creates the paper's initial topology: every input connected to every
+    /// output, no hidden nodes, connection weights per
+    /// [`NeatConfig::initial_weights`] (the paper uses zero).
+    pub fn initial(key: u64, config: &NeatConfig, rng: &mut XorWow) -> Self {
+        let mut nodes = BTreeMap::new();
+        for i in 0..config.num_inputs {
+            let id = NodeId(i as u32);
+            nodes.insert(id, NodeGene::input(id));
+        }
+        for o in 0..config.num_outputs {
+            let id = NodeId(config.first_output_id() + o as u32);
+            nodes.insert(id, NodeGene::output(id));
+        }
+        let mut conns = BTreeMap::new();
+        for i in 0..config.num_inputs {
+            for o in 0..config.num_outputs {
+                let src = NodeId(i as u32);
+                let dst = NodeId(config.first_output_id() + o as u32);
+                let weight = match config.initial_weights {
+                    InitialWeights::Zero => 0.0,
+                    InitialWeights::Uniform { lo, hi } => rng.uniform(lo, hi),
+                    InitialWeights::Gaussian { stdev } => rng.next_gaussian() * stdev,
+                };
+                conns.insert(ConnKey::new(src, dst), ConnGene::new(src, dst, weight));
+            }
+        }
+        Genome {
+            key,
+            nodes,
+            conns,
+            num_inputs: config.num_inputs,
+            num_outputs: config.num_outputs,
+            fitness: None,
+        }
+    }
+
+    /// Assembles a genome from raw parts, validating the structural
+    /// invariants (used by the hardware Gene Merge block when a child
+    /// genome is written back to the genome buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GenomeError`] if a connection dangles, terminates at an
+    /// input, the graph is cyclic, or an interface node is missing.
+    pub fn from_parts(
+        key: u64,
+        num_inputs: usize,
+        num_outputs: usize,
+        nodes: impl IntoIterator<Item = NodeGene>,
+        conns: impl IntoIterator<Item = ConnGene>,
+    ) -> Result<Self, GenomeError> {
+        let nodes: BTreeMap<NodeId, NodeGene> = nodes.into_iter().map(|n| (n.id, n)).collect();
+        let conns: BTreeMap<ConnKey, ConnGene> = conns.into_iter().map(|c| (c.key, c)).collect();
+        let genome = Genome {
+            key,
+            nodes,
+            conns,
+            num_inputs,
+            num_outputs,
+            fitness: None,
+        };
+        genome.validate()?;
+        Ok(genome)
+    }
+
+    /// Checks every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// See [`Genome::from_parts`].
+    pub fn validate(&self) -> Result<(), GenomeError> {
+        for i in 0..(self.num_inputs + self.num_outputs) as u32 {
+            if !self.nodes.contains_key(&NodeId(i)) {
+                return Err(GenomeError::MissingInterfaceNode { id: i });
+            }
+        }
+        for conn in self.conns.values() {
+            if !self.nodes.contains_key(&conn.key.src) || !self.nodes.contains_key(&conn.key.dst) {
+                return Err(GenomeError::DanglingConnection {
+                    src: conn.key.src.0,
+                    dst: conn.key.dst.0,
+                });
+            }
+            if self.node_type(conn.key.dst) == Some(NodeType::Input) {
+                return Err(GenomeError::ConnectionIntoInput { dst: conn.key.dst.0 });
+            }
+        }
+        if self.has_cycle() {
+            return Err(GenomeError::Cycle);
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- access
+
+    /// Population-unique identifier of this genome.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Re-keys the genome (used when cloning elites into a new generation).
+    pub fn set_key(&mut self, key: u64) {
+        self.key = key;
+    }
+
+    /// Fitness earned in the environment, if evaluated.
+    pub fn fitness(&self) -> Option<f64> {
+        self.fitness
+    }
+
+    /// Records the fitness obtained from the environment.
+    pub fn set_fitness(&mut self, fitness: f64) {
+        self.fitness = Some(fitness);
+    }
+
+    /// Number of input nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output nodes.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Iterates node genes in ascending id order (the genome-buffer order).
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeGene> {
+        self.nodes.values()
+    }
+
+    /// Iterates connection genes in ascending key order.
+    pub fn conns(&self) -> impl Iterator<Item = &ConnGene> {
+        self.conns.values()
+    }
+
+    /// Looks up a node gene.
+    pub fn node(&self, id: NodeId) -> Option<&NodeGene> {
+        self.nodes.get(&id)
+    }
+
+    /// Looks up a connection gene.
+    pub fn conn(&self, key: ConnKey) -> Option<&ConnGene> {
+        self.conns.get(&key)
+    }
+
+    /// Structural role of a node, if present.
+    pub fn node_type(&self, id: NodeId) -> Option<NodeType> {
+        self.nodes.get(&id).map(|n| n.node_type)
+    }
+
+    /// Number of node genes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of connection genes.
+    pub fn num_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Total gene count (the Fig 4(b) metric).
+    pub fn num_genes(&self) -> usize {
+        self.nodes.len() + self.conns.len()
+    }
+
+    /// Memory footprint in the 64-bit hardware encoding (Fig 5(b) metric).
+    pub fn memory_bytes(&self) -> usize {
+        self.num_genes() * GENE_BYTES
+    }
+
+    /// Ids of hidden nodes.
+    pub fn hidden_node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.node_type == NodeType::Hidden)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Largest node id present (used by the PE's node-id registers).
+    pub fn max_node_id(&self) -> u32 {
+        self.nodes.keys().next_back().map_or(0, |id| id.0)
+    }
+
+    // ------------------------------------------------------------- mutation
+
+    /// Applies the full NEAT mutation suite to this genome: attribute
+    /// perturbations and the structural add/delete operators of Fig 3(d).
+    /// Operation tallies are recorded into `ops`.
+    pub fn mutate(
+        &mut self,
+        config: &NeatConfig,
+        innovations: &mut InnovationTracker,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) {
+        if rng.chance(config.node_add_prob) {
+            self.mutate_add_node(innovations, rng, ops);
+        }
+        if rng.chance(config.node_delete_prob) {
+            self.mutate_delete_node(config, rng, ops);
+        }
+        if rng.chance(config.conn_add_prob) {
+            self.mutate_add_conn(rng, ops);
+        }
+        if rng.chance(config.conn_delete_prob) {
+            self.mutate_delete_conn(rng, ops);
+        }
+        self.mutate_attributes(config, rng, ops);
+    }
+
+    /// Perturbs (or replaces) the continuous and discrete attributes of all
+    /// genes — the Perturbation Engine's work.
+    pub fn mutate_attributes(&mut self, config: &NeatConfig, rng: &mut XorWow, ops: &mut OpCounters) {
+        for node in self.nodes.values_mut() {
+            if node.node_type == NodeType::Input {
+                continue;
+            }
+            if rng.chance(config.bias_mutate_rate) {
+                node.bias = if rng.chance(config.bias_replace_rate) {
+                    rng.uniform(config.bias_min, config.bias_max)
+                } else {
+                    (node.bias + rng.next_gaussian() * config.bias_perturb_power)
+                        .clamp(config.bias_min, config.bias_max)
+                };
+                ops.perturb += 1;
+            }
+            if rng.chance(config.response_mutate_rate) {
+                node.response = if rng.chance(config.response_replace_rate) {
+                    rng.uniform(config.response_min, config.response_max)
+                } else {
+                    (node.response + rng.next_gaussian() * config.response_perturb_power)
+                        .clamp(config.response_min, config.response_max)
+                };
+                ops.perturb += 1;
+            }
+            if rng.chance(config.activation_mutate_rate) {
+                node.activation = Activation::random(rng, &config.activation_options);
+                ops.perturb += 1;
+            }
+            if rng.chance(config.aggregation_mutate_rate) {
+                node.aggregation = Aggregation::random(rng, &config.aggregation_options);
+                ops.perturb += 1;
+            }
+        }
+        for conn in self.conns.values_mut() {
+            if rng.chance(config.weight_mutate_rate) {
+                conn.weight = if rng.chance(config.weight_replace_rate) {
+                    rng.uniform(config.weight_min, config.weight_max)
+                } else {
+                    (conn.weight + rng.next_gaussian() * config.weight_perturb_power)
+                        .clamp(config.weight_min, config.weight_max)
+                };
+                ops.perturb += 1;
+            }
+            if rng.chance(config.enabled_mutate_rate) {
+                conn.enabled = !conn.enabled;
+                ops.perturb += 1;
+            }
+        }
+    }
+
+    /// Splits a random enabled connection `s->d` into `s->new` and
+    /// `new->d`, disabling the original — the classic NEAT add-node.
+    pub fn mutate_add_node(
+        &mut self,
+        innovations: &mut InnovationTracker,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) {
+        let enabled: Vec<ConnKey> = self
+            .conns
+            .values()
+            .filter(|c| c.enabled)
+            .map(|c| c.key)
+            .collect();
+        if enabled.is_empty() {
+            return;
+        }
+        let key = enabled[rng.below(enabled.len())];
+        let new_id = innovations.node_for_split(key);
+        if self.nodes.contains_key(&new_id) {
+            // The same split already occurred in this genome (possible when
+            // crossover merged a parent that had it); skip.
+            return;
+        }
+        let old_weight = self.conns[&key].weight;
+        self.conns.get_mut(&key).expect("key from iteration").enabled = false;
+        self.nodes.insert(new_id, NodeGene::hidden(new_id));
+        // Per the paper's Add-Gene engine: "two new connection genes are
+        // generated". Input-side weight 1 preserves the signal; output-side
+        // inherits the old weight.
+        let up = ConnGene::new(key.src, new_id, 1.0);
+        let down = ConnGene::new(new_id, key.dst, old_weight);
+        self.conns.insert(up.key, up);
+        self.conns.insert(down.key, down);
+        ops.add_node += 1;
+        ops.add_conn += 2;
+    }
+
+    /// Adds a new connection between two previously unconnected nodes,
+    /// keeping the graph acyclic (inference must remain "processing an
+    /// acyclic directed graph").
+    pub fn mutate_add_conn(&mut self, rng: &mut XorWow, ops: &mut OpCounters) {
+        let sources: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let sinks: Vec<NodeId> = self
+            .nodes
+            .values()
+            .filter(|n| n.node_type != NodeType::Input)
+            .map(|n| n.id)
+            .collect();
+        if sources.is_empty() || sinks.is_empty() {
+            return;
+        }
+        // Bounded retry: candidate pairs may be duplicates or create cycles.
+        for _ in 0..16 {
+            let src = sources[rng.below(sources.len())];
+            let dst = sinks[rng.below(sinks.len())];
+            if src == dst {
+                continue;
+            }
+            let key = ConnKey::new(src, dst);
+            if let Some(existing) = self.conns.get_mut(&key) {
+                if !existing.enabled {
+                    existing.enabled = true;
+                    ops.perturb += 1;
+                    return;
+                }
+                continue;
+            }
+            if self.would_create_cycle(src, dst) {
+                continue;
+            }
+            let weight = rng.uniform(-1.0, 1.0);
+            self.conns.insert(key, ConnGene::new(src, dst, weight));
+            ops.add_conn += 1;
+            return;
+        }
+    }
+
+    /// Deletes a random hidden node and every connection touching it,
+    /// respecting the per-generation deletion ceiling
+    /// ([`NeatConfig::node_delete_limit`]) the hardware enforces to "keep
+    /// the genome alive".
+    pub fn mutate_delete_node(&mut self, config: &NeatConfig, rng: &mut XorWow, ops: &mut OpCounters) {
+        if ops.delete_node as usize >= config.node_delete_limit {
+            return;
+        }
+        let hidden = self.hidden_node_ids();
+        if hidden.is_empty() {
+            return;
+        }
+        let victim = hidden[rng.below(hidden.len())];
+        self.nodes.remove(&victim);
+        let stale: Vec<ConnKey> = self
+            .conns
+            .keys()
+            .filter(|k| k.src == victim || k.dst == victim)
+            .copied()
+            .collect();
+        // Pruning "dangling connections" is exactly what the hardware does
+        // by comparing stored deleted-node IDs against the conn stream.
+        for key in &stale {
+            self.conns.remove(key);
+        }
+        ops.delete_node += 1;
+        ops.delete_conn += stale.len() as u64;
+    }
+
+    /// Deletes a random connection gene.
+    pub fn mutate_delete_conn(&mut self, rng: &mut XorWow, ops: &mut OpCounters) {
+        if self.conns.is_empty() {
+            return;
+        }
+        let keys: Vec<ConnKey> = self.conns.keys().copied().collect();
+        let key = keys[rng.below(keys.len())];
+        self.conns.remove(&key);
+        ops.delete_conn += 1;
+    }
+
+    /// Would inserting `src -> dst` create a cycle? (Is `src` reachable
+    /// from `dst` through existing connections?)
+    pub fn would_create_cycle(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for key in self.conns.keys() {
+            adjacency.entry(key.src).or_default().push(key.dst);
+        }
+        let mut stack = vec![dst];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == src {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adjacency.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Kahn's algorithm: if topological elimination leaves nodes with
+        // in-degree > 0, a cycle exists.
+        let mut indegree: BTreeMap<NodeId, usize> =
+            self.nodes.keys().map(|&id| (id, 0)).collect();
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for key in self.conns.keys() {
+            *indegree.entry(key.dst).or_insert(0) += 1;
+            adjacency.entry(key.src).or_default().push(key.dst);
+        }
+        let mut queue: Vec<NodeId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            if let Some(next) = adjacency.get(&n) {
+                for &m in next {
+                    let d = indegree.get_mut(&m).expect("node in map");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(m);
+                    }
+                }
+            }
+        }
+        visited != self.nodes.len()
+    }
+
+    // ------------------------------------------------------------ crossover
+
+    /// Produces a child by crossing two parents, `parent1` being the fitter
+    /// one. Matching genes take each *attribute* independently from either
+    /// parent with probability `bias` of favouring `parent1` (the
+    /// programmable bias of the hardware Crossover Engine; default 0.5);
+    /// disjoint and excess genes come from the fitter parent, as in classic
+    /// NEAT. Crossover op counts are recorded into `ops`.
+    pub fn crossover(
+        key: u64,
+        parent1: &Genome,
+        parent2: &Genome,
+        bias: f64,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) -> Genome {
+        debug_assert_eq!(parent1.num_inputs, parent2.num_inputs);
+        debug_assert_eq!(parent1.num_outputs, parent2.num_outputs);
+        let mut nodes = BTreeMap::new();
+        for n1 in parent1.nodes.values() {
+            let child = match parent2.nodes.get(&n1.id) {
+                Some(n2) => {
+                    // Per-attribute cherry-pick, one PRNG draw per attribute
+                    // (the four comparators of the Crossover Engine).
+                    let mut c = *n1;
+                    if !rng.chance(bias) {
+                        c.bias = n2.bias;
+                    }
+                    if !rng.chance(bias) {
+                        c.response = n2.response;
+                    }
+                    if !rng.chance(bias) {
+                        c.activation = n2.activation;
+                    }
+                    if !rng.chance(bias) {
+                        c.aggregation = n2.aggregation;
+                    }
+                    c
+                }
+                None => *n1, // disjoint/excess: fitter parent wins
+            };
+            nodes.insert(child.id, child);
+            ops.crossover += 1;
+        }
+        let mut conns = BTreeMap::new();
+        for c1 in parent1.conns.values() {
+            let child = match parent2.conns.get(&c1.key) {
+                Some(c2) => {
+                    let mut c = *c1;
+                    if !rng.chance(bias) {
+                        c.weight = c2.weight;
+                    }
+                    if !rng.chance(bias) {
+                        c.enabled = c2.enabled;
+                    }
+                    c
+                }
+                None => *c1,
+            };
+            // Guard: a gene inherited from parent2's attribute mix always has
+            // parent1's key, and parent1 contains both endpoints.
+            conns.insert(child.key, child);
+            ops.crossover += 1;
+        }
+        Genome {
+            key,
+            nodes,
+            conns,
+            num_inputs: parent1.num_inputs,
+            num_outputs: parent1.num_outputs,
+            fitness: None,
+        }
+    }
+
+    // ------------------------------------------------------------- distance
+
+    /// Compatibility distance used for speciation (Section II-D), following
+    /// the `neat-python` formulation: node distance plus connection
+    /// distance, each `(weight_coeff * Σ attribute distance of matching
+    /// genes + disjoint_coeff * #non-matching) / max gene count`.
+    pub fn distance(&self, other: &Genome, config: &NeatConfig) -> f64 {
+        let cd = config.compatibility_disjoint_coefficient;
+        let cw = config.compatibility_weight_coefficient;
+
+        let mut node_dist = 0.0;
+        let mut disjoint_nodes = 0usize;
+        for n2 in other.nodes.values() {
+            match self.nodes.get(&n2.id) {
+                Some(n1) => node_dist += n1.attribute_distance(n2) * cw,
+                None => disjoint_nodes += 1,
+            }
+        }
+        disjoint_nodes += self
+            .nodes
+            .keys()
+            .filter(|id| !other.nodes.contains_key(id))
+            .count();
+        let max_nodes = self.nodes.len().max(other.nodes.len()).max(1);
+        node_dist = (node_dist + cd * disjoint_nodes as f64) / max_nodes as f64;
+
+        let mut conn_dist = 0.0;
+        let mut disjoint_conns = 0usize;
+        for c2 in other.conns.values() {
+            match self.conns.get(&c2.key) {
+                Some(c1) => conn_dist += c1.attribute_distance(c2) * cw,
+                None => disjoint_conns += 1,
+            }
+        }
+        disjoint_conns += self
+            .conns
+            .keys()
+            .filter(|key| !other.conns.contains_key(key))
+            .count();
+        let max_conns = self.conns.len().max(other.conns.len()).max(1);
+        conn_dist = (conn_dist + cd * disjoint_conns as f64) / max_conns as f64;
+
+        node_dist + conn_dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NeatConfig {
+        NeatConfig::builder(3, 2).build().unwrap()
+    }
+
+    fn rng() -> XorWow {
+        XorWow::seed_from_u64_value(12345)
+    }
+
+    #[test]
+    fn initial_genome_is_fully_connected_with_zero_weights() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_conns(), 6);
+        assert!(g.conns().all(|conn| conn.weight == 0.0 && conn.enabled));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn initial_genome_uniform_weights_in_range() {
+        let mut c = cfg();
+        c.initial_weights = InitialWeights::Uniform { lo: -2.0, hi: 2.0 };
+        let g = Genome::initial(0, &c, &mut rng());
+        assert!(g.conns().all(|conn| (-2.0..2.0).contains(&conn.weight)));
+    }
+
+    #[test]
+    fn memory_footprint_is_eight_bytes_per_gene() {
+        let g = Genome::initial(0, &cfg(), &mut rng());
+        assert_eq!(g.memory_bytes(), g.num_genes() * 8);
+    }
+
+    #[test]
+    fn add_node_splits_a_connection() {
+        let c = cfg();
+        let mut g = Genome::initial(0, &c, &mut rng());
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let before_conns = g.num_conns();
+        g.mutate_add_node(&mut innov, &mut rng(), &mut ops);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_conns(), before_conns + 2);
+        assert_eq!(ops.add_node, 1);
+        assert_eq!(ops.add_conn, 2);
+        assert_eq!(g.conns().filter(|c| !c.enabled).count(), 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn add_conn_keeps_graph_acyclic() {
+        let c = cfg();
+        let mut g = Genome::initial(0, &c, &mut rng());
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let mut r = rng();
+        for _ in 0..50 {
+            g.mutate_add_node(&mut innov, &mut r, &mut ops);
+            g.mutate_add_conn(&mut r, &mut ops);
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn delete_node_prunes_dangling_connections() {
+        let c = cfg();
+        let mut g = Genome::initial(0, &c, &mut rng());
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let mut r = rng();
+        g.mutate_add_node(&mut innov, &mut r, &mut ops);
+        assert_eq!(g.hidden_node_ids().len(), 1);
+        g.mutate_delete_node(&c, &mut r, &mut ops);
+        assert_eq!(g.hidden_node_ids().len(), 0);
+        assert!(g.validate().is_ok(), "no dangling connections may remain");
+        assert_eq!(ops.delete_node, 1);
+        assert!(ops.delete_conn >= 2);
+    }
+
+    #[test]
+    fn delete_node_respects_limit() {
+        let mut c = cfg();
+        c.node_delete_limit = 0;
+        let mut g = Genome::initial(0, &c, &mut rng());
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let mut r = rng();
+        g.mutate_add_node(&mut innov, &mut r, &mut ops);
+        let nodes_before = g.num_nodes();
+        ops = OpCounters::new();
+        g.mutate_delete_node(&c, &mut r, &mut ops);
+        assert_eq!(g.num_nodes(), nodes_before, "limit 0 forbids deletion");
+    }
+
+    #[test]
+    fn delete_conn_removes_one() {
+        let mut g = Genome::initial(0, &cfg(), &mut rng());
+        let before = g.num_conns();
+        let mut ops = OpCounters::new();
+        g.mutate_delete_conn(&mut rng(), &mut ops);
+        assert_eq!(g.num_conns(), before - 1);
+        assert_eq!(ops.delete_conn, 1);
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity_structure() {
+        let c = cfg();
+        let p = Genome::initial(7, &c, &mut rng());
+        let mut ops = OpCounters::new();
+        let child = Genome::crossover(8, &p, &p, 0.5, &mut rng(), &mut ops);
+        assert_eq!(child.num_nodes(), p.num_nodes());
+        assert_eq!(child.num_conns(), p.num_conns());
+        assert_eq!(ops.crossover as usize, p.num_genes());
+        assert!(child.validate().is_ok());
+    }
+
+    #[test]
+    fn crossover_takes_disjoint_from_fitter_parent() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let base = Genome::initial(0, &c, &mut r);
+        let mut fit = base.clone();
+        fit.mutate_add_node(&mut innov, &mut r, &mut ops);
+        // fit has extra structure; base does not.
+        let child = Genome::crossover(1, &fit, &base, 0.5, &mut r, &mut ops);
+        assert_eq!(child.num_nodes(), fit.num_nodes());
+        assert_eq!(child.num_conns(), fit.num_conns());
+        let child2 = Genome::crossover(2, &base, &fit, 0.5, &mut r, &mut ops);
+        assert_eq!(child2.num_nodes(), base.num_nodes());
+    }
+
+    #[test]
+    fn crossover_bias_one_copies_parent1_attributes() {
+        let c = cfg();
+        let mut r = rng();
+        let mut p1 = Genome::initial(0, &c, &mut r);
+        let mut p2 = Genome::initial(1, &c, &mut r);
+        let mut ops = OpCounters::new();
+        p1.mutate_attributes(&c, &mut r, &mut ops);
+        p2.mutate_attributes(&c, &mut r, &mut ops);
+        let child = Genome::crossover(2, &p1, &p2, 1.0, &mut r, &mut ops);
+        for conn in child.conns() {
+            assert_eq!(conn.weight, p1.conn(conn.key).unwrap().weight);
+        }
+    }
+
+    #[test]
+    fn distance_zero_for_identical_and_positive_for_diverged() {
+        let c = cfg();
+        let mut r = rng();
+        let g1 = Genome::initial(0, &c, &mut r);
+        assert_eq!(g1.distance(&g1.clone(), &c), 0.0);
+        let mut g2 = g1.clone();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        g2.mutate_add_node(&mut innov, &mut r, &mut ops);
+        g2.mutate_attributes(&c, &mut r, &mut ops);
+        let d = g1.distance(&g2, &c);
+        assert!(d > 0.0);
+        assert!((g1.distance(&g2, &c) - g2.distance(&g1, &c)).abs() < 1e-12, "symmetric");
+    }
+
+    #[test]
+    fn from_parts_rejects_dangling_connection() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        let nodes: Vec<NodeGene> = g.nodes().copied().collect();
+        let mut conns: Vec<ConnGene> = g.conns().copied().collect();
+        conns.push(ConnGene::new(NodeId(0), NodeId(99), 1.0));
+        let err = Genome::from_parts(1, 3, 2, nodes, conns).unwrap_err();
+        assert!(matches!(err, GenomeError::DanglingConnection { dst: 99, .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_connection_into_input() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        let nodes: Vec<NodeGene> = g.nodes().copied().collect();
+        let mut conns: Vec<ConnGene> = g.conns().copied().collect();
+        conns.push(ConnGene::new(NodeId(3), NodeId(0), 1.0));
+        let err = Genome::from_parts(1, 3, 2, nodes, conns).unwrap_err();
+        assert!(matches!(err, GenomeError::ConnectionIntoInput { dst: 0 }));
+    }
+
+    #[test]
+    fn from_parts_rejects_cycle() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        let mut nodes: Vec<NodeGene> = g.nodes().copied().collect();
+        nodes.push(NodeGene::hidden(NodeId(10)));
+        nodes.push(NodeGene::hidden(NodeId(11)));
+        let mut conns: Vec<ConnGene> = g.conns().copied().collect();
+        conns.push(ConnGene::new(NodeId(10), NodeId(11), 1.0));
+        conns.push(ConnGene::new(NodeId(11), NodeId(10), 1.0));
+        let err = Genome::from_parts(1, 3, 2, nodes, conns).unwrap_err();
+        assert_eq!(err, GenomeError::Cycle);
+    }
+
+    #[test]
+    fn from_parts_rejects_missing_interface() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        let nodes: Vec<NodeGene> = g.nodes().skip(1).copied().collect();
+        let err = Genome::from_parts(1, 3, 2, nodes, Vec::new()).unwrap_err();
+        assert_eq!(err, GenomeError::MissingInterfaceNode { id: 0 });
+    }
+
+    #[test]
+    fn full_mutate_preserves_invariants() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        for gen in 0..100 {
+            let mut ops = OpCounters::new();
+            innov.begin_generation();
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            assert!(g.validate().is_ok(), "invariants violated at iteration {gen}");
+        }
+    }
+
+    #[test]
+    fn max_node_id_tracks_additions() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        assert_eq!(g.max_node_id(), 4);
+        let mut ops = OpCounters::new();
+        g.mutate_add_node(&mut innov, &mut r, &mut ops);
+        assert_eq!(g.max_node_id(), 5);
+    }
+}

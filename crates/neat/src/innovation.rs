@@ -1,0 +1,108 @@
+//! Innovation tracking: global node-id assignment.
+//!
+//! NEAT aligns genes across genomes by *key* (node id, or `(src, dst)` for
+//! connections). For this to be meaningful, the same structural innovation
+//! must receive the same key everywhere in the population. The tracker hands
+//! out fresh node ids from a global counter and memoizes "split of
+//! connection `s->d`" so that two genomes splitting the same connection in
+//! the same generation receive the same hidden-node id — keeping them
+//! compatible for speciation and crossover, exactly as `neat-python` does.
+
+use crate::gene::{ConnKey, NodeId};
+use std::collections::HashMap;
+
+/// Hands out node ids and memoizes per-generation structural innovations.
+#[derive(Debug, Clone)]
+pub struct InnovationTracker {
+    next_node: u32,
+    split_memo: HashMap<ConnKey, NodeId>,
+}
+
+impl InnovationTracker {
+    /// Creates a tracker whose first fresh node id is `first_hidden_id`
+    /// (ids below that belong to the fixed input/output interface).
+    pub fn new(first_hidden_id: u32) -> Self {
+        InnovationTracker {
+            next_node: first_hidden_id,
+            split_memo: HashMap::new(),
+        }
+    }
+
+    /// Returns the node id for splitting connection `key`, reusing the id
+    /// if the same split already happened this generation.
+    pub fn node_for_split(&mut self, key: ConnKey) -> NodeId {
+        if let Some(&id) = self.split_memo.get(&key) {
+            return id;
+        }
+        let id = self.fresh_node();
+        self.split_memo.insert(key, id);
+        id
+    }
+
+    /// Unconditionally allocates a fresh node id.
+    pub fn fresh_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    /// Highest node id handed out so far plus one.
+    pub fn next_node_id(&self) -> u32 {
+        self.next_node
+    }
+
+    /// Clears the split memo; call at each generation boundary so innovation
+    /// reuse stays within a generation (the `neat-python` convention).
+    pub fn begin_generation(&mut self) {
+        self.split_memo.clear();
+    }
+
+    /// Ensures the counter is beyond `id` (used when genomes are imported
+    /// from outside, e.g. decoded from the hardware genome buffer).
+    pub fn witness(&mut self, id: NodeId) {
+        if id.0 >= self.next_node {
+            self.next_node = id.0 + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_sequential() {
+        let mut t = InnovationTracker::new(10);
+        assert_eq!(t.fresh_node(), NodeId(10));
+        assert_eq!(t.fresh_node(), NodeId(11));
+        assert_eq!(t.next_node_id(), 12);
+    }
+
+    #[test]
+    fn same_split_same_generation_reuses_id() {
+        let mut t = InnovationTracker::new(5);
+        let key = ConnKey::new(NodeId(0), NodeId(4));
+        let a = t.node_for_split(key);
+        let b = t.node_for_split(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_memo_resets_each_generation() {
+        let mut t = InnovationTracker::new(5);
+        let key = ConnKey::new(NodeId(1), NodeId(4));
+        let a = t.node_for_split(key);
+        t.begin_generation();
+        let b = t.node_for_split(key);
+        assert_ne!(a, b, "memo must clear at the generation boundary");
+    }
+
+    #[test]
+    fn witness_advances_counter() {
+        let mut t = InnovationTracker::new(3);
+        t.witness(NodeId(100));
+        assert_eq!(t.fresh_node(), NodeId(101));
+        t.witness(NodeId(50)); // lower id: no effect
+        assert_eq!(t.fresh_node(), NodeId(102));
+    }
+}

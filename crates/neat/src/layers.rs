@@ -1,0 +1,395 @@
+//! Layer-gene evolution: "the only thing that would change is the
+//! definition of gene" (the paper's Future Directions).
+//!
+//! For problems with large parameter spaces the paper proposes running
+//! GeneSys as a *topology explorer* over deep MLPs, where each gene
+//! describes a whole **layer** instead of a single neuron/synapse —
+//! "neuro-evolution to generate deep neural networks falls in this
+//! category". This module implements that gene redefinition: a
+//! [`LayerGenome`] is an ordered list of [`LayerGene`]s, evolved with the
+//! same crossover/perturb/add/delete operator classes the EvE PEs
+//! implement, and expressed into an ordinary [`Genome`] so the rest of the
+//! stack (ADAM, codec, genome buffer) is reused unchanged.
+
+use crate::activation::Activation;
+use crate::error::GenomeError;
+use crate::gene::{ConnGene, NodeGene, NodeId};
+use crate::genome::Genome;
+use crate::rng::XorWow;
+use crate::trace::OpCounters;
+
+/// One layer gene: the whole-layer analogue of a node gene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerGene {
+    /// Number of units in the layer.
+    pub units: usize,
+    /// Activation applied by every unit.
+    pub activation: Activation,
+    /// Shared weight scale: expressed weights are drawn deterministically
+    /// per (src, dst) pair and multiplied by this gain.
+    pub gain: f64,
+}
+
+impl LayerGene {
+    /// A default hidden layer (the value the Add-Gene engine would insert).
+    pub fn with_default_attributes(units: usize) -> Self {
+        LayerGene {
+            units,
+            activation: Activation::Relu,
+            gain: 1.0,
+        }
+    }
+}
+
+/// Hyper-parameters for layer-genome evolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerConfig {
+    /// Input dimension of the expressed MLP.
+    pub num_inputs: usize,
+    /// Output dimension.
+    pub num_outputs: usize,
+    /// Maximum hidden layers.
+    pub max_layers: usize,
+    /// Unit count bounds for a hidden layer.
+    pub min_units: usize,
+    /// Unit count bounds for a hidden layer.
+    pub max_units: usize,
+    /// Probability of inserting a layer per mutation.
+    pub layer_add_prob: f64,
+    /// Probability of deleting a layer per mutation.
+    pub layer_delete_prob: f64,
+    /// Probability of resizing a layer per mutation.
+    pub resize_prob: f64,
+    /// Probability of perturbing a layer's gain per mutation.
+    pub gain_mutate_prob: f64,
+    /// Activations available to mutation.
+    pub activation_options: Vec<Activation>,
+}
+
+impl LayerConfig {
+    /// Sensible defaults for a given interface.
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        LayerConfig {
+            num_inputs,
+            num_outputs,
+            max_layers: 6,
+            min_units: 2,
+            max_units: 64,
+            layer_add_prob: 0.15,
+            layer_delete_prob: 0.1,
+            resize_prob: 0.4,
+            gain_mutate_prob: 0.5,
+            activation_options: vec![Activation::Relu, Activation::Tanh, Activation::Sigmoid],
+        }
+    }
+}
+
+/// A genome whose genes are layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGenome {
+    key: u64,
+    hidden: Vec<LayerGene>,
+    fitness: Option<f64>,
+}
+
+impl LayerGenome {
+    /// The minimal initial topology: no hidden layers (direct in→out map),
+    /// mirroring NEAT's minimal-start principle.
+    pub fn minimal(key: u64) -> Self {
+        LayerGenome {
+            key,
+            hidden: Vec::new(),
+            fitness: None,
+        }
+    }
+
+    /// Genome key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Hidden layer genes, input-to-output order.
+    pub fn layers(&self) -> &[LayerGene] {
+        &self.hidden
+    }
+
+    /// Recorded fitness.
+    pub fn fitness(&self) -> Option<f64> {
+        self.fitness
+    }
+
+    /// Records fitness.
+    pub fn set_fitness(&mut self, fitness: f64) {
+        self.fitness = Some(fitness);
+    }
+
+    /// Parameter count of the expressed MLP.
+    pub fn num_parameters(&self, config: &LayerConfig) -> usize {
+        let mut dims = vec![config.num_inputs];
+        dims.extend(self.hidden.iter().map(|l| l.units));
+        dims.push(config.num_outputs);
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Applies the four EvE operator classes at layer granularity.
+    pub fn mutate(&mut self, config: &LayerConfig, rng: &mut XorWow, ops: &mut OpCounters) {
+        if self.hidden.len() < config.max_layers && rng.chance(config.layer_add_prob) {
+            let units = config.min_units + rng.below(config.max_units - config.min_units + 1);
+            let at = rng.below(self.hidden.len() + 1);
+            self.hidden.insert(at, LayerGene::with_default_attributes(units));
+            ops.add_node += 1;
+        }
+        if !self.hidden.is_empty() && rng.chance(config.layer_delete_prob) {
+            let at = rng.below(self.hidden.len());
+            self.hidden.remove(at);
+            ops.delete_node += 1;
+        }
+        for layer in &mut self.hidden {
+            if rng.chance(config.resize_prob) {
+                let delta = 1 + rng.below(4);
+                layer.units = if rng.chance(0.5) {
+                    (layer.units + delta).min(config.max_units)
+                } else {
+                    layer.units.saturating_sub(delta).max(config.min_units)
+                };
+                ops.perturb += 1;
+            }
+            if rng.chance(config.gain_mutate_prob) {
+                layer.gain = (layer.gain + rng.next_gaussian() * 0.2).clamp(0.05, 4.0);
+                ops.perturb += 1;
+            }
+            if rng.chance(0.1) {
+                layer.activation = Activation::random(rng, &config.activation_options);
+                ops.perturb += 1;
+            }
+        }
+    }
+
+    /// Layer-wise crossover: matching depth positions cherry-pick
+    /// attributes; excess layers come from the fitter parent.
+    pub fn crossover(
+        key: u64,
+        fit: &LayerGenome,
+        other: &LayerGenome,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) -> LayerGenome {
+        let mut hidden = Vec::with_capacity(fit.hidden.len());
+        for (i, layer) in fit.hidden.iter().enumerate() {
+            let mut child = *layer;
+            if let Some(o) = other.hidden.get(i) {
+                if !rng.chance(0.5) {
+                    child.units = o.units;
+                }
+                if !rng.chance(0.5) {
+                    child.activation = o.activation;
+                }
+                if !rng.chance(0.5) {
+                    child.gain = o.gain;
+                }
+            }
+            ops.crossover += 1;
+            hidden.push(child);
+        }
+        LayerGenome {
+            key,
+            hidden,
+            fitness: None,
+        }
+    }
+
+    /// Expresses the layer genome into an ordinary dense [`Genome`] so the
+    /// whole GeneSys stack (phenotype, ADAM timing, 64-bit codec, genome
+    /// buffer) applies unchanged. Weights are derived deterministically
+    /// from the genome key and layer gains — the layer gene *is* the unit
+    /// of evolution; per-weight refinement is the job of
+    /// [`tuning`](crate::tuning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenomeError`] from genome assembly (cannot occur for
+    /// in-range configs; kept for API honesty).
+    pub fn express(&self, config: &LayerConfig) -> Result<Genome, GenomeError> {
+        let mut dims = vec![config.num_inputs];
+        dims.extend(self.hidden.iter().map(|l| l.units));
+        dims.push(config.num_outputs);
+
+        let mut nodes: Vec<NodeGene> = Vec::new();
+        let mut ids_per_layer: Vec<Vec<NodeId>> = Vec::new();
+        // Interface ids first (the Genome id-layout contract), hidden after.
+        let mut next_hidden = (config.num_inputs + config.num_outputs) as u32;
+        for (l, &n) in dims.iter().enumerate() {
+            let mut ids = Vec::with_capacity(n);
+            for k in 0..n {
+                let id = if l == 0 {
+                    let id = NodeId(k as u32);
+                    nodes.push(NodeGene::input(id));
+                    id
+                } else if l == dims.len() - 1 {
+                    let id = NodeId((config.num_inputs + k) as u32);
+                    nodes.push(NodeGene::output(id));
+                    id
+                } else {
+                    let id = NodeId(next_hidden);
+                    next_hidden += 1;
+                    let mut node = NodeGene::hidden(id);
+                    node.activation = self.hidden[l - 1].activation;
+                    nodes.push(node);
+                    id
+                };
+                ids.push(id);
+            }
+            ids_per_layer.push(ids);
+        }
+
+        // Deterministic weight painter seeded by the genome key.
+        let mut painter = XorWow::seed_from_u64_value(self.key ^ 0x17A9_E12);
+        let mut conns = Vec::new();
+        for l in 0..dims.len() - 1 {
+            let gain = if l < self.hidden.len() {
+                self.hidden[l].gain
+            } else {
+                1.0
+            };
+            let fan_in = dims[l].max(1) as f64;
+            let scale = gain / fan_in.sqrt();
+            for &src in &ids_per_layer[l] {
+                for &dst in &ids_per_layer[l + 1] {
+                    conns.push(ConnGene::new(src, dst, painter.next_gaussian() * scale));
+                }
+            }
+        }
+        Genome::from_parts(self.key, config.num_inputs, config.num_outputs, nodes, conns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn config() -> LayerConfig {
+        LayerConfig::new(6, 2)
+    }
+
+    #[test]
+    fn minimal_genome_expresses_direct_mlp() {
+        let g = LayerGenome::minimal(1);
+        let c = config();
+        let expressed = g.express(&c).unwrap();
+        assert_eq!(expressed.num_nodes(), 8);
+        assert_eq!(expressed.num_conns(), 12);
+        let net = Network::from_genome(&expressed).unwrap();
+        assert_eq!(net.activate(&[0.0; 6]).len(), 2);
+    }
+
+    #[test]
+    fn parameter_count_matches_dense_mlp_formula() {
+        let mut g = LayerGenome::minimal(1);
+        g.hidden.push(LayerGene::with_default_attributes(10));
+        let c = config();
+        // 6*10+10 + 10*2+2 = 92
+        assert_eq!(g.num_parameters(&c), 92);
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let c = config();
+        let mut g = LayerGenome::minimal(2);
+        let mut rng = XorWow::seed_from_u64_value(5);
+        let mut ops = OpCounters::new();
+        for _ in 0..200 {
+            g.mutate(&c, &mut rng, &mut ops);
+            assert!(g.layers().len() <= c.max_layers);
+            for layer in g.layers() {
+                assert!((c.min_units..=c.max_units).contains(&layer.units));
+                assert!(layer.gain >= 0.05 && layer.gain <= 4.0);
+            }
+        }
+        assert!(ops.total() > 0);
+    }
+
+    #[test]
+    fn mutated_genomes_always_express_validly() {
+        let c = config();
+        let mut rng = XorWow::seed_from_u64_value(6);
+        let mut g = LayerGenome::minimal(3);
+        let mut ops = OpCounters::new();
+        for _ in 0..50 {
+            g.mutate(&c, &mut rng, &mut ops);
+            let expressed = g.express(&c).unwrap();
+            assert!(expressed.validate().is_ok());
+            let net = Network::from_genome(&expressed).unwrap();
+            assert!(net.activate(&[0.1; 6]).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn expression_is_deterministic_per_key() {
+        let c = config();
+        let mut g = LayerGenome::minimal(9);
+        g.hidden.push(LayerGene::with_default_attributes(5));
+        let a = g.express(&c).unwrap();
+        let b = g.express(&c).unwrap();
+        for (ca, cb) in a.conns().zip(b.conns()) {
+            assert_eq!(ca.weight, cb.weight);
+        }
+        // A different key paints different weights.
+        let mut g2 = g.clone();
+        g2.key = 10;
+        let d = g2.express(&c).unwrap();
+        let differs = a.conns().zip(d.conns()).any(|(x, y)| x.weight != y.weight);
+        assert!(differs);
+    }
+
+    #[test]
+    fn crossover_matches_depth_and_keeps_fitter_excess() {
+        let mut rng = XorWow::seed_from_u64_value(7);
+        let mut ops = OpCounters::new();
+        let mut fit = LayerGenome::minimal(0);
+        fit.hidden = vec![
+            LayerGene::with_default_attributes(8),
+            LayerGene::with_default_attributes(4),
+        ];
+        let mut other = LayerGenome::minimal(1);
+        other.hidden = vec![LayerGene::with_default_attributes(16)];
+        let child = LayerGenome::crossover(2, &fit, &other, &mut rng, &mut ops);
+        assert_eq!(child.layers().len(), 2, "depth follows the fitter parent");
+        assert!(child.layers()[0].units == 8 || child.layers()[0].units == 16);
+        assert_eq!(child.layers()[1].units, 4, "excess layer from fitter parent");
+        assert_eq!(ops.crossover, 2);
+    }
+
+    #[test]
+    fn layer_evolution_plus_tuning_learns_a_mapping() {
+        // End-to-end: evolve depth/width, express, tune weights — the
+        // paper's hybrid loop in miniature.
+        let c = LayerConfig::new(2, 1);
+        let mut rng = XorWow::seed_from_u64_value(11);
+        let target = |net: &Network| {
+            let probes: [[f64; 2]; 4] = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+            let mut fit = 4.0;
+            for p in &probes {
+                let want = (p[0] - p[1]).abs(); // XOR-ish
+                let got = net.activate(p)[0];
+                fit -= (got - want) * (got - want);
+            }
+            fit
+        };
+        let mut best = f64::MIN;
+        let mut ops = OpCounters::new();
+        for key in 0..12u64 {
+            let mut g = LayerGenome::minimal(key);
+            g.mutate(&c, &mut rng, &mut ops);
+            let expressed = g.express(&c).unwrap();
+            let tuned = crate::tuning::tune_weights(
+                &expressed,
+                &crate::tuning::TuningConfig::default(),
+                key,
+                target,
+            );
+            best = best.max(tuned.fitness);
+        }
+        assert!(best > 2.8, "hybrid search should fit XOR-ish target, best {best}");
+    }
+}

@@ -1,0 +1,81 @@
+//! # genesys-neat — NEAT neuro-evolution
+//!
+//! A from-scratch implementation of **NEAT** (Neuro-Evolution of Augmenting
+//! Topologies, Stanley & Miikkulainen 2002), structured the way the GeneSys
+//! paper (MICRO 2018) instruments it:
+//!
+//! * [`gene`] — the two gene kinds of Fig 3(c): node genes (neurons) and
+//!   connection genes (synapses), addressed by stable keys so that parent
+//!   gene streams can be *aligned* (the job of the hardware Gene Split block).
+//! * [`genome`] — a collection of genes describing one network, with the
+//!   crossover and the three mutation operators of Fig 3(d).
+//! * [`network`] — the feed-forward phenotype: evaluation of the acyclic
+//!   graph in topological wavefronts (the same wavefronts ADAM packs into
+//!   matrix–vector products).
+//! * [`species`] — speciation and fitness sharing (Section II-D).
+//! * [`reproduction`] — parent selection, elitism, offspring allocation, and
+//!   the **reproduction trace** the paper uses to drive its hardware
+//!   evaluation (Section VI-A).
+//! * [`population`] — the outer evolutionary loop with optional
+//!   population-level parallelism (PLP) over evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genesys_neat::{NeatConfig, Population};
+//!
+//! // XOR as a fitness function: 2 inputs, 1 output.
+//! let config = NeatConfig::builder(2, 1).pop_size(64).build().unwrap();
+//! let mut pop = Population::new(config, 1234);
+//! let cases = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+//! for _ in 0..3 {
+//!     pop.evolve_once(|net| {
+//!         let mut err = 0.0;
+//!         for (input, want) in &cases {
+//!             let out = net.activate(input)[0];
+//!             err += (out - want) * (out - want);
+//!         }
+//!         4.0 - err
+//!     });
+//! }
+//! assert_eq!(pop.generation(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod activation;
+pub mod aggregation;
+pub mod config;
+pub mod error;
+pub mod gene;
+pub mod genome;
+pub mod hyperneat;
+pub mod innovation;
+pub mod layers;
+pub mod network;
+pub mod population;
+pub mod reproduction;
+pub mod rng;
+pub mod species;
+pub mod stats;
+pub mod trace;
+pub mod tuning;
+
+pub use activation::Activation;
+pub use aggregation::Aggregation;
+pub use config::{InitialWeights, NeatConfig, NeatConfigBuilder};
+pub use error::{ConfigError, GenomeError};
+pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
+pub use genome::Genome;
+pub use hyperneat::{HyperNeat, Substrate};
+pub use innovation::InnovationTracker;
+pub use layers::{LayerConfig, LayerGene, LayerGenome};
+pub use network::Network;
+pub use population::{Population, RunOutcome, RunResult};
+pub use reproduction::ReproductionReport;
+pub use rng::XorWow;
+pub use species::{SpeciesId, SpeciesSet};
+pub use stats::GenerationStats;
+pub use trace::{GenerationTrace, OpKind, ReproductionOp};
+pub use tuning::{tune_weights, TuningConfig, TuningResult};

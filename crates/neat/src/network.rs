@@ -1,0 +1,326 @@
+//! Feed-forward phenotype of a genome.
+//!
+//! NEAT phenotypes are irregular acyclic graphs, not layered MLPs. This
+//! module compiles a [`Genome`] into an evaluation plan: nodes sorted into
+//! **topological wavefronts** (every node's enabled predecessors live in
+//! strictly earlier wavefronts). Wavefronts serve two purposes:
+//!
+//! 1. Software evaluation ([`Network::activate`]) walks them in order.
+//! 2. They are exactly the "well formed input vectors" the paper's
+//!    vectorize routine packs for ADAM's systolic array (Section IV-D) —
+//!    `genesys-core` reuses [`Network::layers`] for its cycle model.
+
+use crate::activation::Activation;
+use crate::aggregation::Aggregation;
+use crate::error::GenomeError;
+use crate::gene::{NodeId, NodeType};
+use crate::genome::Genome;
+use std::collections::HashMap;
+
+/// Evaluation recipe for one non-input node.
+#[derive(Debug, Clone)]
+struct NodeEval {
+    /// Value-slot index this node writes.
+    slot: usize,
+    bias: f64,
+    response: f64,
+    activation: Activation,
+    aggregation: Aggregation,
+    /// `(value slot, weight)` of each enabled incoming connection.
+    incoming: Vec<(usize, f64)>,
+}
+
+/// A compiled, immutable, reusable phenotype.
+///
+/// ```
+/// use genesys_neat::{Genome, NeatConfig, Network, XorWow};
+/// let config = NeatConfig::builder(2, 1).build()?;
+/// let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(1));
+/// let net = Network::from_genome(&genome)?;
+/// let out = net.activate(&[0.5, -0.5]);
+/// assert_eq!(out.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    num_inputs: usize,
+    num_outputs: usize,
+    total_slots: usize,
+    evals: Vec<NodeEval>,
+    output_slots: Vec<usize>,
+    layers: Vec<Vec<NodeId>>,
+    num_macs: u64,
+}
+
+impl Network {
+    /// Compiles a genome into a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::Cycle`] if the enabled connection graph is not
+    /// acyclic (cannot happen for genomes produced by this crate, which
+    /// maintain the feed-forward invariant, but hardware-decoded genomes go
+    /// through here too).
+    pub fn from_genome(genome: &Genome) -> Result<Network, GenomeError> {
+        let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
+        for (slot, node) in genome.nodes().enumerate() {
+            slot_of.insert(node.id, slot);
+        }
+
+        // Enabled-edge adjacency and in-degrees for Kahn layering.
+        let mut indegree: HashMap<NodeId, usize> =
+            genome.nodes().map(|n| (n.id, 0)).collect();
+        let mut out_edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut incoming: HashMap<NodeId, Vec<(usize, f64)>> = HashMap::new();
+        let mut num_macs = 0u64;
+        for conn in genome.conns().filter(|c| c.enabled) {
+            *indegree.get_mut(&conn.key.dst).expect("validated genome") += 1;
+            out_edges.entry(conn.key.src).or_default().push(conn.key.dst);
+            incoming
+                .entry(conn.key.dst)
+                .or_default()
+                .push((slot_of[&conn.key.src], conn.weight));
+            num_macs += 1;
+        }
+
+        // Wavefront 0 holds the inputs plus any source-free node.
+        let mut frontier: Vec<NodeId> = genome
+            .nodes()
+            .filter(|n| indegree[&n.id] == 0)
+            .map(|n| n.id)
+            .collect();
+        frontier.sort_unstable();
+        let mut layers: Vec<Vec<NodeId>> = Vec::new();
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut processed = 0usize;
+        while !frontier.is_empty() {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &id in &frontier {
+                processed += 1;
+                order.push(id);
+                if let Some(dsts) = out_edges.get(&id) {
+                    for &dst in dsts {
+                        let d = indegree.get_mut(&dst).expect("node present");
+                        *d -= 1;
+                        if *d == 0 {
+                            next.push(dst);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            layers.push(std::mem::take(&mut frontier));
+            frontier = next;
+        }
+        if processed != genome.num_nodes() {
+            return Err(GenomeError::Cycle);
+        }
+
+        let evals: Vec<NodeEval> = order
+            .iter()
+            .filter_map(|id| {
+                let node = genome.node(*id).expect("node present");
+                if node.node_type == NodeType::Input {
+                    return None;
+                }
+                Some(NodeEval {
+                    slot: slot_of[id],
+                    bias: node.bias,
+                    response: node.response,
+                    activation: node.activation,
+                    aggregation: node.aggregation,
+                    incoming: incoming.remove(id).unwrap_or_default(),
+                })
+            })
+            .collect();
+
+        let output_slots: Vec<usize> = (0..genome.num_outputs())
+            .map(|o| slot_of[&NodeId((genome.num_inputs() + o) as u32)])
+            .collect();
+        // Input nodes occupy the first ids; map observation k to its slot.
+        let mut input_slots: Vec<usize> = (0..genome.num_inputs())
+            .map(|i| slot_of[&NodeId(i as u32)])
+            .collect();
+        input_slots.sort_unstable();
+        debug_assert!(input_slots.windows(2).all(|w| w[1] == w[0] + 1));
+
+        Ok(Network {
+            num_inputs: genome.num_inputs(),
+            num_outputs: genome.num_outputs(),
+            total_slots: genome.num_nodes(),
+            evals,
+            output_slots,
+            layers,
+            num_macs,
+        })
+    }
+
+    /// Evaluates the network on one observation, returning the output node
+    /// values in output-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the genome's input count.
+    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "observation size must match the genome interface"
+        );
+        let mut values = vec![0.0f64; self.total_slots];
+        // Input node ids are 0..num_inputs and BTreeMap iteration slots them
+        // first, so slot i == input i.
+        values[..self.num_inputs].copy_from_slice(inputs);
+        let mut weighted: Vec<f64> = Vec::with_capacity(16);
+        for eval in &self.evals {
+            weighted.clear();
+            weighted.extend(eval.incoming.iter().map(|&(slot, w)| w * values[slot]));
+            let agg = eval.aggregation.apply(&weighted);
+            values[eval.slot] = eval.activation.apply(eval.bias + eval.response * agg);
+        }
+        self.output_slots.iter().map(|&s| values[s]).collect()
+    }
+
+    /// Number of input nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output nodes.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Topological wavefronts (layer 0 = inputs and source-free nodes).
+    /// These are the vertex batches ADAM evaluates per matrix–vector pass.
+    pub fn layers(&self) -> &[Vec<NodeId>] {
+        &self.layers
+    }
+
+    /// Multiply-accumulate operations per inference (one per enabled
+    /// connection) — the op count used by Table II and the Fig 9 cost
+    /// models.
+    pub fn num_macs(&self) -> u64 {
+        self.num_macs
+    }
+
+    /// Total number of nodes (value slots).
+    pub fn num_nodes(&self) -> usize {
+        self.total_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InitialWeights, NeatConfig};
+    use crate::gene::{ConnGene, NodeGene};
+    use crate::innovation::InnovationTracker;
+    use crate::rng::XorWow;
+    use crate::trace::OpCounters;
+
+    fn cfg() -> NeatConfig {
+        NeatConfig::builder(2, 1).build().unwrap()
+    }
+
+    #[test]
+    fn zero_weight_initial_net_outputs_sigmoid_of_zero() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let net = Network::from_genome(&g).unwrap();
+        let out = net.activate(&[1.0, -1.0]);
+        assert!((out[0] - 0.5).abs() < 1e-12, "zero weights ⇒ sigmoid(0) = 0.5");
+    }
+
+    #[test]
+    fn hand_built_network_computes_weighted_sum() {
+        // 2 inputs -> 1 output with weights 2 and -1, identity activation.
+        let mut nodes = vec![
+            NodeGene::input(NodeId(0)),
+            NodeGene::input(NodeId(1)),
+            NodeGene::output(NodeId(2)),
+        ];
+        nodes[2].activation = Activation::Identity;
+        nodes[2].bias = 0.25;
+        let conns = vec![
+            ConnGene::new(NodeId(0), NodeId(2), 2.0),
+            ConnGene::new(NodeId(1), NodeId(2), -1.0),
+        ];
+        let g = Genome::from_parts(0, 2, 1, nodes, conns).unwrap();
+        let net = Network::from_genome(&g).unwrap();
+        let out = net.activate(&[3.0, 4.0]);
+        assert!((out[0] - (0.25 + 2.0 * 3.0 - 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_node_forms_second_wavefront() {
+        let mut nodes = vec![
+            NodeGene::input(NodeId(0)),
+            NodeGene::output(NodeId(1)),
+            NodeGene::hidden(NodeId(2)),
+        ];
+        nodes[1].activation = Activation::Identity;
+        nodes[2].activation = Activation::Identity;
+        let conns = vec![
+            ConnGene::new(NodeId(0), NodeId(2), 3.0),
+            ConnGene::new(NodeId(2), NodeId(1), 2.0),
+        ];
+        let g = Genome::from_parts(0, 1, 1, nodes, conns).unwrap();
+        let net = Network::from_genome(&g).unwrap();
+        assert_eq!(net.layers().len(), 3);
+        let out = net.activate(&[1.5]);
+        assert!((out[0] - 9.0).abs() < 1e-12, "1.5 * 3 * 2 = 9");
+        assert_eq!(net.num_macs(), 2);
+    }
+
+    #[test]
+    fn disabled_connections_do_not_contribute() {
+        let mut nodes = vec![NodeGene::input(NodeId(0)), NodeGene::output(NodeId(1))];
+        nodes[1].activation = Activation::Identity;
+        let mut conn = ConnGene::new(NodeId(0), NodeId(1), 5.0);
+        conn.enabled = false;
+        let g = Genome::from_parts(0, 1, 1, nodes, vec![conn]).unwrap();
+        let net = Network::from_genome(&g).unwrap();
+        assert_eq!(net.activate(&[2.0])[0], 0.0);
+        assert_eq!(net.num_macs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation size")]
+    fn wrong_input_arity_panics() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let net = Network::from_genome(&g).unwrap();
+        let _ = net.activate(&[1.0]);
+    }
+
+    #[test]
+    fn evolved_genomes_compile_and_activate() {
+        let mut c = cfg();
+        c.initial_weights = InitialWeights::Uniform { lo: -1.0, hi: 1.0 };
+        let mut r = XorWow::seed_from_u64_value(9);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        for _ in 0..200 {
+            let mut ops = OpCounters::new();
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            let net = Network::from_genome(&g).expect("mutated genome stays acyclic");
+            let out = net.activate(&[0.3, -0.7]);
+            assert_eq!(out.len(), 1);
+            assert!(out[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn layer_zero_contains_all_inputs() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(2));
+        let net = Network::from_genome(&g).unwrap();
+        assert!(net.layers()[0].contains(&NodeId(0)));
+        assert!(net.layers()[0].contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn mac_count_matches_enabled_conns() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(3));
+        let net = Network::from_genome(&g).unwrap();
+        assert_eq!(net.num_macs() as usize, g.conns().filter(|c| c.enabled).count());
+    }
+}

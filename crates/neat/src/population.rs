@@ -1,0 +1,420 @@
+//! The outer evolutionary loop (Fig 3(a) of the paper).
+//!
+//! A [`Population`] owns the genomes of the current generation, evaluates
+//! them against a fitness function (optionally in parallel — the paper's
+//! **population-level parallelism**, PLP), applies speciation and fitness
+//! sharing, and reproduces the next generation, emitting the
+//! [`GenerationTrace`] that drives the hardware model.
+
+use crate::config::NeatConfig;
+use crate::genome::Genome;
+use crate::innovation::InnovationTracker;
+use crate::network::Network;
+use crate::reproduction::{reproduce, ReproductionReport};
+use crate::rng::XorWow;
+use crate::species::SpeciesSet;
+use crate::stats::GenerationStats;
+use crate::trace::GenerationTrace;
+
+/// Why an evolution run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The target fitness was reached at the recorded generation.
+    Converged {
+        /// Generation index at which the target was first reached.
+        generation: usize,
+    },
+    /// The generation budget was exhausted without convergence.
+    GenerationLimit,
+}
+
+/// Result of [`Population::run`].
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-generation statistics, one entry per evaluated generation.
+    pub history: Vec<GenerationStats>,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Best genome observed across the whole run.
+    pub best: Genome,
+}
+
+impl RunResult {
+    /// Convenience: did the run reach the target fitness?
+    pub fn converged(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Converged { .. })
+    }
+}
+
+/// A NEAT population: the set of genomes of the current generation plus all
+/// evolution machinery.
+#[derive(Debug)]
+pub struct Population {
+    config: NeatConfig,
+    genomes: Vec<Genome>,
+    species: SpeciesSet,
+    innovations: InnovationTracker,
+    rng: XorWow,
+    generation: usize,
+    next_key: u64,
+    threads: usize,
+    last_trace: Option<GenerationTrace>,
+    best_ever: Option<Genome>,
+}
+
+impl Population {
+    /// Creates generation 0: `pop_size` copies of the paper's minimal
+    /// topology (inputs fully connected to outputs, weights per config).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation; construct configs through
+    /// [`NeatConfig::builder`] to catch errors earlier.
+    pub fn new(config: NeatConfig, seed: u64) -> Self {
+        config.validate().expect("invalid NeatConfig");
+        let mut rng = XorWow::seed_from_u64_value(seed);
+        let genomes: Vec<Genome> = (0..config.pop_size as u64)
+            .map(|k| Genome::initial(k, &config, &mut rng))
+            .collect();
+        let innovations = InnovationTracker::new(config.first_hidden_id());
+        Population {
+            next_key: config.pop_size as u64,
+            config,
+            genomes,
+            species: SpeciesSet::new(),
+            innovations,
+            rng,
+            generation: 0,
+            threads: 1,
+            last_trace: None,
+            best_ever: None,
+        }
+    }
+
+    /// Enables population-level parallelism: fitness evaluation fans out
+    /// over `threads` OS threads (the paper's CPU_b/CPU_d configuration
+    /// runs 4).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Restores a population from previously evolved genomes (e.g. a
+    /// genome-buffer checkpoint decoded by
+    /// `genesys_core::codec::decode_population`). The innovation counter
+    /// resumes beyond every node id present; `generation` restarts at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid, `genomes` is empty, or a genome's
+    /// interface does not match `config`.
+    pub fn from_genomes(config: NeatConfig, genomes: Vec<Genome>, seed: u64) -> Self {
+        config.validate().expect("invalid NeatConfig");
+        assert!(!genomes.is_empty(), "cannot restore an empty population");
+        let mut innovations = InnovationTracker::new(config.first_hidden_id());
+        let mut max_key = 0u64;
+        for g in &genomes {
+            assert_eq!(g.num_inputs(), config.num_inputs, "interface mismatch");
+            assert_eq!(g.num_outputs(), config.num_outputs, "interface mismatch");
+            innovations.witness(crate::gene::NodeId(g.max_node_id()));
+            max_key = max_key.max(g.key());
+        }
+        let mut config = config;
+        config.pop_size = genomes.len();
+        Population {
+            next_key: max_key + 1,
+            config,
+            genomes,
+            species: SpeciesSet::new(),
+            innovations,
+            rng: XorWow::seed_from_u64_value(seed),
+            generation: 0,
+            threads: 1,
+            last_trace: None,
+            best_ever: None,
+        }
+    }
+
+    /// Current generation index (0 before the first [`Population::evolve_once`]).
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NeatConfig {
+        &self.config
+    }
+
+    /// Genomes of the current generation.
+    pub fn genomes(&self) -> &[Genome] {
+        &self.genomes
+    }
+
+    /// Living species.
+    pub fn species(&self) -> &SpeciesSet {
+        &self.species
+    }
+
+    /// Trace of the most recent reproduction step, if any.
+    pub fn last_trace(&self) -> Option<&GenerationTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Best genome observed so far (across all generations).
+    pub fn best_genome(&self) -> Option<&Genome> {
+        self.best_ever.as_ref()
+    }
+
+    /// Evaluates every genome with `fitness_fn`, storing fitness in place.
+    /// Returns the total inference MAC count (one forward pass per genome),
+    /// used by the cost models.
+    pub fn evaluate<F>(&mut self, fitness_fn: F) -> u64
+    where
+        F: Fn(&Network) -> f64 + Sync,
+    {
+        let nets: Vec<Network> = self
+            .genomes
+            .iter()
+            .map(|g| Network::from_genome(g).expect("population genomes are valid"))
+            .collect();
+        let macs: u64 = nets.iter().map(Network::num_macs).sum();
+        let n = nets.len();
+        let mut fitness = vec![0.0f64; n];
+        if self.threads <= 1 {
+            for (net, out) in nets.iter().zip(fitness.iter_mut()) {
+                *out = fitness_fn(net);
+            }
+        } else {
+            let chunk = n.div_ceil(self.threads);
+            let f = &fitness_fn;
+            crossbeam::thread::scope(|scope| {
+                for (net_chunk, fit_chunk) in nets.chunks(chunk).zip(fitness.chunks_mut(chunk)) {
+                    scope.spawn(move |_| {
+                        for (net, out) in net_chunk.iter().zip(fit_chunk.iter_mut()) {
+                            *out = f(net);
+                        }
+                    });
+                }
+            })
+            .expect("evaluation threads must not panic");
+        }
+        for (g, f) in self.genomes.iter_mut().zip(fitness.iter()) {
+            g.set_fitness(*f);
+        }
+        // Track the best-ever genome.
+        if let Some(best_idx) = (0..n).max_by(|&a, &b| {
+            fitness[a].partial_cmp(&fitness[b]).expect("finite fitness")
+        }) {
+            let better = self
+                .best_ever
+                .as_ref()
+                .and_then(Genome::fitness)
+                .is_none_or(|prev| fitness[best_idx] > prev);
+            if better {
+                self.best_ever = Some(self.genomes[best_idx].clone());
+            }
+        }
+        macs
+    }
+
+    /// One full generation: evaluate → speciate → fitness sharing →
+    /// stagnation → reproduce. Returns the statistics of the *evaluated*
+    /// generation; afterwards [`Population::genomes`] holds the next one.
+    pub fn evolve_once<F>(&mut self, fitness_fn: F) -> GenerationStats
+    where
+        F: Fn(&Network) -> f64 + Sync,
+    {
+        let macs = self.evaluate(fitness_fn);
+        self.species.speciate(&self.genomes, &self.config, self.generation);
+        self.species
+            .remove_stagnant(&self.genomes, &self.config, self.generation);
+        self.species.share_fitness(&self.genomes);
+
+        let ReproductionReport { offspring, trace } = reproduce(
+            &self.genomes,
+            &self.species,
+            &self.config,
+            &mut self.innovations,
+            &mut self.rng,
+            self.generation,
+            &mut self.next_key,
+        );
+        let stats = GenerationStats::collect(
+            self.generation,
+            &self.genomes,
+            self.species.len(),
+            Some(&trace),
+            macs,
+        );
+        self.last_trace = Some(trace);
+        self.genomes = offspring;
+        self.generation += 1;
+        stats
+    }
+
+    /// Runs evolution until the configured target fitness is reached or
+    /// `max_generations` have been evaluated.
+    pub fn run<F>(&mut self, fitness_fn: F, max_generations: usize) -> RunResult
+    where
+        F: Fn(&Network) -> f64 + Sync,
+    {
+        let mut history = Vec::new();
+        for _ in 0..max_generations {
+            let stats = self.evolve_once(&fitness_fn);
+            let hit_target = self
+                .config
+                .target_fitness
+                .is_some_and(|t| stats.max_fitness >= t);
+            let generation = stats.generation;
+            history.push(stats);
+            if hit_target {
+                return RunResult {
+                    history,
+                    outcome: RunOutcome::Converged { generation },
+                    best: self.best_ever.clone().expect("evaluated at least once"),
+                };
+            }
+        }
+        RunResult {
+            best: self
+                .best_ever
+                .clone()
+                .unwrap_or_else(|| self.genomes[0].clone()),
+            history,
+            outcome: RunOutcome::GenerationLimit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy separable fitness: reward networks whose output tracks the
+    /// first input. Solvable by weight evolution alone.
+    fn proxy_fitness(net: &Network) -> f64 {
+        let cases = [[0.0, 0.0], [0.25, 1.0], [0.5, 0.5], [1.0, 0.0]];
+        let mut fit = 4.0;
+        for c in &cases {
+            let out = net.activate(c)[0];
+            let want = c[0];
+            fit -= (out - want) * (out - want);
+        }
+        fit
+    }
+
+    fn small_config() -> NeatConfig {
+        NeatConfig::builder(2, 1)
+            .pop_size(40)
+            .target_fitness(Some(3.8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_zero_is_uniform() {
+        let pop = Population::new(small_config(), 7);
+        assert_eq!(pop.genomes().len(), 40);
+        assert_eq!(pop.generation(), 0);
+        assert!(pop.genomes().iter().all(|g| g.num_genes() == 5));
+    }
+
+    #[test]
+    fn evolve_once_advances_generation_and_records_trace() {
+        let mut pop = Population::new(small_config(), 7);
+        let stats = pop.evolve_once(proxy_fitness);
+        assert_eq!(stats.generation, 0);
+        assert_eq!(pop.generation(), 1);
+        assert_eq!(pop.genomes().len(), 40);
+        assert!(pop.last_trace().is_some());
+        assert!(stats.ops.total() > 0);
+    }
+
+    #[test]
+    fn fitness_improves_over_generations() {
+        let mut pop = Population::new(small_config(), 11);
+        let first = pop.evolve_once(proxy_fitness).max_fitness;
+        let mut best = first;
+        for _ in 0..25 {
+            best = best.max(pop.evolve_once(proxy_fitness).max_fitness);
+        }
+        assert!(
+            best > first + 0.05,
+            "25 generations should improve fitness: first {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn run_stops_at_target() {
+        let mut pop = Population::new(small_config(), 3);
+        let result = pop.run(proxy_fitness, 200);
+        if result.converged() {
+            let last = result.history.last().unwrap();
+            assert!(last.max_fitness >= 3.8);
+        } else {
+            assert_eq!(result.history.len(), 200);
+        }
+        assert!(result.best.fitness().is_some());
+    }
+
+    #[test]
+    fn parallel_and_serial_evaluation_agree() {
+        let mut a = Population::new(small_config(), 5);
+        let mut b = Population::new(small_config(), 5);
+        b.set_parallelism(4);
+        let macs_a = a.evaluate(proxy_fitness);
+        let macs_b = b.evaluate(proxy_fitness);
+        assert_eq!(macs_a, macs_b);
+        for (ga, gb) in a.genomes().iter().zip(b.genomes().iter()) {
+            assert_eq!(ga.fitness(), gb.fitness());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Population::new(small_config(), 99);
+        let mut b = Population::new(small_config(), 99);
+        for _ in 0..5 {
+            let sa = a.evolve_once(proxy_fitness);
+            let sb = b.evolve_once(proxy_fitness);
+            assert_eq!(sa.max_fitness, sb.max_fitness);
+            assert_eq!(sa.total_genes, sb.total_genes);
+            assert_eq!(sa.ops, sb.ops);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Population::new(small_config(), 1);
+        let mut b = Population::new(small_config(), 2);
+        let mut any_diff = false;
+        for _ in 0..5 {
+            let sa = a.evolve_once(proxy_fitness);
+            let sb = b.evolve_once(proxy_fitness);
+            if sa.total_genes != sb.total_genes || sa.max_fitness != sb.max_fitness {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn best_ever_tracks_across_generations() {
+        let mut pop = Population::new(small_config(), 21);
+        let mut running_max = f64::NEG_INFINITY;
+        for _ in 0..10 {
+            let s = pop.evolve_once(proxy_fitness);
+            running_max = running_max.max(s.max_fitness);
+            let best = pop.best_genome().unwrap().fitness().unwrap();
+            assert!((best - running_max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn genome_count_stays_constant() {
+        let mut pop = Population::new(small_config(), 13);
+        for _ in 0..10 {
+            pop.evolve_once(proxy_fitness);
+            assert_eq!(pop.genomes().len(), 40);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Reproduction: selection, elitism, offspring allocation, crossover and
+//! mutation — the work the GeneSys Gene Selector + EvE perform each
+//! generation (walkthrough steps 7–10).
+
+use crate::config::NeatConfig;
+use crate::genome::Genome;
+use crate::innovation::InnovationTracker;
+use crate::rng::XorWow;
+use crate::species::SpeciesSet;
+use crate::trace::{ChildTrace, GenerationTrace, OpCounters};
+
+/// Result of one reproduction step.
+#[derive(Debug)]
+pub struct ReproductionReport {
+    /// The next generation's genomes.
+    pub offspring: Vec<Genome>,
+    /// The reproduction trace (consumed by the hardware model and Fig 5(a)).
+    pub trace: GenerationTrace,
+}
+
+/// Allocates offspring counts to species proportionally to their
+/// fitness-shared adjusted fitness, with a floor of
+/// `min_species_size.max(elitism)` per species, normalized to `pop_size`.
+pub fn allocate_offspring(
+    adjusted: &[f64],
+    pop_size: usize,
+    min_size: usize,
+) -> Vec<usize> {
+    if adjusted.is_empty() {
+        return Vec::new();
+    }
+    let total: f64 = adjusted.iter().sum();
+    let mut alloc: Vec<usize> = if total <= 0.0 {
+        // Degenerate: share equally.
+        vec![(pop_size / adjusted.len()).max(min_size); adjusted.len()]
+    } else {
+        adjusted
+            .iter()
+            .map(|af| ((af / total) * pop_size as f64).round() as usize)
+            .map(|n| n.max(min_size))
+            .collect()
+    };
+    // Normalize the rounded total back to exactly pop_size: trim from the
+    // largest allocations, pad the smallest.
+    loop {
+        let sum: usize = alloc.iter().sum();
+        if sum == pop_size {
+            break;
+        }
+        if sum > pop_size {
+            let i = alloc
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &n)| n)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            if alloc[i] > min_size {
+                alloc[i] -= 1;
+            } else {
+                // Every species is at the floor; steal anyway to respect
+                // pop_size exactly.
+                alloc[i] = alloc[i].saturating_sub(1);
+            }
+        } else {
+            let i = alloc
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &n)| n)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            alloc[i] += 1;
+        }
+    }
+    alloc
+}
+
+/// Produces the next generation from an evaluated, speciated population.
+///
+/// Within each species, members are ranked by raw fitness; the top
+/// [`NeatConfig::elitism`] genomes are copied verbatim, and the top
+/// [`NeatConfig::survival_threshold`] fraction form the parent pool ("only
+/// individuals above a certain fitness threshold are allowed to participate
+/// in reproduction"). Children are produced by crossover of two parents
+/// (probability [`NeatConfig::crossover_prob`]) or cloning, followed by
+/// mutation.
+pub fn reproduce(
+    genomes: &[Genome],
+    species: &SpeciesSet,
+    config: &NeatConfig,
+    innovations: &mut InnovationTracker,
+    rng: &mut XorWow,
+    generation: usize,
+    next_key: &mut u64,
+) -> ReproductionReport {
+    innovations.begin_generation();
+    let adjusted: Vec<f64> = species.iter().map(|s| s.adjusted_fitness).collect();
+    let floor = config.min_species_size.max(config.elitism);
+    let alloc = allocate_offspring(&adjusted, config.pop_size, floor);
+
+    let mut offspring: Vec<Genome> = Vec::with_capacity(config.pop_size);
+    let mut children: Vec<ChildTrace> = Vec::with_capacity(config.pop_size);
+
+    for (s, &spawn) in species.iter().zip(alloc.iter()) {
+        if spawn == 0 {
+            continue;
+        }
+        // Rank members by raw fitness, best first.
+        let mut ranked: Vec<usize> = s.members.clone();
+        ranked.sort_by(|&a, &b| {
+            let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+            let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+            fb.partial_cmp(&fa).expect("finite fitness")
+        });
+        let mut remaining = spawn;
+
+        // Elites pass through unchanged (and skip the EvE PEs entirely).
+        for &elite_idx in ranked.iter().take(config.elitism.min(remaining)) {
+            let mut elite = genomes[elite_idx].clone();
+            elite.set_key(*next_key);
+            *next_key += 1;
+            children.push(ChildTrace {
+                child_index: offspring.len(),
+                parent1: elite_idx,
+                parent2: elite_idx,
+                genes_streamed: elite.num_genes() as u64,
+                ops: OpCounters::new(),
+                is_elite: true,
+            });
+            offspring.push(elite);
+        }
+        remaining = remaining.saturating_sub(config.elitism.min(remaining));
+
+        // Parent pool: the surviving top fraction, at least two if possible.
+        let pool_size = ((ranked.len() as f64 * config.survival_threshold).ceil() as usize)
+            .clamp(1, ranked.len());
+        let pool = &ranked[..pool_size.max(2.min(ranked.len()))];
+
+        for _ in 0..remaining {
+            let p1 = pool[rng.below(pool.len())];
+            let p2 = pool[rng.below(pool.len())];
+            let mut ops = OpCounters::new();
+            let sexual = p1 != p2 && rng.chance(config.crossover_prob);
+            let mut child = if sexual {
+                // Order parents by fitness: parent1 must be the fitter one.
+                let (hi, lo) = if genomes[p1].fitness() >= genomes[p2].fitness() {
+                    (p1, p2)
+                } else {
+                    (p2, p1)
+                };
+                Genome::crossover(*next_key, &genomes[hi], &genomes[lo], 0.5, rng, &mut ops)
+            } else {
+                let mut clone = genomes[p1].clone();
+                clone.set_key(*next_key);
+                // A cloned child still streams through the PE (its genes are
+                // "crossed" with themselves in hardware terms).
+                ops.crossover += clone.num_genes() as u64;
+                clone
+            };
+            *next_key += 1;
+            child.mutate(config, innovations, rng, &mut ops);
+            let genes_streamed = genomes[p1].num_genes().max(genomes[p2].num_genes()) as u64;
+            children.push(ChildTrace {
+                child_index: offspring.len(),
+                parent1: p1,
+                parent2: if sexual { p2 } else { p1 },
+                genes_streamed,
+                ops,
+                is_elite: false,
+            });
+            offspring.push(child);
+        }
+    }
+
+    // Guard against rounding leaving us short (e.g. all species died):
+    // top-up by mutating clones of the global best.
+    if offspring.len() < config.pop_size {
+        let best = genomes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.fitness()
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .partial_cmp(&b.fitness().unwrap_or(f64::NEG_INFINITY))
+                    .expect("finite fitness")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        while offspring.len() < config.pop_size {
+            let mut ops = OpCounters::new();
+            let mut child = genomes[best].clone();
+            child.set_key(*next_key);
+            *next_key += 1;
+            ops.crossover += child.num_genes() as u64;
+            child.mutate(config, innovations, rng, &mut ops);
+            children.push(ChildTrace {
+                child_index: offspring.len(),
+                parent1: best,
+                parent2: best,
+                genes_streamed: child.num_genes() as u64,
+                ops,
+                is_elite: false,
+            });
+            offspring.push(child);
+        }
+    }
+    offspring.truncate(config.pop_size);
+    children.truncate(config.pop_size);
+
+    ReproductionReport {
+        offspring,
+        trace: GenerationTrace {
+            generation,
+            children,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pop: usize) -> (Vec<Genome>, SpeciesSet, NeatConfig, InnovationTracker, XorWow) {
+        let c = NeatConfig::builder(3, 1).pop_size(pop).build().unwrap();
+        let mut rng = XorWow::seed_from_u64_value(42);
+        let mut genomes: Vec<Genome> = (0..pop as u64)
+            .map(|k| Genome::initial(k, &c, &mut rng))
+            .collect();
+        for (i, g) in genomes.iter_mut().enumerate() {
+            g.set_fitness(i as f64);
+        }
+        let mut species = SpeciesSet::new();
+        species.speciate(&genomes, &c, 0);
+        species.share_fitness(&genomes);
+        let innov = InnovationTracker::new(c.first_hidden_id());
+        (genomes, species, c, innov, rng)
+    }
+
+    #[test]
+    fn allocation_sums_to_pop_size() {
+        for (adjusted, pop) in [
+            (vec![0.5, 0.3, 0.2], 150usize),
+            (vec![1.0], 10),
+            (vec![0.0, 0.0], 20),
+            (vec![0.9, 0.05, 0.03, 0.02], 7),
+        ] {
+            let alloc = allocate_offspring(&adjusted, pop, 2);
+            assert_eq!(alloc.iter().sum::<usize>(), pop, "{adjusted:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_respects_proportionality() {
+        let alloc = allocate_offspring(&[0.8, 0.2], 100, 2);
+        assert!(alloc[0] > alloc[1]);
+    }
+
+    #[test]
+    fn reproduce_produces_exactly_pop_size() {
+        let (genomes, species, c, mut innov, mut rng) = setup(30);
+        let mut key = 1000;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        assert_eq!(report.offspring.len(), 30);
+        assert_eq!(report.trace.children.len(), 30);
+    }
+
+    #[test]
+    fn elites_are_preserved_verbatim() {
+        let (genomes, species, c, mut innov, mut rng) = setup(30);
+        let mut key = 1000;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        let elite_traces: Vec<&ChildTrace> =
+            report.trace.children.iter().filter(|t| t.is_elite).collect();
+        assert!(!elite_traces.is_empty());
+        for t in elite_traces {
+            let child = &report.offspring[t.child_index];
+            let parent = &genomes[t.parent1];
+            assert_eq!(child.num_genes(), parent.num_genes());
+            assert_eq!(t.ops.total(), 0, "elites bypass the PEs");
+        }
+    }
+
+    #[test]
+    fn children_are_valid_genomes() {
+        let (genomes, species, c, mut innov, mut rng) = setup(50);
+        let mut key = 0;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        for child in &report.offspring {
+            assert!(child.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn trace_records_crossover_work() {
+        let (genomes, species, c, mut innov, mut rng) = setup(50);
+        let mut key = 0;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        let totals = report.trace.totals();
+        assert!(totals.crossover > 0, "non-elite children stream genes");
+        assert!(report.trace.total_ops() > totals.crossover, "mutations occurred");
+    }
+
+    #[test]
+    fn parents_come_from_top_fraction() {
+        let (genomes, species, c, mut innov, mut rng) = setup(50);
+        let mut key = 0;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        // With one species of 50 and survival 0.2, parents are the top 10
+        // (fitness 40..49).
+        for t in report.trace.children.iter().filter(|t| !t.is_elite) {
+            assert!(genomes[t.parent1].fitness().unwrap() >= 40.0);
+            assert!(genomes[t.parent2].fitness().unwrap() >= 40.0);
+        }
+    }
+
+    #[test]
+    fn unique_keys_assigned() {
+        let (genomes, species, c, mut innov, mut rng) = setup(20);
+        let mut key = 500;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        let mut keys: Vec<u64> = report.offspring.iter().map(|g| g.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 20, "genome keys must be unique");
+        assert!(key >= 520);
+    }
+
+    #[test]
+    fn reuse_statistic_positive_with_small_pool() {
+        let (genomes, species, c, mut innov, mut rng) = setup(60);
+        let mut key = 0;
+        let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
+        // 60 children from a pool of 12 parents: some parent is reused.
+        assert!(report.trace.fittest_parent_reuse() >= 5);
+    }
+}

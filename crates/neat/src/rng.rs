@@ -1,0 +1,269 @@
+//! XOR-WOW pseudo-random number generator.
+//!
+//! The GeneSys PEs are fed by a hardware PRNG implementing the **XORWOW**
+//! algorithm (Marsaglia 2003), "also used within NVIDIA GPUs" per the paper
+//! (Section IV-C4). Implementing it here, in the algorithm crate, lets the
+//! software evolution path and the cycle-level EvE model draw from the same
+//! stream, which keeps hardware/software comparisons trace-identical.
+
+use rand::{Error as RandError, RngCore, SeedableRng};
+
+/// Marsaglia's XORWOW generator: five words of xorshift state plus a Weyl
+/// counter. Period `2^192 - 2^32`.
+///
+/// Implements [`rand::RngCore`] so it can be used anywhere in the `rand`
+/// ecosystem, and exposes [`XorWow::next_u8`] matching the paper's
+/// "8-bit random numbers every cycle" PRNG interface.
+///
+/// ```
+/// use genesys_neat::XorWow;
+/// let mut a = XorWow::seed_from_u64_value(7);
+/// let mut b = XorWow::seed_from_u64_value(7);
+/// assert_eq!(a.next_u32_value(), b.next_u32_value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorWow {
+    x: [u32; 5],
+    counter: u32,
+}
+
+impl XorWow {
+    /// Creates a generator from five state words and a counter.
+    ///
+    /// All-zero xorshift state is degenerate (the stream would be constant
+    /// zero), so a fixed nonzero word is substituted in that case.
+    pub fn from_state(state: [u32; 5], counter: u32) -> Self {
+        let mut x = state;
+        if x.iter().all(|&w| w == 0) {
+            x[0] = 0x9E37_79B9;
+        }
+        XorWow { x, counter }
+    }
+
+    /// Convenience seeding from a single `u64`, using SplitMix64 to expand
+    /// the seed into the five state words.
+    pub fn seed_from_u64_value(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a = next();
+        let b = next();
+        let c = next();
+        XorWow::from_state(
+            [
+                a as u32,
+                (a >> 32) as u32,
+                b as u32,
+                (b >> 32) as u32,
+                c as u32,
+            ],
+            (c >> 32) as u32,
+        )
+    }
+
+    /// Advances the generator and returns the next 32-bit word.
+    pub fn next_u32_value(&mut self) -> u32 {
+        // XORWOW per Marsaglia, "Xorshift RNGs", with a Weyl sequence added.
+        let mut t = self.x[4];
+        let s = self.x[0];
+        self.x[4] = self.x[3];
+        self.x[3] = self.x[2];
+        self.x[2] = self.x[1];
+        self.x[1] = s;
+        t ^= t >> 2;
+        t ^= t << 1;
+        t ^= s ^ (s << 4);
+        self.x[0] = t;
+        self.counter = self.counter.wrapping_add(362_437);
+        t.wrapping_add(self.counter)
+    }
+
+    /// Returns the next 8-bit value — the per-cycle output width of the
+    /// hardware PRNG block feeding the EvE PEs.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u32_value() >> 24) as u8
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        let hi = u64::from(self.next_u32_value());
+        let lo = u64::from(self.next_u32_value());
+        let bits53 = ((hi << 32) | lo) >> 11;
+        bits53 as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform bounds must be ordered");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns a standard-normal sample (Box–Muller; one sample per call,
+    /// second discarded to keep the stream alignment simple).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by offsetting into (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Bernoulli draw with probability `p` of returning `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift rejection-free mapping is fine here: the state
+        // space (2^32) dwarfs every `n` used by the algorithm (≤ millions),
+        // so bias is negligible for simulation purposes.
+        ((u64::from(self.next_u32_value()) * n as u64) >> 32) as usize
+    }
+}
+
+impl RngCore for XorWow {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u32_value()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32_value()) << 32) | u64::from(self.next_u32_value())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32_value().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), RandError> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for XorWow {
+    type Seed = [u8; 24];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let word = |i: usize| {
+            u32::from_le_bytes([seed[4 * i], seed[4 * i + 1], seed[4 * i + 2], seed[4 * i + 3]])
+        };
+        XorWow::from_state([word(0), word(1), word(2), word(3), word(4)], word(5))
+    }
+}
+
+impl Default for XorWow {
+    fn default() -> Self {
+        XorWow::seed_from_u64_value(0xC0FF_EE11)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = XorWow::seed_from_u64_value(99);
+        let mut b = XorWow::seed_from_u64_value(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32_value(), b.next_u32_value());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorWow::seed_from_u64_value(1);
+        let mut b = XorWow::seed_from_u64_value(2);
+        let same = (0..64).filter(|_| a.next_u32_value() == b.next_u32_value()).count();
+        assert!(same < 4, "streams from different seeds should not match");
+    }
+
+    #[test]
+    fn zero_state_is_rescued() {
+        let mut z = XorWow::from_state([0; 5], 0);
+        let first = z.next_u32_value();
+        let second = z.next_u32_value();
+        assert!(first != 0 || second != 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorWow::default();
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = XorWow::seed_from_u64_value(5);
+        for _ in 0..10_000 {
+            let v = r.uniform(-3.0, 3.0);
+            assert!((-3.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = XorWow::seed_from_u64_value(6);
+        for n in 1..200 {
+            let v = r.below(n);
+            assert!(v < n);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = XorWow::seed_from_u64_value(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = XorWow::seed_from_u64_value(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "gaussian mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "gaussian variance {var} too far from 1");
+    }
+
+    #[test]
+    fn u8_stream_covers_range() {
+        let mut r = XorWow::seed_from_u64_value(9);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[r.next_u8() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+    }
+
+    #[test]
+    fn seedable_rng_roundtrip() {
+        let seed = [42u8; 24];
+        let mut a = XorWow::from_seed(seed);
+        let mut b = XorWow::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

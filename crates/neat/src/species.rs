@@ -1,0 +1,323 @@
+//! Speciation and fitness sharing (Section II-D of the paper).
+//!
+//! "Speciation works by grouping a few individuals within the population
+//! with a particular niche. Within a species, the fitness of the younger
+//! individuals is artificially increased so that they are not obliterated
+//! when pitted against older, fitter individuals." Genomes are clustered by
+//! compatibility distance against a per-species representative; fitness
+//! sharing normalizes member fitness within each species before offspring
+//! are allocated.
+
+use crate::config::NeatConfig;
+use crate::genome::Genome;
+use std::fmt;
+
+/// Identifier of a species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpeciesId(pub u32);
+
+impl fmt::Display for SpeciesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One species: a niche of structurally similar genomes.
+#[derive(Debug, Clone)]
+pub struct Species {
+    /// Identifier (stable across generations).
+    pub id: SpeciesId,
+    /// Representative genome used for distance tests.
+    pub representative: Genome,
+    /// Member indices into the current generation's genome vector.
+    pub members: Vec<usize>,
+    /// Generation at which the species appeared.
+    pub created_at: usize,
+    /// Last generation in which the species' best fitness improved.
+    pub last_improved: usize,
+    /// Best raw fitness ever seen in this species.
+    pub best_fitness: f64,
+    /// Fitness-shared (adjusted) fitness for the current generation.
+    pub adjusted_fitness: f64,
+}
+
+impl Species {
+    /// Mean raw fitness of current members.
+    pub fn mean_fitness(&self, genomes: &[Genome]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .members
+            .iter()
+            .map(|&i| genomes[i].fitness().unwrap_or(0.0))
+            .sum();
+        sum / self.members.len() as f64
+    }
+
+    /// Best member index (by raw fitness) in the current generation.
+    pub fn champion(&self, genomes: &[Genome]) -> Option<usize> {
+        self.members
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+                let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+                fa.partial_cmp(&fb).expect("finite fitness")
+            })
+    }
+}
+
+/// The set of all living species, with the clustering and stagnation logic.
+#[derive(Debug, Clone, Default)]
+pub struct SpeciesSet {
+    species: Vec<Species>,
+    next_id: u32,
+}
+
+impl SpeciesSet {
+    /// Creates an empty species set.
+    pub fn new() -> Self {
+        SpeciesSet::default()
+    }
+
+    /// Living species, in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Species> {
+        self.species.iter()
+    }
+
+    /// Number of living species.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// True when no species exist (before the first [`SpeciesSet::speciate`]).
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Clusters `genomes` into species by compatibility distance.
+    ///
+    /// Each genome joins the first existing species whose representative is
+    /// within [`NeatConfig::compatibility_threshold`]; otherwise it founds a
+    /// new species. Afterwards each non-empty species re-elects the member
+    /// closest to the old representative as its new representative
+    /// (`neat-python` behaviour); empty species are dropped.
+    pub fn speciate(&mut self, genomes: &[Genome], config: &NeatConfig, generation: usize) {
+        for s in &mut self.species {
+            s.members.clear();
+        }
+        for (idx, genome) in genomes.iter().enumerate() {
+            let mut placed = false;
+            for s in &mut self.species {
+                if genome.distance(&s.representative, config) < config.compatibility_threshold {
+                    s.members.push(idx);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let id = SpeciesId(self.next_id);
+                self.next_id += 1;
+                self.species.push(Species {
+                    id,
+                    representative: genome.clone(),
+                    members: vec![idx],
+                    created_at: generation,
+                    last_improved: generation,
+                    best_fitness: f64::NEG_INFINITY,
+                    adjusted_fitness: 0.0,
+                });
+            }
+        }
+        self.species.retain(|s| !s.members.is_empty());
+        for s in &mut self.species {
+            let closest = s
+                .members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = genomes[a].distance(&s.representative, config);
+                    let db = genomes[b].distance(&s.representative, config);
+                    da.partial_cmp(&db).expect("finite distance")
+                })
+                .expect("non-empty species");
+            s.representative = genomes[closest].clone();
+        }
+    }
+
+    /// Applies fitness sharing: every species' `adjusted_fitness` becomes
+    /// its members' mean fitness normalized by the population's fitness
+    /// range — so young, small species stay competitive.
+    ///
+    /// Returns `(min, max)` raw population fitness.
+    pub fn share_fitness(&mut self, genomes: &[Genome]) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for g in genomes {
+            let f = g.fitness().unwrap_or(0.0);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        let range = (hi - lo).max(1e-9);
+        for s in &mut self.species {
+            let mean = s.mean_fitness(genomes);
+            s.adjusted_fitness = (mean - lo) / range;
+        }
+        (lo, hi)
+    }
+
+    /// Updates stagnation bookkeeping and removes species that have not
+    /// improved for [`NeatConfig::max_stagnation`] generations, always
+    /// keeping the best [`NeatConfig::species_elitism`] species alive.
+    ///
+    /// Returns the ids of removed species.
+    pub fn remove_stagnant(
+        &mut self,
+        genomes: &[Genome],
+        config: &NeatConfig,
+        generation: usize,
+    ) -> Vec<SpeciesId> {
+        for s in &mut self.species {
+            let best_now = s
+                .members
+                .iter()
+                .map(|&i| genomes[i].fitness().unwrap_or(f64::NEG_INFINITY))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_now > s.best_fitness {
+                s.best_fitness = best_now;
+                s.last_improved = generation;
+            }
+        }
+        // Rank species by best fitness; protect the top `species_elitism`.
+        let mut ranked: Vec<(f64, SpeciesId)> = self
+            .species
+            .iter()
+            .map(|s| (s.best_fitness, s.id))
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+        let protected: Vec<SpeciesId> = ranked
+            .iter()
+            .take(config.species_elitism)
+            .map(|&(_, id)| id)
+            .collect();
+        let mut removed = Vec::new();
+        self.species.retain(|s| {
+            let stagnant = generation.saturating_sub(s.last_improved) > config.max_stagnation;
+            if stagnant && !protected.contains(&s.id) {
+                removed.push(s.id);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::innovation::InnovationTracker;
+    use crate::rng::XorWow;
+    use crate::trace::OpCounters;
+
+    fn cfg() -> NeatConfig {
+        NeatConfig::builder(3, 1).build().unwrap()
+    }
+
+    fn diverged_population(n: usize) -> (Vec<Genome>, NeatConfig) {
+        let c = cfg();
+        let mut r = XorWow::seed_from_u64_value(77);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut genomes = Vec::new();
+        for k in 0..n {
+            let mut g = Genome::initial(k as u64, &c, &mut r);
+            // Diverge half the population structurally.
+            if k % 2 == 1 {
+                let mut ops = OpCounters::new();
+                for _ in 0..6 {
+                    g.mutate_add_node(&mut innov, &mut r, &mut ops);
+                    g.mutate_attributes(&c, &mut r, &mut ops);
+                }
+            }
+            g.set_fitness(k as f64);
+            genomes.push(g);
+        }
+        (genomes, c)
+    }
+
+    #[test]
+    fn identical_genomes_form_one_species() {
+        let c = cfg();
+        let mut r = XorWow::seed_from_u64_value(1);
+        let genomes: Vec<Genome> = (0..10)
+            .map(|k| {
+                let mut g = Genome::initial(k, &c, &mut r);
+                g.set_fitness(1.0);
+                g
+            })
+            .collect();
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().members.len(), 10);
+    }
+
+    #[test]
+    fn diverged_genomes_split_into_species() {
+        let (genomes, c) = diverged_population(10);
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        assert!(set.len() >= 2, "structural divergence should split species");
+        let total: usize = set.iter().map(|s| s.members.len()).sum();
+        assert_eq!(total, 10, "every genome belongs to exactly one species");
+    }
+
+    #[test]
+    fn fitness_sharing_normalizes_to_unit_range() {
+        let (genomes, c) = diverged_population(10);
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        let (lo, hi) = set.share_fitness(&genomes);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 9.0);
+        for s in set.iter() {
+            assert!((0.0..=1.0).contains(&s.adjusted_fitness));
+        }
+    }
+
+    #[test]
+    fn stagnant_species_removed_but_elite_protected() {
+        let (mut genomes, mut c) = diverged_population(10);
+        c.max_stagnation = 3;
+        c.species_elitism = 1;
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        let initial = set.len();
+        assert!(initial >= 2);
+        // Freeze fitness; advance generations until stagnation triggers.
+        for g in &mut genomes {
+            g.set_fitness(1.0);
+        }
+        let mut removed_total = 0;
+        for generation in 0..10 {
+            removed_total += set.remove_stagnant(&genomes, &c, generation).len();
+        }
+        assert!(removed_total >= 1, "stagnant species should be removed");
+        assert!(!set.is_empty(), "species elitism keeps at least one alive");
+    }
+
+    #[test]
+    fn champion_is_best_member() {
+        let (genomes, c) = diverged_population(10);
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        for s in set.iter() {
+            let champ = s.champion(&genomes).unwrap();
+            for &m in &s.members {
+                assert!(genomes[champ].fitness() >= genomes[m].fitness());
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-generation statistics — the raw material of Figs 4, 5, 10(d) and
+//! 11(a) of the paper.
+
+use crate::genome::Genome;
+use crate::trace::{GenerationTrace, OpCounters};
+use std::fmt;
+
+/// Summary of one generation: fitness, structure and operation counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best raw fitness in the generation.
+    pub max_fitness: f64,
+    /// Mean raw fitness.
+    pub mean_fitness: f64,
+    /// Worst raw fitness.
+    pub min_fitness: f64,
+    /// Number of living species.
+    pub num_species: usize,
+    /// Total node genes across the population (Fig 11(a)).
+    pub total_nodes: usize,
+    /// Total connection genes across the population (Fig 11(a)).
+    pub total_conns: usize,
+    /// Node + connection genes across the population (Fig 4(b)).
+    pub total_genes: usize,
+    /// Genes of the largest genome.
+    pub max_genome_genes: usize,
+    /// Population memory footprint in the 8-byte hardware gene encoding
+    /// (Fig 5(b); the paper reports <1 MB per generation).
+    pub memory_bytes: usize,
+    /// Reproduction operation tallies for the step that produced the *next*
+    /// generation (Fig 5(a)).
+    pub ops: OpCounters,
+    /// Times the most-reused parent was used (Fig 4(c) GLR metric).
+    pub fittest_parent_reuse: usize,
+    /// Total MAC operations for one inference pass over the population.
+    pub inference_macs: u64,
+}
+
+impl GenerationStats {
+    /// Gathers structure statistics from a population of evaluated genomes.
+    /// `ops` / `reuse` come from the reproduction step (zero for the final
+    /// generation, which produces no children).
+    pub fn collect(
+        generation: usize,
+        genomes: &[Genome],
+        num_species: usize,
+        trace: Option<&GenerationTrace>,
+        inference_macs: u64,
+    ) -> GenerationStats {
+        let mut max_fitness = f64::NEG_INFINITY;
+        let mut min_fitness = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut total_nodes = 0;
+        let mut total_conns = 0;
+        let mut max_genome_genes = 0;
+        for g in genomes {
+            let f = g.fitness().unwrap_or(0.0);
+            max_fitness = max_fitness.max(f);
+            min_fitness = min_fitness.min(f);
+            sum += f;
+            total_nodes += g.num_nodes();
+            total_conns += g.num_conns();
+            max_genome_genes = max_genome_genes.max(g.num_genes());
+        }
+        let n = genomes.len().max(1);
+        let total_genes = total_nodes + total_conns;
+        GenerationStats {
+            generation,
+            max_fitness,
+            mean_fitness: sum / n as f64,
+            min_fitness,
+            num_species,
+            total_nodes,
+            total_conns,
+            total_genes,
+            max_genome_genes,
+            memory_bytes: total_genes * crate::genome::GENE_BYTES,
+            ops: trace.map(|t| t.totals()).unwrap_or_default(),
+            fittest_parent_reuse: trace.map(|t| t.fittest_parent_reuse()).unwrap_or(0),
+            inference_macs,
+        }
+    }
+}
+
+impl fmt::Display for GenerationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen {:>4}  fit max/mean/min {:>10.3}/{:>10.3}/{:>10.3}  species {:>3}  genes {:>8}  mem {:>8} B  ops {:>9}  reuse {:>3}",
+            self.generation,
+            self.max_fitness,
+            self.mean_fitness,
+            self.min_fitness,
+            self.num_species,
+            self.total_genes,
+            self.memory_bytes,
+            self.ops.total(),
+            self.fittest_parent_reuse,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeatConfig;
+    use crate::rng::XorWow;
+
+    #[test]
+    fn collect_computes_aggregates() {
+        let c = NeatConfig::builder(2, 1).build().unwrap();
+        let mut r = XorWow::seed_from_u64_value(4);
+        let mut genomes: Vec<Genome> = (0..4).map(|k| Genome::initial(k, &c, &mut r)).collect();
+        for (i, g) in genomes.iter_mut().enumerate() {
+            g.set_fitness(i as f64);
+        }
+        let s = GenerationStats::collect(3, &genomes, 2, None, 100);
+        assert_eq!(s.generation, 3);
+        assert_eq!(s.max_fitness, 3.0);
+        assert_eq!(s.min_fitness, 0.0);
+        assert!((s.mean_fitness - 1.5).abs() < 1e-12);
+        assert_eq!(s.num_species, 2);
+        // initial genome: 3 nodes + 2 conns = 5 genes each
+        assert_eq!(s.total_genes, 20);
+        assert_eq!(s.memory_bytes, 160);
+        assert_eq!(s.inference_macs, 100);
+        assert_eq!(s.fittest_parent_reuse, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = NeatConfig::builder(2, 1).build().unwrap();
+        let mut r = XorWow::seed_from_u64_value(4);
+        let mut g = Genome::initial(0, &c, &mut r);
+        g.set_fitness(1.0);
+        let s = GenerationStats::collect(0, &[g], 1, None, 0);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Hybrid evolution + weight tuning (the paper's Future Directions).
+//!
+//! "We believe that GENESYS can be run in conjunction with supervised
+//! learning, with the former enabling rapid topology exploration and then
+//! using conventional training to tune the weights." Backpropagation is
+//! exactly what the architecture avoids, so the conventional trainer here
+//! is a black-box **(1+λ) evolution strategy** on the genome's continuous
+//! attributes — the same operation class the EvE perturbation engine
+//! already implements, applied greedily with a decaying step size. The
+//! topology is frozen; only weights, biases and responses move.
+
+use crate::genome::Genome;
+use crate::network::Network;
+use crate::rng::XorWow;
+
+/// Configuration for the (1+λ) weight tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningConfig {
+    /// Candidates sampled per iteration (λ).
+    pub lambda: usize,
+    /// Initial perturbation standard deviation.
+    pub sigma: f64,
+    /// Multiplicative σ decay on stagnant iterations.
+    pub sigma_decay: f64,
+    /// Iteration budget.
+    pub iterations: usize,
+    /// Probability each weight moves in a candidate.
+    pub move_rate: f64,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            lambda: 8,
+            sigma: 0.4,
+            sigma_decay: 0.9,
+            iterations: 30,
+            move_rate: 0.5,
+        }
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The tuned genome (same topology, new continuous attributes).
+    pub genome: Genome,
+    /// Fitness of the tuned genome.
+    pub fitness: f64,
+    /// Fitness of the input genome (for reporting the improvement).
+    pub initial_fitness: f64,
+    /// Iterations that improved the incumbent.
+    pub improvements: usize,
+}
+
+fn perturbed(genome: &Genome, sigma: f64, move_rate: f64, rng: &mut XorWow) -> Genome {
+    let nodes: Vec<_> = genome
+        .nodes()
+        .map(|n| {
+            let mut n = *n;
+            if n.node_type != crate::gene::NodeType::Input && rng.chance(move_rate) {
+                n.bias += rng.next_gaussian() * sigma;
+            }
+            n
+        })
+        .collect();
+    let conns: Vec<_> = genome
+        .conns()
+        .map(|c| {
+            let mut c = *c;
+            if rng.chance(move_rate) {
+                c.weight += rng.next_gaussian() * sigma;
+            }
+            c
+        })
+        .collect();
+    Genome::from_parts(
+        genome.key(),
+        genome.num_inputs(),
+        genome.num_outputs(),
+        nodes,
+        conns,
+    )
+    .expect("attribute perturbation preserves structure")
+}
+
+/// Tunes the continuous attributes of `genome` against `fitness_fn` with a
+/// (1+λ) evolution strategy. Topology is untouched.
+pub fn tune_weights<F>(
+    genome: &Genome,
+    config: &TuningConfig,
+    seed: u64,
+    fitness_fn: F,
+) -> TuningResult
+where
+    F: Fn(&Network) -> f64,
+{
+    let mut rng = XorWow::seed_from_u64_value(seed);
+    let mut best = genome.clone();
+    let initial_fitness =
+        fitness_fn(&Network::from_genome(&best).expect("valid input genome"));
+    let mut best_fit = initial_fitness;
+    let mut sigma = config.sigma;
+    let mut improvements = 0;
+
+    for _ in 0..config.iterations {
+        let mut improved = false;
+        for _ in 0..config.lambda {
+            let candidate = perturbed(&best, sigma, config.move_rate, &mut rng);
+            let fit = fitness_fn(&Network::from_genome(&candidate).expect("structure frozen"));
+            if fit > best_fit {
+                best = candidate;
+                best_fit = fit;
+                improved = true;
+            }
+        }
+        if improved {
+            improvements += 1;
+        } else {
+            sigma *= config.sigma_decay;
+        }
+    }
+    let mut genome = best;
+    genome.set_fitness(best_fit);
+    TuningResult {
+        genome,
+        fitness: best_fit,
+        initial_fitness,
+        improvements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeatConfig;
+
+    fn target_fitness(net: &Network) -> f64 {
+        // Reward matching a fixed target function on a few probes.
+        let probes = [[0.0, 0.0], [0.5, 0.25], [1.0, 1.0], [0.25, 0.75]];
+        let mut fit = 4.0;
+        for p in &probes {
+            let want = 0.3 * p[0] + 0.5 * p[1];
+            let got = net.activate(p)[0];
+            fit -= (got - want) * (got - want);
+        }
+        fit
+    }
+
+    fn base_genome() -> Genome {
+        let config = NeatConfig::builder(2, 1).build().unwrap();
+        Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(1))
+    }
+
+    #[test]
+    fn tuning_improves_fitness() {
+        let g = base_genome();
+        let result = tune_weights(&g, &TuningConfig::default(), 7, target_fitness);
+        assert!(
+            result.fitness > result.initial_fitness,
+            "tuning must improve: {} -> {}",
+            result.initial_fitness,
+            result.fitness
+        );
+        assert!(result.improvements > 0);
+    }
+
+    #[test]
+    fn tuning_preserves_topology() {
+        let g = base_genome();
+        let result = tune_weights(&g, &TuningConfig::default(), 8, target_fitness);
+        assert_eq!(result.genome.num_nodes(), g.num_nodes());
+        assert_eq!(result.genome.num_conns(), g.num_conns());
+        for (a, b) in g.conns().zip(result.genome.conns()) {
+            assert_eq!(a.key, b.key);
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic_per_seed() {
+        let g = base_genome();
+        let a = tune_weights(&g, &TuningConfig::default(), 9, target_fitness);
+        let b = tune_weights(&g, &TuningConfig::default(), 9, target_fitness);
+        assert_eq!(a.fitness, b.fitness);
+        for (ca, cb) in a.genome.conns().zip(b.genome.conns()) {
+            assert_eq!(ca.weight, cb.weight);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let g = base_genome();
+        let config = TuningConfig {
+            iterations: 0,
+            ..TuningConfig::default()
+        };
+        let result = tune_weights(&g, &config, 10, target_fitness);
+        assert_eq!(result.fitness, result.initial_fitness);
+        assert_eq!(result.improvements, 0);
+    }
+
+    #[test]
+    fn tuned_genome_records_its_fitness() {
+        let g = base_genome();
+        let result = tune_weights(&g, &TuningConfig::default(), 11, target_fitness);
+        assert_eq!(result.genome.fitness(), Some(result.fitness));
+    }
+}

@@ -1,0 +1,145 @@
+//! Desktop and embedded CPU cost models.
+//!
+//! The paper measures an optimized NEAT implementation on a 6th-gen Intel
+//! i7 (power via Intel's power gadget) and an ARM Cortex-A57 on a Jetson
+//! TX2 (power via the onboard INA3221). Without that bench, this model is
+//! **trace-driven**: per-operation latencies (calibrated to published
+//! per-core throughputs of the two parts, with interpreter/runtime
+//! overheads folded in) are multiplied by the *measured* op counts of our
+//! NEAT runs. Relative magnitudes — the only thing Fig 9's log-scale
+//! comparison consumes — are preserved.
+
+use crate::platform::WorkloadProfile;
+
+/// A CPU device's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Device name.
+    pub name: &'static str,
+    /// Nanoseconds per inference MAC (runtime overhead folded in).
+    pub per_mac_ns: f64,
+    /// Per-environment-step framework overhead, ns (graph walk, packing).
+    pub per_step_overhead_ns: f64,
+    /// Nanoseconds per crossover/mutation operation.
+    pub per_evo_op_ns: f64,
+    /// Per-child bookkeeping overhead, ns.
+    pub per_child_overhead_ns: f64,
+    /// Package power while busy, watts.
+    pub power_w: f64,
+    /// Measured speedup of 4-thread PLP inference (paper: 3.5×).
+    pub plp_speedup: f64,
+}
+
+impl CpuModel {
+    /// 6th-generation Intel i7 desktop (CPU_a / CPU_b rows).
+    pub fn i7() -> Self {
+        CpuModel {
+            name: "6th gen i7",
+            per_mac_ns: 25.0,
+            per_step_overhead_ns: 4_000.0,
+            per_evo_op_ns: 120.0,
+            per_child_overhead_ns: 2_000.0,
+            power_w: 45.0,
+            plp_speedup: 3.5,
+        }
+    }
+
+    /// ARM Cortex-A57 on the Jetson TX2 (CPU_c / CPU_d rows). Roughly 5×
+    /// slower per op at an order of magnitude less power.
+    pub fn cortex_a57() -> Self {
+        CpuModel {
+            name: "ARM Cortex A57",
+            per_mac_ns: 120.0,
+            per_step_overhead_ns: 18_000.0,
+            per_evo_op_ns: 600.0,
+            per_child_overhead_ns: 9_000.0,
+            power_w: 5.0,
+            plp_speedup: 3.5,
+        }
+    }
+
+    /// Inference runtime per generation, seconds. `plp` enables the
+    /// 4-thread population-parallel variant (CPU_b / CPU_d).
+    pub fn inference_time_s(&self, w: &WorkloadProfile, plp: bool) -> f64 {
+        let serial_ns = w.inference_macs as f64 * self.per_mac_ns
+            + w.env_steps as f64 * self.per_step_overhead_ns;
+        let ns = if plp { serial_ns / self.plp_speedup } else { serial_ns };
+        ns / 1e9
+    }
+
+    /// Evolution runtime per generation, seconds (always serial on the
+    /// CPU configurations of Table III).
+    pub fn evolution_time_s(&self, w: &WorkloadProfile) -> f64 {
+        (w.evolution_ops as f64 * self.per_evo_op_ns
+            + w.pop_size as f64 * self.per_child_overhead_ns)
+            / 1e9
+    }
+
+    /// Energy for a runtime at this device's busy power, joules.
+    pub fn energy_j(&self, time_s: f64) -> f64 {
+        self.power_w * time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            label: "CartPole_v0".into(),
+            pop_size: 150,
+            env_steps: 15_000,
+            inference_macs: 150_000,
+            evolution_ops: 8_000,
+            total_genes: 2_000,
+            max_nodes: 12,
+            mean_nodes: 7.0,
+        }
+    }
+
+    #[test]
+    fn plp_speeds_up_inference_by_three_and_a_half() {
+        let cpu = CpuModel::i7();
+        let w = profile();
+        let serial = cpu.inference_time_s(&w, false);
+        let plp = cpu.inference_time_s(&w, true);
+        assert!((serial / plp - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedded_cpu_is_slower_but_lower_energy_per_second() {
+        let i7 = CpuModel::i7();
+        let a57 = CpuModel::cortex_a57();
+        let w = profile();
+        assert!(a57.inference_time_s(&w, false) > i7.inference_time_s(&w, false));
+        assert!(a57.power_w < i7.power_w);
+    }
+
+    #[test]
+    fn runtime_scales_with_op_counts() {
+        let cpu = CpuModel::i7();
+        let small = profile();
+        let mut big = profile();
+        big.inference_macs *= 10;
+        big.env_steps *= 10;
+        big.evolution_ops *= 10;
+        assert!(cpu.inference_time_s(&big, false) > 9.0 * cpu.inference_time_s(&small, false));
+        assert!(cpu.evolution_time_s(&big) > 5.0 * cpu.evolution_time_s(&small));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = CpuModel::i7();
+        assert!((cpu.energy_j(2.0) - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitudes_are_sane_for_cartpole() {
+        // Fig 9(a) shows CPU inference per generation in the ms–s range
+        // for the small workloads.
+        let cpu = CpuModel::i7();
+        let t = cpu.inference_time_s(&profile(), false);
+        assert!((1e-4..10.0).contains(&t), "got {t}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Desktop and embedded GPU cost models (GTX 1080 / Tegra on TX2).
+//!
+//! The paper's GPU deep dive (Section VI-B) describes two mappings:
+//!
+//! * **GPU_a** — BSP: input vectors are compacted *serially* on the host,
+//!   then vertices of one genome are evaluated in parallel. Every
+//!   genome × step needs its own kernel launch plus HtoD/DtoH transfers;
+//!   the paper measures **≈70 % of runtime in memory transfers**.
+//! * **GPU_b** — BSP+PLP: all genomes evaluated at once, but "the inputs
+//!   and weights could no longer be compacted resulting in large sparse
+//!   tensors": fewer launches, much larger transfers, **≈20 % of runtime
+//!   in transfers**, and a far bigger device footprint (Fig 10(d)).
+//!
+//! Like the CPU model, this is trace-driven: measured op/byte counts ×
+//! per-device constants from public spec sheets.
+
+use crate::platform::WorkloadProfile;
+
+/// Time split of one generation on a GPU configuration — the Fig 10 bars.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferBreakdown {
+    /// Host-to-device copy time, seconds.
+    pub h2d_s: f64,
+    /// Device-to-host copy time, seconds.
+    pub d2h_s: f64,
+    /// Kernel execution time, seconds.
+    pub kernel_s: f64,
+}
+
+impl TransferBreakdown {
+    /// Total runtime.
+    pub fn total_s(&self) -> f64 {
+        self.h2d_s + self.d2h_s + self.kernel_s
+    }
+
+    /// Fraction of runtime spent copying.
+    pub fn memcpy_fraction(&self) -> f64 {
+        let t = self.total_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.h2d_s + self.d2h_s) / t
+        }
+    }
+}
+
+/// A GPU device's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Device name.
+    pub name: &'static str,
+    /// Kernel launch overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Sustained MAC throughput for these small irregular kernels, ops/s
+    /// (far below peak: tiny matrices cannot fill the SMs).
+    pub effective_macs_per_s: f64,
+    /// PCIe/interconnect copy bandwidth, bytes/s.
+    pub copy_bw_bytes_per_s: f64,
+    /// Per-copy invocation overhead, seconds.
+    pub copy_overhead_s: f64,
+    /// Board power while busy, watts.
+    pub power_w: f64,
+    /// Evolution op throughput (ops/s) for the PLP evolution kernels.
+    pub evo_ops_per_s: f64,
+    /// Per-wave synchronization/reduction overhead of the BSP+PLP mapping
+    /// (population lockstep barrier), seconds.
+    pub bsp_wave_overhead_s: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA GTX 1080 (GPU_a / GPU_b rows).
+    pub fn gtx_1080() -> Self {
+        GpuModel {
+            name: "Nvidia GTX 1080",
+            launch_overhead_s: 8e-6,
+            effective_macs_per_s: 5e10,
+            copy_bw_bytes_per_s: 6e9,
+            copy_overhead_s: 8e-6,
+            power_w: 180.0,
+            evo_ops_per_s: 2e8,
+            bsp_wave_overhead_s: 40e-6,
+        }
+    }
+
+    /// NVIDIA Tegra on the Jetson TX2 (GPU_c / GPU_d rows): lower clocks
+    /// and bandwidth, far lower power.
+    pub fn tegra() -> Self {
+        GpuModel {
+            name: "Nvidia Tegra",
+            launch_overhead_s: 15e-6,
+            effective_macs_per_s: 6e9,
+            copy_bw_bytes_per_s: 1.5e9,
+            copy_overhead_s: 15e-6,
+            power_w: 10.0,
+            evo_ops_per_s: 3e7,
+            bsp_wave_overhead_s: 90e-6,
+        }
+    }
+
+    /// Device-resident bytes for the GPU_a mapping: compact dense
+    /// matrices for **one genome at a time** ("only compact matrices for
+    /// one genome is required at a time").
+    pub fn footprint_gpu_a_bytes(w: &WorkloadProfile) -> u64 {
+        let n = w.max_nodes as u64;
+        n * n * 4 + 2 * n * 4
+    }
+
+    /// Device-resident bytes for the GPU_b mapping: padded sparse weight
+    /// and input tensors for the **whole population**.
+    pub fn footprint_gpu_b_bytes(w: &WorkloadProfile) -> u64 {
+        let n = w.max_nodes as u64;
+        w.pop_size as u64 * (n * n * 4 + 2 * n * 4)
+    }
+
+    /// Inference time split for the GPU_a mapping: one launch + one
+    /// input/output copy per genome per environment step; weights copied
+    /// once per genome per generation.
+    pub fn inference_gpu_a(&self, w: &WorkloadProfile) -> TransferBreakdown {
+        let steps = w.env_steps as f64;
+        let per_genome_weights = Self::footprint_gpu_a_bytes(w) as f64;
+        let h2d_bytes = w.pop_size as f64 * per_genome_weights // weights, once per generation
+            + steps * w.mean_nodes * 4.0; // input vectors, every step
+        let d2h_bytes = steps * 8.0 * 4.0; // output vertices, every step
+        let copies = w.pop_size as f64 + 2.0 * steps;
+        let h2d_s = h2d_bytes / self.copy_bw_bytes_per_s + copies * 0.5 * self.copy_overhead_s;
+        let d2h_s = d2h_bytes / self.copy_bw_bytes_per_s + copies * 0.5 * self.copy_overhead_s;
+        // Serial host compaction throttles the kernel stream.
+        let kernel_s = steps * self.launch_overhead_s
+            + w.inference_macs as f64 / self.effective_macs_per_s
+            + steps * w.mean_nodes * 10e-9; // host-side compaction
+        TransferBreakdown {
+            h2d_s,
+            d2h_s,
+            kernel_s,
+        }
+    }
+
+    /// Inference time split for the GPU_b mapping: the population is
+    /// batched (env steps proceed in lockstep waves), so launches drop by
+    /// `pop_size` but the padded sparse tensors must move.
+    pub fn inference_gpu_b(&self, w: &WorkloadProfile) -> TransferBreakdown {
+        let waves = (w.env_steps as f64 / w.pop_size as f64).ceil();
+        let sparse_bytes = Self::footprint_gpu_b_bytes(w) as f64;
+        let h2d_bytes = sparse_bytes // padded tensors, once per generation
+            + waves * w.pop_size as f64 * w.mean_nodes * 4.0;
+        let d2h_bytes = waves * w.pop_size as f64 * 8.0 * 4.0;
+        let copies = 2.0 * waves + 1.0;
+        let h2d_s = h2d_bytes / self.copy_bw_bytes_per_s + copies * 0.5 * self.copy_overhead_s;
+        let d2h_s = d2h_bytes / self.copy_bw_bytes_per_s + copies * 0.5 * self.copy_overhead_s;
+        // Padded kernels do ~3× the useful MAC work, launch per wave, and
+        // pay a population-lockstep barrier per wave.
+        let kernel_s = waves * (self.launch_overhead_s + self.bsp_wave_overhead_s)
+            + 3.0 * w.inference_macs as f64 / self.effective_macs_per_s;
+        TransferBreakdown {
+            h2d_s,
+            d2h_s,
+            kernel_s,
+        }
+    }
+
+    /// Evolution runtime per generation, seconds (PLP mapping: one kernel
+    /// over all children plus genome transfers both ways).
+    pub fn evolution_time_s(&self, w: &WorkloadProfile) -> f64 {
+        let genome_bytes = (w.total_genes * 8) as f64;
+        let copy_s = 2.0 * genome_bytes / self.copy_bw_bytes_per_s + 4.0 * self.copy_overhead_s;
+        let kernel_s = w.evolution_ops as f64 / self.evo_ops_per_s + self.launch_overhead_s;
+        copy_s + kernel_s
+    }
+
+    /// Energy at busy board power, joules.
+    pub fn energy_j(&self, time_s: f64) -> f64 {
+        self.power_w * time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cartpole() -> WorkloadProfile {
+        WorkloadProfile {
+            label: "CartPole_v0".into(),
+            pop_size: 150,
+            env_steps: 15_000,
+            inference_macs: 150_000,
+            evolution_ops: 8_000,
+            total_genes: 2_000,
+            max_nodes: 12,
+            mean_nodes: 7.0,
+        }
+    }
+
+    fn atari() -> WorkloadProfile {
+        WorkloadProfile {
+            label: "Alien-ram-v0".into(),
+            pop_size: 150,
+            env_steps: 120_000,
+            inference_macs: 25_000_000,
+            evolution_ops: 140_000,
+            total_genes: 110_000,
+            max_nodes: 280,
+            mean_nodes: 240.0,
+        }
+    }
+
+    #[test]
+    fn gpu_a_is_memcpy_dominated() {
+        let gpu = GpuModel::gtx_1080();
+        for w in [cartpole(), atari()] {
+            let t = gpu.inference_gpu_a(&w);
+            assert!(
+                t.memcpy_fraction() > 0.5,
+                "{}: GPU_a should be transfer-bound, got {:.2}",
+                w.label,
+                t.memcpy_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_b_reduces_memcpy_fraction() {
+        let gpu = GpuModel::gtx_1080();
+        for w in [cartpole(), atari()] {
+            let a = gpu.inference_gpu_a(&w).memcpy_fraction();
+            let b = gpu.inference_gpu_b(&w).memcpy_fraction();
+            assert!(b < a, "{}: {b:.2} !< {a:.2}", w.label);
+        }
+    }
+
+    #[test]
+    fn gpu_b_footprint_dwarfs_gpu_a() {
+        let w = atari();
+        let a = GpuModel::footprint_gpu_a_bytes(&w);
+        let b = GpuModel::footprint_gpu_b_bytes(&w);
+        assert_eq!(b, a * w.pop_size as u64);
+        // And GeneSys sits between them (Fig 10(d)).
+        let g = w.genesys_footprint_bytes();
+        assert!(a < g && g < b, "a={a} g={g} b={b}");
+    }
+
+    #[test]
+    fn gpu_b_is_faster_than_gpu_a_for_inference() {
+        // Batching launches across the population wins despite bigger
+        // transfers (that is why the paper builds GPU_b at all).
+        let gpu = GpuModel::gtx_1080();
+        let w = cartpole();
+        assert!(
+            gpu.inference_gpu_b(&w).total_s() < gpu.inference_gpu_a(&w).total_s()
+        );
+    }
+
+    #[test]
+    fn tegra_is_slower_but_cheaper_than_gtx() {
+        let big = GpuModel::gtx_1080();
+        let small = GpuModel::tegra();
+        let w = cartpole();
+        assert!(small.inference_gpu_a(&w).total_s() > big.inference_gpu_a(&w).total_s());
+        assert!(small.power_w < big.power_w);
+    }
+
+    #[test]
+    fn evolution_time_scales_with_ops() {
+        let gpu = GpuModel::gtx_1080();
+        let mut w = cartpole();
+        let t1 = gpu.evolution_time_s(&w);
+        w.evolution_ops *= 100;
+        w.total_genes *= 10;
+        let t2 = gpu.evolution_time_s(&w);
+        assert!(t2 > t1);
+    }
+}

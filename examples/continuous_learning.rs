@@ -1,0 +1,59 @@
+//! Continuous learning — the paper's title scenario.
+//!
+//! The environment drifts: every few generations the cart-pole's physics
+//! change (pole length, motor force). A supervised model would need
+//! retraining from scratch; the evolving population simply keeps adapting,
+//! because evolution *is* its steady state. Watch fitness dip at each
+//! regime boundary and recover within a few generations.
+//!
+//! Run with: `cargo run --release --example continuous_learning`
+
+use genesys::gym::{DriftingCartPole, Environment};
+use genesys::neat::{NeatConfig, Population};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let config = NeatConfig::builder(4, 1).pop_size(96).build().expect("valid");
+    let mut population = Population::new(config, 512);
+    population.set_parallelism(4);
+
+    // One shared world-seed: all genomes face the same drifting physics.
+    // The regime advances every 300 episodes ≈ every ~3 generations.
+    const WORLD_SEED: u64 = 4242;
+    const EPISODES_PER_REGIME: u64 = 300;
+    let episode = AtomicU64::new(0);
+
+    println!("gen | regime | pole len | force | best fit | mean fit");
+    let mut last_regime = u64::MAX;
+    for gen in 0..24 {
+        let stats = population.evolve_once(|net| {
+            let e = episode.fetch_add(1, Ordering::Relaxed);
+            let mut env = DriftingCartPole::new(WORLD_SEED, EPISODES_PER_REGIME).with_episode(e);
+            let mut obs = env.reset();
+            let mut fitness = 0.0;
+            loop {
+                let action = net.activate(&obs);
+                let step = env.step(&action);
+                fitness += step.reward;
+                obs = step.observation;
+                if step.done {
+                    break;
+                }
+            }
+            fitness
+        });
+        let probe = DriftingCartPole::new(WORLD_SEED, EPISODES_PER_REGIME)
+            .with_episode(episode.load(Ordering::Relaxed));
+        let (len, force) = probe.physics();
+        let regime = probe.regime();
+        let marker = if regime != last_regime { "  <-- regime shift" } else { "" };
+        last_regime = regime;
+        println!(
+            "{:>3} | {:>6} | {:>8.2} | {:>5.1} | {:>8.1} | {:>8.1}{}",
+            gen, regime, len, force, stats.max_fitness, stats.mean_fitness, marker
+        );
+    }
+    println!("\nthe population re-adapts after every physics shift without any");
+    println!("reset, retraining, or hand-tuning — the continuous-learning loop");
+    println!("GeneSys is designed to keep running at the edge.");
+}

@@ -1,0 +1,89 @@
+//! HyperNEAT extension: evolve compact CPPNs whose *expression* controls
+//! the lunar lander — the indirect-encoding direction the paper's
+//! Section III-D points at for scaling to larger networks.
+//!
+//! Run with: `cargo run --release --example hyperneat_lander`
+
+use genesys::gym::{rollout, Environment, LunarLander};
+use genesys::neat::{HyperNeat, Network, Population, Substrate};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    // An 8-16-4-1 substrate: ~200 candidate connections painted by a CPPN
+    // that starts at 6 genes.
+    let hyper = HyperNeat::new(Substrate::grid(8, &[16, 4], 1));
+    let mut population = Population::new(hyper.cppn_config(), 31);
+    population.set_parallelism(4);
+
+    let seed = AtomicU64::new(0);
+    println!(
+        "substrate: {} nodes, {} candidate connections",
+        hyper.substrate().num_nodes(),
+        hyper.substrate().num_candidate_conns()
+    );
+    println!("gen | best reward | mean | CPPN genes | expressed conns | compression");
+
+    for gen in 0..8 {
+        let hyper_ref = &hyper;
+        let seed_ref = &seed;
+        let stats = population.evolve_once(move |cppn_net: &Network| {
+            // Reconstitute a genome-equivalent expression per evaluation by
+            // probing the CPPN network directly over the substrate.
+            let mut total = 0.0;
+            let s = seed_ref.fetch_add(1, Ordering::Relaxed);
+            let mut env = LunarLander::new(s);
+            // Express a closure-based controller: substrate forward pass.
+            let layers = hyper_ref.substrate().layers();
+            let obs_to_action = |obs: &[f64]| -> f64 {
+                let mut values: Vec<f64> = obs.to_vec();
+                for l in 0..layers.len() - 1 {
+                    let mut next = vec![0.0; layers[l + 1].len()];
+                    for (j, &(x2, y2)) in layers[l + 1].iter().enumerate() {
+                        for (i, &(x1, y1)) in layers[l].iter().enumerate() {
+                            let w = 2.0 * cppn_net.activate(&[x1, y1, x2, y2])[0] - 1.0;
+                            if w.abs() > hyper_ref.weight_threshold {
+                                next[j] += values[i] * w * hyper_ref.weight_scale;
+                            }
+                        }
+                        next[j] = next[j].tanh() * 0.5 + 0.5;
+                    }
+                    values = next;
+                }
+                values[0]
+            };
+            let mut o = env.reset();
+            for _ in 0..400 {
+                let a = obs_to_action(&o);
+                let step = env.step(&[a]);
+                total += step.reward;
+                o = step.observation;
+                if step.done {
+                    break;
+                }
+            }
+            total
+        });
+        // Express the champion to inspect the phenotype it encodes.
+        let champion = population.best_genome().expect("evaluated");
+        let phenotype = hyper.express(champion, 0).expect("valid CPPN");
+        println!(
+            "{:>3} | {:>11.1} | {:>6.1} | {:>10} | {:>15} | {:>10.1}x",
+            gen,
+            stats.max_fitness,
+            stats.mean_fitness,
+            champion.num_genes(),
+            phenotype.num_conns(),
+            hyper.compression(champion),
+        );
+    }
+    println!("\na ~10-gene CPPN paints a ~200-connection controller: that is the");
+    println!("genome-buffer compression HyperNEAT offers the SoC for big substrates.");
+
+    // Demo rollout of the expressed phenotype through the standard path.
+    let champion = population.best_genome().expect("evaluated");
+    let phenotype = hyper.express(champion, 0).expect("valid CPPN");
+    let net = Network::from_genome(&phenotype).expect("valid phenotype");
+    let mut env = LunarLander::new(9999);
+    let reward = rollout(&net, &mut env, 1);
+    println!("expressed-phenotype rollout reward: {reward:.1}");
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the GeneSys reproduction.
+//!
+//! This crate re-exports the workspace members under one roof so that the
+//! runnable examples and the integration tests can address the whole system
+//! through a single dependency:
+//!
+//! * [`neat`] — the NEAT neuro-evolution algorithm (genes, genomes,
+//!   speciation, reproduction).
+//! * [`gym`] — the environment suite from Table I of the paper.
+//! * [`soc`] — the GeneSys SoC simulator (EvE, ADAM, SRAM, NoC, energy).
+//! * [`platforms`] — CPU/GPU/DQN baseline cost models (Tables II and III).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genesys::neat::{NeatConfig, Population};
+//! use genesys::gym::{CartPole, Environment};
+//!
+//! let config = NeatConfig::for_env("cartpole", 4, 1);
+//! let mut pop = Population::new(config, 42);
+//! let stats = pop.evolve_once(|net| {
+//!     let mut env = CartPole::new(7);
+//!     genesys::gym::rollout(net, &mut env, 200)
+//! });
+//! assert!(stats.max_fitness >= 0.0);
+//! ```
+
+pub use genesys_core as soc;
+pub use genesys_gym as gym;
+pub use genesys_neat as neat;
+pub use genesys_platforms as platforms;

@@ -1,0 +1,104 @@
+//! Smoke tests for the experiment harness: tiny versions of each
+//! table/figure pipeline, asserting the paper's qualitative claims hold.
+
+use genesys::gym::EnvKind;
+use genesys::platforms::{table2, CpuModel, DqnSpec, GpuModel, TABLE_III};
+use genesys::soc::{NocKind, SocConfig, TechModel};
+use genesys_bench::{genesys_cost, run_workload};
+
+#[test]
+fn fig4_runs_show_gene_growth_potential_and_reuse() {
+    let run = run_workload(EnvKind::CartPole, 6, 1, Some(32));
+    assert_eq!(run.history.len(), 6);
+    // Reuse statistic is populated (Fig 4(c)).
+    assert!(run.history.iter().any(|s| s.fittest_parent_reuse > 1));
+}
+
+#[test]
+fn fig5_atari_ops_dwarf_classic_control_ops() {
+    let small = run_workload(EnvKind::CartPole, 3, 2, Some(32));
+    let big = run_workload(EnvKind::Alien, 3, 2, Some(32));
+    let ops_small = small.profile().evolution_ops;
+    let ops_big = big.profile().evolution_ops;
+    assert!(
+        ops_big > 10 * ops_small,
+        "Atari ops ({ops_big}) should dwarf classic control ({ops_small})"
+    );
+    // And both fit comfortably in the 1.5 MB genome buffer (Fig 5(b)).
+    assert!(big.profile().genesys_footprint_bytes() < 1_500_000);
+}
+
+#[test]
+fn fig8_design_point_matches_paper() {
+    let tech = TechModel::default();
+    assert!((tech.roofline_power_mw(256).total() - 947.5).abs() < 20.0);
+    let area = tech.area_mm2(256, 1024, 1.5).total();
+    assert!((area - 2.45).abs() < 0.15, "got {area}");
+}
+
+#[test]
+fn fig9_genesys_wins_runtime_and_energy_by_orders_of_magnitude() {
+    let run = run_workload(EnvKind::LunarLander, 4, 3, Some(32));
+    let w = run.profile();
+    let cost = genesys_cost(&run, &SocConfig::default());
+    let i7 = CpuModel::i7();
+    let gtx = GpuModel::gtx_1080();
+    let best_baseline_inference = i7
+        .inference_time_s(&w, true)
+        .min(gtx.inference_gpu_b(&w).total_s());
+    assert!(
+        best_baseline_inference / cost.inference_s > 50.0,
+        "expected ≥~2 orders, got {}x",
+        best_baseline_inference / cost.inference_s
+    );
+    let cpu_evo_energy = i7.energy_j(i7.evolution_time_s(&w));
+    assert!(
+        cpu_evo_energy / cost.evolution_j > 1e3,
+        "evolution energy gap too small: {}x",
+        cpu_evo_energy / cost.evolution_j
+    );
+}
+
+#[test]
+fn fig10_memcpy_ordering_holds() {
+    let run = run_workload(EnvKind::MountainCar, 4, 4, Some(32));
+    let w = run.profile();
+    let gtx = GpuModel::gtx_1080();
+    let a = gtx.inference_gpu_a(&w).memcpy_fraction();
+    let b = gtx.inference_gpu_b(&w).memcpy_fraction();
+    assert!(a > 0.5, "GPU_a transfer-bound: {a}");
+    assert!(b < a, "GPU_b reduces transfer share: {b} vs {a}");
+    // GeneSys keeps everything on-chip.
+    let cost = genesys_cost(&run, &SocConfig::default());
+    let g_frac = cost.buffer_transfer_s / (cost.buffer_transfer_s + cost.inference_s);
+    assert!(g_frac < 0.35, "GeneSys should not be transfer-bound: {g_frac}");
+}
+
+#[test]
+fn fig11_multicast_and_pe_scaling_trends() {
+    let run = run_workload(EnvKind::Amidar, 3, 5, Some(48));
+    let base = SocConfig::default();
+    let p2p = genesys_cost(&run, &base.clone().with_noc(NocKind::PointToPoint).with_num_eve_pes(64));
+    let mc = genesys_cost(&run, &base.clone().with_noc(NocKind::MulticastTree).with_num_eve_pes(64));
+    assert!(
+        mc.replay.noc.sram_reads < p2p.replay.noc.sram_reads,
+        "multicast must cut SRAM reads"
+    );
+    let few = genesys_cost(&run, &base.clone().with_num_eve_pes(2));
+    let many = genesys_cost(&run, &base.with_num_eve_pes(64));
+    assert!(
+        many.evolution_s < few.evolution_s / 4.0,
+        "evolution is compute-bound: PEs should slash runtime ({} vs {})",
+        many.evolution_s,
+        few.evolution_s
+    );
+}
+
+#[test]
+fn table2_and_table3_are_complete() {
+    assert_eq!(TABLE_III.len(), 9);
+    let run = run_workload(EnvKind::Alien, 2, 6, Some(32));
+    let rows = table2(&DqnSpec::atari(), &run.profile());
+    assert_eq!(rows.len(), 4);
+    assert!(rows[1].ea.contains("MB"));
+}
