@@ -75,14 +75,18 @@ fn bench_noc_kind(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_kind_reproduction");
     group.sample_size(10);
     for noc in [NocKind::PointToPoint, NocKind::MulticastTree] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{noc}")), &noc, |b, &n| {
-            b.iter(|| {
-                let mut engine = EveEngine::new(64, pe_config.clone(), n, 5);
-                let mut buffer = GenomeBuffer::new(SramConfig::default());
-                let mut key = 10_000;
-                engine.reproduce(&genomes, &plans, &schedule, &mut buffer, &mut key)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{noc}")),
+            &noc,
+            |b, &n| {
+                b.iter(|| {
+                    let mut engine = EveEngine::new(64, pe_config.clone(), n, 5);
+                    let mut buffer = GenomeBuffer::new(SramConfig::default());
+                    let mut key = 10_000;
+                    engine.reproduce(&genomes, &plans, &schedule, &mut buffer, &mut key)
+                });
+            },
+        );
     }
     group.finish();
 }

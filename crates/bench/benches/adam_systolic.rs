@@ -22,9 +22,11 @@ fn evolved(inputs: usize, outputs: usize, rounds: usize) -> Genome {
 
 fn bench_timing(c: &mut Criterion) {
     let mut group = c.benchmark_group("adam_inference_timing");
-    for (label, inputs, rounds) in
-        [("cartpole", 4usize, 4usize), ("lander", 8, 8), ("atari", 128, 16)]
-    {
+    for (label, inputs, rounds) in [
+        ("cartpole", 4usize, 4usize),
+        ("lander", 8, 8),
+        ("atari", 128, 16),
+    ] {
         let genome = evolved(inputs, 1, rounds);
         let net = Network::from_genome(&genome).unwrap();
         let cfg = AdamConfig::default();

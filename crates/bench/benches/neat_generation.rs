@@ -20,15 +20,11 @@ fn proxy_fitness(net: &Network) -> f64 {
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("neat_generation");
     for &pop_size in &[50usize, 150] {
-        group.bench_with_input(
-            BenchmarkId::new("serial", pop_size),
-            &pop_size,
-            |b, &n| {
-                let config = NeatConfig::builder(4, 1).pop_size(n).build().unwrap();
-                let mut pop = Population::new(config, 1);
-                b.iter(|| pop.evolve_once(proxy_fitness));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("serial", pop_size), &pop_size, |b, &n| {
+            let config = NeatConfig::builder(4, 1).pop_size(n).build().unwrap();
+            let mut pop = Population::new(config, 1);
+            b.iter(|| pop.evolve_once(proxy_fitness));
+        });
         group.bench_with_input(
             BenchmarkId::new("plp_4_threads", pop_size),
             &pop_size,

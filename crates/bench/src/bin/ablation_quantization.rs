@@ -59,7 +59,11 @@ fn main() {
     ]);
     print_table(
         "Quantization ablation: best CartPole fitness after N generations",
-        &["Seed", "float (software NEAT)", "Q5.6/Q6.9 (EvE hardware loop)"],
+        &[
+            "Seed",
+            "float (software NEAT)",
+            "Q5.6/Q6.9 (EvE hardware loop)",
+        ],
         &rows,
     );
     println!("\nExpectation: the fixed-point loop tracks the float loop — NEAT's");

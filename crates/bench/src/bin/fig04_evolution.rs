@@ -22,7 +22,11 @@ fn main() {
     ];
     let mut runs = Vec::new();
     for (i, kind) in curve_envs.iter().enumerate() {
-        eprintln!("running {} ({} generations, pop {pop})...", kind.label(), generations);
+        eprintln!(
+            "running {} ({} generations, pop {pop})...",
+            kind.label(),
+            generations
+        );
         runs.push(run_workload(*kind, generations, 100 + i as u64, Some(pop)));
     }
 
@@ -32,9 +36,11 @@ fn main() {
         let mut row = vec![format!("{gen}")];
         for run in &runs {
             let hist = &run.history;
-            let (lo, hi) = hist.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), s| {
-                (l.min(s.max_fitness), h.max(s.max_fitness))
-            });
+            let (lo, hi) = hist
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), s| {
+                    (l.min(s.max_fitness), h.max(s.max_fitness))
+                });
             let norm = if hi > lo {
                 (hist[gen].max_fitness - lo) / (hi - lo)
             } else {
@@ -47,7 +53,11 @@ fn main() {
     let mut header = vec!["Gen"];
     let labels: Vec<&str> = curve_envs.iter().map(|k| k.label()).collect();
     header.extend(labels.iter());
-    print_table("Fig 4(a): normalized max fitness vs generation", &header, &rows);
+    print_table(
+        "Fig 4(a): normalized max fitness vs generation",
+        &header,
+        &rows,
+    );
 
     // ---- Fig 4(b): total genes vs generation -----------------------------
     let rows: Vec<Vec<String>> = (0..generations)
@@ -59,14 +69,23 @@ fn main() {
             row
         })
         .collect();
-    print_table("Fig 4(b): population gene count vs generation", &header, &rows);
+    print_table(
+        "Fig 4(b): population gene count vs generation",
+        &header,
+        &rows,
+    );
 
     // ---- Fig 4(c): fittest-parent reuse vs generation ---------------------
     let reuse_envs = EnvKind::FIG9_SUITE;
     let mut reuse_runs = Vec::new();
     for (i, kind) in reuse_envs.iter().enumerate() {
         eprintln!("reuse profiling {}...", kind.label());
-        reuse_runs.push(run_workload(*kind, generations.min(8), 200 + i as u64, Some(pop)));
+        reuse_runs.push(run_workload(
+            *kind,
+            generations.min(8),
+            200 + i as u64,
+            Some(pop),
+        ));
     }
     let mut header = vec!["Gen".to_string()];
     header.extend(reuse_envs.iter().map(|k| k.label().to_string()));

@@ -21,7 +21,10 @@ fn main() {
             "ADAM Area".into(),
             format!("{:.2} mm2", tech.area_mm2(256, 1024, 1.5).adam_mm2),
         ],
-        vec!["GeneSys Area".into(), format!("{:.2} mm2", design.area_mm2())],
+        vec![
+            "GeneSys Area".into(),
+            format!("{:.2} mm2", design.area_mm2()),
+        ],
         vec![
             "Power".into(),
             format!("{:.1} mW", design.roofline_power_mw()),
@@ -30,7 +33,11 @@ fn main() {
         vec!["SRAM banks".into(), format!("{}", design.sram.banks)],
         vec!["SRAM depth".into(), format!("{}", design.sram.depth)],
     ];
-    print_table("Fig 8(a): GeneSys parameters", &["Parameter", "Value"], &rows);
+    print_table(
+        "Fig 8(a): GeneSys parameters",
+        &["Parameter", "Value"],
+        &rows,
+    );
 
     // ---- Fig 8(b)/(c): sweeps ---------------------------------------------
     let pes = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
@@ -56,12 +63,23 @@ fn main() {
     print_table(
         "Fig 8(b)+(c): power (mW) and area (mm2) vs number of EvE PEs",
         &[
-            "EvE PEs", "EvE mW", "SRAM mW", "ADAM mW", "M0 mW", "Net mW", "EvE mm2", "SRAM mm2",
-            "ADAM mm2", "Total mm2",
+            "EvE PEs",
+            "EvE mW",
+            "SRAM mW",
+            "ADAM mW",
+            "M0 mW",
+            "Net mW",
+            "EvE mm2",
+            "SRAM mm2",
+            "ADAM mm2",
+            "Total mm2",
         ],
         &rows,
     );
     let p256 = tech.roofline_power_mw(256).total();
-    println!("\nAt 256 PEs: {:.1} mW — paper reports 947.5 mW (\"comfortably under 1 W\").", p256);
+    println!(
+        "\nAt 256 PEs: {:.1} mW — paper reports 947.5 mW (\"comfortably under 1 W\").",
+        p256
+    );
     assert!(p256 < 1000.0);
 }

@@ -51,7 +51,10 @@ fn main() {
     let mut speedups = Vec::new();
 
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
-        eprintln!("profiling {} ({generations} generations, pop {pop})...", kind.label());
+        eprintln!(
+            "profiling {} ({generations} generations, pop {pop})...",
+            kind.label()
+        );
         let run = run_workload(*kind, generations, 40 + i as u64, Some(pop));
         let w = run.profile();
         let gcost = genesys_cost(&run, &soc);

@@ -87,7 +87,14 @@ fn main() {
     );
     print_table(
         "Fig 10(d): memory footprint, bytes",
-        &["Environment", "GPU_a", "GPU_b", "GENESYS", "G/GPU_a", "GPU_b/G"],
+        &[
+            "Environment",
+            "GPU_a",
+            "GPU_b",
+            "GENESYS",
+            "G/GPU_a",
+            "GPU_b/G",
+        ],
         &rows_mem,
     );
     println!("\nPaper observations to check: GPU_a ≈70% memcpy, GPU_b ≈20%,");

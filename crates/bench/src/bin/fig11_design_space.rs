@@ -27,7 +27,10 @@ fn main() {
             kind.label().to_string(),
             format!("{}", last.total_conns),
             format!("{}", last.total_nodes),
-            format!("{:.2}", last.total_conns as f64 / last.total_genes.max(1) as f64),
+            format!(
+                "{:.2}",
+                last.total_conns as f64 / last.total_genes.max(1) as f64
+            ),
         ]);
         if kind.is_atari() {
             atari_runs.push(run);
@@ -46,7 +49,10 @@ fn main() {
         let mut p2p_rpc = 0.0;
         let mut mc_rpc = 0.0;
         for run in &atari_runs {
-            for (noc, acc) in [(NocKind::PointToPoint, &mut p2p_rpc), (NocKind::MulticastTree, &mut mc_rpc)] {
+            for (noc, acc) in [
+                (NocKind::PointToPoint, &mut p2p_rpc),
+                (NocKind::MulticastTree, &mut mc_rpc),
+            ] {
                 let mut buffer = GenomeBuffer::new(soc.sram);
                 buffer.set_resident(run.parent_sizes.iter().sum::<usize>() * 2);
                 let rep = replay_trace(

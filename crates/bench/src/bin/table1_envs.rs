@@ -24,7 +24,13 @@ fn main() {
         .collect();
     print_table(
         "Table I: environments (observation / action interfaces)",
-        &["Environment", "Obs dim", "Action space", "Net outputs", "Max steps"],
+        &[
+            "Environment",
+            "Obs dim",
+            "Action space",
+            "Net outputs",
+            "Max steps",
+        ],
         &rows,
     );
     println!("\nAll interfaces match Table I of the paper (Atari games are");

@@ -21,14 +21,22 @@ fn main() {
         .into_iter()
         .map(|r| vec![r.dimension.to_string(), r.dqn, r.ea])
         .collect();
-    print_table("Table II: DQN vs EA (both running ATARI)", &["", "DQN", "EA"], &rows);
+    print_table(
+        "Table II: DQN vs EA (both running ATARI)",
+        &["", "DQN", "EA"],
+        &rows,
+    );
 
-    println!("\nMeasured EA profile: {} env steps/gen, {} MACs/gen, {} evo ops/gen, {} genes",
-        profile.env_steps, profile.inference_macs, profile.evolution_ops, profile.total_genes);
+    println!(
+        "\nMeasured EA profile: {} env steps/gen, {} MACs/gen, {} evo ops/gen, {} genes",
+        profile.env_steps, profile.inference_macs, profile.evolution_ops, profile.total_genes
+    );
     assert!(
         profile.genesys_footprint_bytes() < 1_000_000,
         "paper claim: the entire generation fits in <1 MB"
     );
-    println!("Claim check passed: generation footprint {} KB < 1 MB.",
-        profile.genesys_footprint_bytes() / 1024);
+    println!(
+        "Claim check passed: generation footprint {} KB < 1 MB.",
+        profile.genesys_footprint_bytes() / 1024
+    );
 }

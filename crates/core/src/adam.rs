@@ -104,7 +104,10 @@ pub fn inference_timing(net: &Network, genome: &Genome, config: &AdamConfig) -> 
         let mut sources: HashSet<u32> = HashSet::new();
         let mut layer_macs = 0u64;
         for node_id in layer {
-            for conn in genome.conns().filter(|c| c.enabled && c.key.dst == *node_id) {
+            for conn in genome
+                .conns()
+                .filter(|c| c.enabled && c.key.dst == *node_id)
+            {
                 sources.insert(conn.key.src.0);
                 layer_macs += 1;
             }
@@ -129,7 +132,11 @@ pub fn inference_timing(net: &Network, genome: &Genome, config: &AdamConfig) -> 
         array_cycles,
         vectorize_cycles,
         macs,
-        utilization: if slots > 0.0 { macs as f64 / slots } else { 0.0 },
+        utilization: if slots > 0.0 {
+            macs as f64 / slots
+        } else {
+            0.0
+        },
     }
 }
 
@@ -158,7 +165,11 @@ pub fn naive_inference_timing(net: &Network, genome: &Genome, config: &AdamConfi
         array_cycles,
         vectorize_cycles,
         macs,
-        utilization: if slots > 0.0 { macs as f64 / slots } else { 0.0 },
+        utilization: if slots > 0.0 {
+            macs as f64 / slots
+        } else {
+            0.0
+        },
     }
 }
 
@@ -237,8 +248,24 @@ mod tests {
         let mut rng = XorWow::seed_from_u64_value(32);
         let g = Genome::initial(0, &c, &mut rng);
         let net = Network::from_genome(&g).unwrap();
-        let small = inference_timing(&net, &g, &AdamConfig { rows: 32, cols: 32, vectorize_cycles_per_node: 2 });
-        let big = inference_timing(&net, &g, &AdamConfig { rows: 128, cols: 32, vectorize_cycles_per_node: 2 });
+        let small = inference_timing(
+            &net,
+            &g,
+            &AdamConfig {
+                rows: 32,
+                cols: 32,
+                vectorize_cycles_per_node: 2,
+            },
+        );
+        let big = inference_timing(
+            &net,
+            &g,
+            &AdamConfig {
+                rows: 128,
+                cols: 32,
+                vectorize_cycles_per_node: 2,
+            },
+        );
         assert!(small.array_cycles > big.array_cycles);
         assert_eq!(small.macs, big.macs);
     }

@@ -88,7 +88,11 @@ fn dequantize(raw: u64, scale: f64, bits: u32) -> f64 {
 
 /// Quantizes a bias/response value exactly as the gene word stores it.
 pub fn quantize_attr(value: f64) -> f64 {
-    dequantize(quantize(value, ATTR_SCALE, ATTR_BITS), ATTR_SCALE, ATTR_BITS)
+    dequantize(
+        quantize(value, ATTR_SCALE, ATTR_BITS),
+        ATTR_SCALE,
+        ATTR_BITS,
+    )
 }
 
 /// Quantizes a connection weight exactly as the gene word stores it.
@@ -202,7 +206,13 @@ pub fn decode_genome(
             Gene::Conn(c) => conns.push(c),
         }
     }
-    Ok(Genome::from_parts(key, num_inputs, num_outputs, nodes, conns)?)
+    Ok(Genome::from_parts(
+        key,
+        num_inputs,
+        num_outputs,
+        nodes,
+        conns,
+    )?)
 }
 
 /// Quantizes every continuous attribute of a genome to the fixed-point
@@ -278,8 +288,8 @@ pub fn decode_population(
     let mut genomes = Vec::new();
     let mut i = 0usize;
     while i < words.len() {
-        let (key, num_genes) = decode_header(words[i])
-            .ok_or_else(|| format!("expected genome header at word {i}"))?;
+        let (key, num_genes) =
+            decode_header(words[i]).ok_or_else(|| format!("expected genome header at word {i}"))?;
         let fitness = f64::from_bits(*words.get(i + 1).ok_or("truncated fitness word")?);
         let body = words
             .get(i + 2..i + 2 + num_genes)

@@ -274,7 +274,11 @@ mod tests {
         let tech = TechModel::default();
         let area = tech.area_mm2(256, 1024, 1.5);
         assert!((area.eve_mm2 - 0.891).abs() < 0.01, "EvE {}", area.eve_mm2);
-        assert!((area.adam_mm2 - 0.230).abs() < 0.01, "ADAM {}", area.adam_mm2);
+        assert!(
+            (area.adam_mm2 - 0.230).abs() < 0.01,
+            "ADAM {}",
+            area.adam_mm2
+        );
         let total = area.total();
         assert!(
             (2.2..=2.7).contains(&total),

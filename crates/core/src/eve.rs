@@ -245,9 +245,8 @@ pub fn replay_trace_with_policy(
     }
     let mut requests: Vec<(u64, u32)> = Vec::with_capacity(2 * num_pes);
     for round in &schedule.rounds {
-        let stream_len = |p: &MatingPlan| {
-            parent_sizes[p.fit_parent].max(parent_sizes[p.other_parent]) as u64
-        };
+        let stream_len =
+            |p: &MatingPlan| parent_sizes[p.fit_parent].max(parent_sizes[p.other_parent]) as u64;
         let longest = round.iter().map(stream_len).max().unwrap_or(0);
         for t in 0..longest {
             requests.clear();
@@ -328,7 +327,12 @@ mod tests {
         let (few, _, _) = run_reproduction(2);
         let (many, _, _) = run_reproduction(16);
         assert!(many.rounds < few.rounds);
-        assert!(many.cycles < few.cycles, "{} !< {}", many.cycles, few.cycles);
+        assert!(
+            many.cycles < few.cycles,
+            "{} !< {}",
+            many.cycles,
+            few.cycles
+        );
     }
 
     #[test]
@@ -370,7 +374,14 @@ mod tests {
         let parent_sizes = vec![5usize; 20];
         let child_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
         let mut buffer = GenomeBuffer::new(SramConfig::default());
-        let report = replay_trace(trace, &parent_sizes, &child_sizes, 4, NocKind::MulticastTree, &mut buffer);
+        let report = replay_trace(
+            trace,
+            &parent_sizes,
+            &child_sizes,
+            4,
+            NocKind::MulticastTree,
+            &mut buffer,
+        );
         let non_elite = trace.children.iter().filter(|t| !t.is_elite).count();
         assert_eq!(report.rounds, non_elite.div_ceil(4));
         assert!(report.cycles > 0);
@@ -386,9 +397,23 @@ mod tests {
         let parent_sizes = vec![5usize; 40];
         let child_sizes = vec![5usize; 40];
         let mut b1 = GenomeBuffer::new(SramConfig::default());
-        let p2p = replay_trace(trace, &parent_sizes, &child_sizes, 16, NocKind::PointToPoint, &mut b1);
+        let p2p = replay_trace(
+            trace,
+            &parent_sizes,
+            &child_sizes,
+            16,
+            NocKind::PointToPoint,
+            &mut b1,
+        );
         let mut b2 = GenomeBuffer::new(SramConfig::default());
-        let mc = replay_trace(trace, &parent_sizes, &child_sizes, 16, NocKind::MulticastTree, &mut b2);
+        let mc = replay_trace(
+            trace,
+            &parent_sizes,
+            &child_sizes,
+            16,
+            NocKind::MulticastTree,
+            &mut b2,
+        );
         assert!(mc.noc.sram_reads < p2p.noc.sram_reads);
     }
 }

@@ -147,7 +147,11 @@ mod tests {
     fn multicast_reads_once_per_distinct_gene() {
         let mut noc = Noc::new(NocKind::MulticastTree);
         let reqs = vec![(7u64, 3u32); 8];
-        assert_eq!(noc.distribute_cycle(&reqs), 1, "fork in the tree, not at SRAM");
+        assert_eq!(
+            noc.distribute_cycle(&reqs),
+            1,
+            "fork in the tree, not at SRAM"
+        );
         // Mixed requests: 2 distinct genes.
         let reqs = vec![(7, 3), (7, 3), (9, 1), (9, 1)];
         assert_eq!(noc.distribute_cycle(&reqs), 2);

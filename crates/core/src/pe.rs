@@ -473,7 +473,10 @@ mod tests {
         config.conn_add_prob = 1.0;
         let mut pe = EvePe::new(config, 12);
         let out = pe.produce_child(&align_parents(&g, &g.clone()));
-        assert!(out.ops.add_conn > 0, "arming every cycle must add something");
+        assert!(
+            out.ops.add_conn > 0,
+            "arming every cycle must add something"
+        );
         assert!(out.cycles.add_extra > 0);
         let merged = merge_child(1, 3, 2, out.genes).unwrap();
         assert!(merged.genome.validate().is_ok());

@@ -329,7 +329,10 @@ mod tests {
         let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
         let report = soc.run_generation(&mut factory);
         assert_eq!(report.generation, 0);
-        assert!(report.max_fitness >= 1.0, "CartPole always earns some reward");
+        assert!(
+            report.max_fitness >= 1.0,
+            "CartPole always earns some reward"
+        );
         assert!(report.inference.env_steps > 0);
         assert!(report.inference.adam.macs > 0);
         assert!(report.evolution.cycles > 0);
@@ -391,7 +394,7 @@ mod tests {
 
     #[test]
     fn quantized_genomes_round_trip_the_codec() {
-        use crate::codec::{encode_genome, decode_genome};
+        use crate::codec::{decode_genome, encode_genome};
         let mut soc = small_soc(12);
         let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
         soc.run_generation(&mut factory);
@@ -417,8 +420,7 @@ mod tests {
                 .build()
                 .unwrap();
             let mut soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(4), small, 7);
-            let mut factory =
-                move |i: usize| -> Box<dyn Environment> { kind.make(i as u64) };
+            let mut factory = move |i: usize| -> Box<dyn Environment> { kind.make(i as u64) };
             let report = soc.run_generation(&mut factory);
             assert!(report.inference.env_steps > 0, "{}", kind.label());
         }

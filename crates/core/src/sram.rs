@@ -219,7 +219,10 @@ mod tests {
         buf.read_genes(1_000_000);
         buf.write_genes(1_000_000);
         let uj = buf.energy_uj();
-        assert!((uj - (5.0 + 5.5)).abs() < 1e-9, "1M reads + 1M writes = 10.5 uJ");
+        assert!(
+            (uj - (5.0 + 5.5)).abs() < 1e-9,
+            "1M reads + 1M writes = 10.5 uJ"
+        );
     }
 
     #[test]

@@ -64,10 +64,8 @@ impl Acrobot {
         let lc2 = LINK_COM_2;
         let i1 = LINK_MOI;
         let i2 = LINK_MOI;
-        let d1 = m1 * lc1 * lc1
-            + m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * theta2.cos())
-            + i1
-            + i2;
+        let d1 =
+            m1 * lc1 * lc1 + m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * theta2.cos()) + i1 + i2;
         let d2 = m2 * (lc2 * lc2 + l1 * lc2 * theta2.cos()) + i2;
         let phi2 = m2 * lc2 * G * (theta1 + theta2 - std::f64::consts::FRAC_PI_2).cos();
         let phi1 = -m2 * l1 * lc2 * dtheta2 * dtheta2 * theta2.sin()
@@ -75,10 +73,9 @@ impl Acrobot {
             + (m1 * lc1 + m2 * l1) * G * (theta1 - std::f64::consts::FRAC_PI_2).cos()
             + phi2;
         // "book" variant of the dynamics, as used by gym.
-        let ddtheta2 = (torque + d2 / d1 * phi1
-            - m2 * l1 * lc2 * dtheta1 * dtheta1 * theta2.sin()
-            - phi2)
-            / (m2 * lc2 * lc2 + i2 - d2 * d2 / d1);
+        let ddtheta2 =
+            (torque + d2 / d1 * phi1 - m2 * l1 * lc2 * dtheta1 * dtheta1 * theta2.sin() - phi2)
+                / (m2 * lc2 * lc2 + i2 - d2 * d2 / d1);
         let ddtheta1 = -(d2 * ddtheta2 + phi1) / d1;
         [dtheta1, dtheta2, ddtheta1, ddtheta2]
     }
@@ -87,7 +84,12 @@ impl Acrobot {
         let y = self.state;
         let k1 = Self::dynamics(y, torque);
         let add = |y: [f64; 4], k: [f64; 4], h: f64| {
-            [y[0] + h * k[0], y[1] + h * k[1], y[2] + h * k[2], y[3] + h * k[3]]
+            [
+                y[0] + h * k[0],
+                y[1] + h * k[1],
+                y[2] + h * k[2],
+                y[3] + h * k[3],
+            ]
         };
         let k2 = Self::dynamics(add(y, k1, DT / 2.0), torque);
         let k3 = Self::dynamics(add(y, k2, DT / 2.0), torque);
@@ -199,7 +201,10 @@ mod tests {
                 break;
             }
         }
-        assert!(env.tip_height() < 1.0, "no torque cannot swing above the bar");
+        assert!(
+            env.tip_height() < 1.0,
+            "no torque cannot swing above the bar"
+        );
     }
 
     #[test]
@@ -216,7 +221,10 @@ mod tests {
                 break;
             }
         }
-        assert!(peak > -0.5, "resonant pumping should raise the tip, peak {peak}");
+        assert!(
+            peak > -0.5,
+            "resonant pumping should raise the tip, peak {peak}"
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ mod tests {
                 break;
             }
         }
-        assert!(game.game_over(), "undefended buildings fall and lives drain");
+        assert!(
+            game.game_over(),
+            "undefended buildings fall and lives drain"
+        );
     }
 
     #[test]

@@ -71,12 +71,7 @@ impl Bipedal {
     }
 
     fn observation(&self) -> Vec<f64> {
-        let mut obs = vec![
-            self.angle,
-            self.vangle,
-            self.vx,
-            self.vy,
-        ];
+        let mut obs = vec![self.angle, self.vangle, self.vx, self.vy];
         for leg in &self.legs {
             obs.push(leg.hip);
             obs.push(leg.hip_vel);
@@ -169,7 +164,11 @@ impl Environment for Bipedal {
         let any_contact = self.legs.iter().any(|l| l.contact);
         // Torso dynamics.
         self.vx += (thrust - 0.08 * self.vx) * DT * 4.0;
-        self.vy += if any_contact { -self.vy * 0.5 } else { -9.8 * DT * 0.15 };
+        self.vy += if any_contact {
+            -self.vy * 0.5
+        } else {
+            -9.8 * DT * 0.15
+        };
         self.x += self.vx * DT;
         self.y = (self.y + self.vy * DT).clamp(0.4, 1.4);
         // Unbalanced leg phases tip the torso.
@@ -230,7 +229,10 @@ mod tests {
     #[test]
     fn idle_walker_goes_nowhere() {
         let (_, dist) = run(2, |_, _| [0.5; 4]);
-        assert!(dist.abs() < 1.0, "zero torque should not move far, got {dist}");
+        assert!(
+            dist.abs() < 1.0,
+            "zero torque should not move far, got {dist}"
+        );
     }
 
     #[test]
@@ -244,7 +246,10 @@ mod tests {
                 [0.9, 0.5, 0.1, 0.5]
             }
         });
-        assert!(dist > 1.0, "alternating gait should make progress, got {dist}");
+        assert!(
+            dist > 1.0,
+            "alternating gait should make progress, got {dist}"
+        );
     }
 
     #[test]

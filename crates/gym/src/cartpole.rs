@@ -104,8 +104,7 @@ impl Environment for CartPole {
             theta_dot + TAU * theta_acc,
         ];
         self.steps += 1;
-        let fell =
-            self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
+        let fell = self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
         self.done = fell || self.steps >= Self::MAX_STEPS;
         Step {
             observation: self.state.to_vec(),

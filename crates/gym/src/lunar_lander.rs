@@ -178,8 +178,8 @@ impl Environment for LunarLander {
             self.left_leg = true;
             self.right_leg = true;
             self.done = true;
-            let soft = self.vx.hypot(self.vy) <= MAX_LANDING_SPEED
-                && self.angle.abs() <= MAX_LANDING_TILT;
+            let soft =
+                self.vx.hypot(self.vy) <= MAX_LANDING_SPEED && self.angle.abs() <= MAX_LANDING_TILT;
             let on_pad = self.x.abs() <= PAD_HALF_WIDTH;
             reward += if soft && on_pad {
                 100.0

@@ -143,8 +143,8 @@ impl Environment for DriftingCartPole {
             theta_dot + TAU * theta_acc,
         ];
         self.steps += 1;
-        let fell = self.state[0].abs() > 2.4
-            || self.state[2].abs() > 12.0 * std::f64::consts::PI / 180.0;
+        let fell =
+            self.state[0].abs() > 2.4 || self.state[2].abs() > 12.0 * std::f64::consts::PI / 180.0;
         self.done = fell || self.steps >= Self::MAX_STEPS;
         Step {
             observation: self.state.to_vec(),

@@ -61,10 +61,12 @@ impl Aggregation {
             Aggregation::Max => inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             Aggregation::Min => inputs.iter().copied().fold(f64::INFINITY, f64::min),
             Aggregation::Mean => inputs.iter().sum::<f64>() / inputs.len() as f64,
-            Aggregation::MaxAbs => inputs
-                .iter()
-                .copied()
-                .fold(0.0, |best: f64, v| if v.abs() > best.abs() { v } else { best }),
+            Aggregation::MaxAbs => {
+                inputs.iter().copied().fold(
+                    0.0,
+                    |best: f64, v| if v.abs() > best.abs() { v } else { best },
+                )
+            }
             Aggregation::Median => {
                 let mut sorted = inputs.to_vec();
                 sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN inputs"));

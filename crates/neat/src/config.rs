@@ -209,7 +209,8 @@ impl NeatConfig {
                 c.target_fitness = Some(-100.0);
             }
             "lunarlander" => {
-                c.activation_options = vec![Activation::Tanh, Activation::Relu, Activation::Sigmoid];
+                c.activation_options =
+                    vec![Activation::Tanh, Activation::Relu, Activation::Sigmoid];
                 c.activation_mutate_rate = 0.1;
                 c.target_fitness = Some(200.0);
             }
@@ -392,7 +393,15 @@ mod tests {
 
     #[test]
     fn every_preset_is_valid() {
-        for name in ["cartpole", "mountaincar", "acrobot", "lunarlander", "bipedal", "atari", "x"] {
+        for name in [
+            "cartpole",
+            "mountaincar",
+            "acrobot",
+            "lunarlander",
+            "bipedal",
+            "atari",
+            "x",
+        ] {
             assert!(NeatConfig::for_env(name, 8, 4).validate().is_ok(), "{name}");
         }
     }
@@ -411,10 +420,15 @@ mod tests {
 
     #[test]
     fn bad_probability_rejected() {
-        let err = NeatConfig::builder(2, 1).conn_add_prob(1.5).build().unwrap_err();
+        let err = NeatConfig::builder(2, 1)
+            .conn_add_prob(1.5)
+            .build()
+            .unwrap_err();
         assert_eq!(
             err,
-            ConfigError::ProbabilityOutOfRange { field: "conn_add_prob" }
+            ConfigError::ProbabilityOutOfRange {
+                field: "conn_add_prob"
+            }
         );
     }
 

@@ -244,7 +244,10 @@ mod tests {
     fn conn_key_ordering_is_lexicographic() {
         let a = ConnKey::new(NodeId(0), NodeId(5));
         let b = ConnKey::new(NodeId(1), NodeId(0));
-        assert!(a < b, "keys sort by source first — the genome buffer layout");
+        assert!(
+            a < b,
+            "keys sort by source first — the genome buffer layout"
+        );
     }
 
     #[test]

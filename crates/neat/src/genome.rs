@@ -118,7 +118,9 @@ impl Genome {
                 });
             }
             if self.node_type(conn.key.dst) == Some(NodeType::Input) {
-                return Err(GenomeError::ConnectionIntoInput { dst: conn.key.dst.0 });
+                return Err(GenomeError::ConnectionIntoInput {
+                    dst: conn.key.dst.0,
+                });
             }
         }
         if self.has_cycle() {
@@ -247,7 +249,12 @@ impl Genome {
 
     /// Perturbs (or replaces) the continuous and discrete attributes of all
     /// genes — the Perturbation Engine's work.
-    pub fn mutate_attributes(&mut self, config: &NeatConfig, rng: &mut XorWow, ops: &mut OpCounters) {
+    pub fn mutate_attributes(
+        &mut self,
+        config: &NeatConfig,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) {
         for node in self.nodes.values_mut() {
             if node.node_type == NodeType::Input {
                 continue;
@@ -321,7 +328,10 @@ impl Genome {
             return;
         }
         let old_weight = self.conns[&key].weight;
-        self.conns.get_mut(&key).expect("key from iteration").enabled = false;
+        self.conns
+            .get_mut(&key)
+            .expect("key from iteration")
+            .enabled = false;
         self.nodes.insert(new_id, NodeGene::hidden(new_id));
         // Per the paper's Add-Gene engine: "two new connection genes are
         // generated". Input-side weight 1 preserves the signal; output-side
@@ -378,7 +388,12 @@ impl Genome {
     /// respecting the per-generation deletion ceiling
     /// ([`NeatConfig::node_delete_limit`]) the hardware enforces to "keep
     /// the genome alive".
-    pub fn mutate_delete_node(&mut self, config: &NeatConfig, rng: &mut XorWow, ops: &mut OpCounters) {
+    pub fn mutate_delete_node(
+        &mut self,
+        config: &NeatConfig,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) {
         if ops.delete_node as usize >= config.node_delete_limit {
             return;
         }
@@ -442,8 +457,7 @@ impl Genome {
     fn has_cycle(&self) -> bool {
         // Kahn's algorithm: if topological elimination leaves nodes with
         // in-degree > 0, a cycle exists.
-        let mut indegree: BTreeMap<NodeId, usize> =
-            self.nodes.keys().map(|&id| (id, 0)).collect();
+        let mut indegree: BTreeMap<NodeId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
         let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for key in self.conns.keys() {
             *indegree.entry(key.dst).or_insert(0) += 1;
@@ -754,7 +768,10 @@ mod tests {
         g2.mutate_attributes(&c, &mut r, &mut ops);
         let d = g1.distance(&g2, &c);
         assert!(d > 0.0);
-        assert!((g1.distance(&g2, &c) - g2.distance(&g1, &c)).abs() < 1e-12, "symmetric");
+        assert!(
+            (g1.distance(&g2, &c) - g2.distance(&g1, &c)).abs() < 1e-12,
+            "symmetric"
+        );
     }
 
     #[test]
@@ -765,7 +782,10 @@ mod tests {
         let mut conns: Vec<ConnGene> = g.conns().copied().collect();
         conns.push(ConnGene::new(NodeId(0), NodeId(99), 1.0));
         let err = Genome::from_parts(1, 3, 2, nodes, conns).unwrap_err();
-        assert!(matches!(err, GenomeError::DanglingConnection { dst: 99, .. }));
+        assert!(matches!(
+            err,
+            GenomeError::DanglingConnection { dst: 99, .. }
+        ));
     }
 
     #[test]
@@ -812,7 +832,10 @@ mod tests {
             let mut ops = OpCounters::new();
             innov.begin_generation();
             g.mutate(&c, &mut innov, &mut r, &mut ops);
-            assert!(g.validate().is_ok(), "invariants violated at iteration {gen}");
+            assert!(
+                g.validate().is_ok(),
+                "invariants violated at iteration {gen}"
+            );
         }
     }
 

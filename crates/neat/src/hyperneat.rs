@@ -28,7 +28,10 @@ impl Substrate {
     /// each hidden layer evenly spaced between, `outputs` on y = +1. Node
     /// x-coordinates are spread over `[-1, 1]`.
     pub fn grid(inputs: usize, hidden: &[usize], outputs: usize) -> Substrate {
-        assert!(inputs > 0 && outputs > 0, "substrate needs a real interface");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "substrate needs a real interface"
+        );
         let depth = hidden.len() + 1;
         let mut layers = Vec::with_capacity(hidden.len() + 2);
         let spread = |n: usize| -> Vec<f64> {
@@ -260,7 +263,7 @@ mod tests {
     }
 
     #[test]
-    fn compression_exceeds_one_for_large_substrates(){
+    fn compression_exceeds_one_for_large_substrates() {
         let h = HyperNeat::new(Substrate::grid(128, &[32], 18));
         let config = h.cppn_config();
         let mut rng = XorWow::seed_from_u64_value(9);

@@ -136,7 +136,8 @@ impl LayerGenome {
         if self.hidden.len() < config.max_layers && rng.chance(config.layer_add_prob) {
             let units = config.min_units + rng.below(config.max_units - config.min_units + 1);
             let at = rng.below(self.hidden.len() + 1);
-            self.hidden.insert(at, LayerGene::with_default_attributes(units));
+            self.hidden
+                .insert(at, LayerGene::with_default_attributes(units));
             ops.add_node += 1;
         }
         if !self.hidden.is_empty() && rng.chance(config.layer_delete_prob) {
@@ -259,7 +260,13 @@ impl LayerGenome {
                 }
             }
         }
-        Genome::from_parts(self.key, config.num_inputs, config.num_outputs, nodes, conns)
+        Genome::from_parts(
+            self.key,
+            config.num_inputs,
+            config.num_outputs,
+            nodes,
+            conns,
+        )
     }
 }
 
@@ -356,7 +363,11 @@ mod tests {
         let child = LayerGenome::crossover(2, &fit, &other, &mut rng, &mut ops);
         assert_eq!(child.layers().len(), 2, "depth follows the fitter parent");
         assert!(child.layers()[0].units == 8 || child.layers()[0].units == 16);
-        assert_eq!(child.layers()[1].units, 4, "excess layer from fitter parent");
+        assert_eq!(
+            child.layers()[1].units,
+            4,
+            "excess layer from fitter parent"
+        );
         assert_eq!(ops.crossover, 2);
     }
 
@@ -390,6 +401,9 @@ mod tests {
             );
             best = best.max(tuned.fitness);
         }
-        assert!(best > 2.8, "hybrid search should fit XOR-ish target, best {best}");
+        assert!(
+            best > 2.8,
+            "hybrid search should fit XOR-ish target, best {best}"
+        );
     }
 }

@@ -68,14 +68,16 @@ impl Network {
         }
 
         // Enabled-edge adjacency and in-degrees for Kahn layering.
-        let mut indegree: HashMap<NodeId, usize> =
-            genome.nodes().map(|n| (n.id, 0)).collect();
+        let mut indegree: HashMap<NodeId, usize> = genome.nodes().map(|n| (n.id, 0)).collect();
         let mut out_edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let mut incoming: HashMap<NodeId, Vec<(usize, f64)>> = HashMap::new();
         let mut num_macs = 0u64;
         for conn in genome.conns().filter(|c| c.enabled) {
             *indegree.get_mut(&conn.key.dst).expect("validated genome") += 1;
-            out_edges.entry(conn.key.src).or_default().push(conn.key.dst);
+            out_edges
+                .entry(conn.key.src)
+                .or_default()
+                .push(conn.key.dst);
             incoming
                 .entry(conn.key.dst)
                 .or_default()
@@ -228,7 +230,10 @@ mod tests {
         let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
         let net = Network::from_genome(&g).unwrap();
         let out = net.activate(&[1.0, -1.0]);
-        assert!((out[0] - 0.5).abs() < 1e-12, "zero weights ⇒ sigmoid(0) = 0.5");
+        assert!(
+            (out[0] - 0.5).abs() < 1e-12,
+            "zero weights ⇒ sigmoid(0) = 0.5"
+        );
     }
 
     #[test]
@@ -321,6 +326,9 @@ mod tests {
     fn mac_count_matches_enabled_conns() {
         let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(3));
         let net = Network::from_genome(&g).unwrap();
-        assert_eq!(net.num_macs() as usize, g.conns().filter(|c| c.enabled).count());
+        assert_eq!(
+            net.num_macs() as usize,
+            g.conns().filter(|c| c.enabled).count()
+        );
     }
 }

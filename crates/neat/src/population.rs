@@ -201,9 +201,9 @@ impl Population {
             g.set_fitness(*f);
         }
         // Track the best-ever genome.
-        if let Some(best_idx) = (0..n).max_by(|&a, &b| {
-            fitness[a].partial_cmp(&fitness[b]).expect("finite fitness")
-        }) {
+        if let Some(best_idx) =
+            (0..n).max_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite fitness"))
+        {
             let better = self
                 .best_ever
                 .as_ref()
@@ -224,7 +224,8 @@ impl Population {
         F: Fn(&Network) -> f64 + Sync,
     {
         let macs = self.evaluate(fitness_fn);
-        self.species.speciate(&self.genomes, &self.config, self.generation);
+        self.species
+            .speciate(&self.genomes, &self.config, self.generation);
         self.species
             .remove_stagnant(&self.genomes, &self.config, self.generation);
         self.species.share_fitness(&self.genomes);

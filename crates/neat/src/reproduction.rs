@@ -21,11 +21,7 @@ pub struct ReproductionReport {
 /// Allocates offspring counts to species proportionally to their
 /// fitness-shared adjusted fitness, with a floor of
 /// `min_species_size.max(elitism)` per species, normalized to `pop_size`.
-pub fn allocate_offspring(
-    adjusted: &[f64],
-    pop_size: usize,
-    min_size: usize,
-) -> Vec<usize> {
+pub fn allocate_offspring(adjusted: &[f64], pop_size: usize, min_size: usize) -> Vec<usize> {
     if adjusted.is_empty() {
         return Vec::new();
     }
@@ -219,7 +215,15 @@ pub fn reproduce(
 mod tests {
     use super::*;
 
-    fn setup(pop: usize) -> (Vec<Genome>, SpeciesSet, NeatConfig, InnovationTracker, XorWow) {
+    fn setup(
+        pop: usize,
+    ) -> (
+        Vec<Genome>,
+        SpeciesSet,
+        NeatConfig,
+        InnovationTracker,
+        XorWow,
+    ) {
         let c = NeatConfig::builder(3, 1).pop_size(pop).build().unwrap();
         let mut rng = XorWow::seed_from_u64_value(42);
         let mut genomes: Vec<Genome> = (0..pop as u64)
@@ -268,8 +272,12 @@ mod tests {
         let (genomes, species, c, mut innov, mut rng) = setup(30);
         let mut key = 1000;
         let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
-        let elite_traces: Vec<&ChildTrace> =
-            report.trace.children.iter().filter(|t| t.is_elite).collect();
+        let elite_traces: Vec<&ChildTrace> = report
+            .trace
+            .children
+            .iter()
+            .filter(|t| t.is_elite)
+            .collect();
         assert!(!elite_traces.is_empty());
         for t in elite_traces {
             let child = &report.offspring[t.child_index];
@@ -296,7 +304,10 @@ mod tests {
         let report = reproduce(&genomes, &species, &c, &mut innov, &mut rng, 0, &mut key);
         let totals = report.trace.totals();
         assert!(totals.crossover > 0, "non-elite children stream genes");
-        assert!(report.trace.total_ops() > totals.crossover, "mutations occurred");
+        assert!(
+            report.trace.total_ops() > totals.crossover,
+            "mutations occurred"
+        );
     }
 
     #[test]

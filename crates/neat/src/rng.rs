@@ -160,7 +160,12 @@ impl SeedableRng for XorWow {
 
     fn from_seed(seed: Self::Seed) -> Self {
         let word = |i: usize| {
-            u32::from_le_bytes([seed[4 * i], seed[4 * i + 1], seed[4 * i + 2], seed[4 * i + 3]])
+            u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ])
         };
         XorWow::from_state([word(0), word(1), word(2), word(3), word(4)], word(5))
     }
@@ -189,7 +194,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = XorWow::seed_from_u64_value(1);
         let mut b = XorWow::seed_from_u64_value(2);
-        let same = (0..64).filter(|_| a.next_u32_value() == b.next_u32_value()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u32_value() == b.next_u32_value())
+            .count();
         assert!(same < 4, "streams from different seeds should not match");
     }
 
@@ -246,7 +253,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "gaussian mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.05, "gaussian variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.05,
+            "gaussian variance {var} too far from 1"
+        );
     }
 
     #[test]

@@ -57,14 +57,11 @@ impl Species {
 
     /// Best member index (by raw fitness) in the current generation.
     pub fn champion(&self, genomes: &[Genome]) -> Option<usize> {
-        self.members
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
-                let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
-                fa.partial_cmp(&fb).expect("finite fitness")
-            })
+        self.members.iter().copied().max_by(|&a, &b| {
+            let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+            let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+            fa.partial_cmp(&fb).expect("finite fitness")
+        })
     }
 }
 

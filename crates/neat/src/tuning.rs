@@ -97,8 +97,7 @@ where
 {
     let mut rng = XorWow::seed_from_u64_value(seed);
     let mut best = genome.clone();
-    let initial_fitness =
-        fitness_fn(&Network::from_genome(&best).expect("valid input genome"));
+    let initial_fitness = fitness_fn(&Network::from_genome(&best).expect("valid input genome"));
     let mut best_fit = initial_fitness;
     let mut sigma = config.sigma;
     let mut improvements = 0;

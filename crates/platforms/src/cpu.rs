@@ -63,7 +63,11 @@ impl CpuModel {
     pub fn inference_time_s(&self, w: &WorkloadProfile, plp: bool) -> f64 {
         let serial_ns = w.inference_macs as f64 * self.per_mac_ns
             + w.env_steps as f64 * self.per_step_overhead_ns;
-        let ns = if plp { serial_ns / self.plp_speedup } else { serial_ns };
+        let ns = if plp {
+            serial_ns / self.plp_speedup
+        } else {
+            serial_ns
+        };
         ns / 1e9
     }
 

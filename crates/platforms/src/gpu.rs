@@ -244,9 +244,7 @@ mod tests {
         // transfers (that is why the paper builds GPU_b at all).
         let gpu = GpuModel::gtx_1080();
         let w = cartpole();
-        assert!(
-            gpu.inference_gpu_b(&w).total_s() < gpu.inference_gpu_a(&w).total_s()
-        );
+        assert!(gpu.inference_gpu_b(&w).total_s() < gpu.inference_gpu_a(&w).total_s());
     }
 
     #[test]

@@ -124,7 +124,7 @@ pub const TABLE_III: [PlatformSpec; 9] = [
         hardware: "GENESYS",
         inference: ParallelismMode::Plp,
         evolution: ParallelismMode::PlpGlp,
-    class: DeviceClass::Soc,
+        class: DeviceClass::Soc,
     },
 ];
 

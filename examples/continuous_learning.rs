@@ -13,7 +13,10 @@ use genesys::neat::{NeatConfig, Population};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
-    let config = NeatConfig::builder(4, 1).pop_size(96).build().expect("valid");
+    let config = NeatConfig::builder(4, 1)
+        .pop_size(96)
+        .build()
+        .expect("valid");
     let mut population = Population::new(config, 512);
     population.set_parallelism(4);
 
@@ -46,7 +49,11 @@ fn main() {
             .with_episode(episode.load(Ordering::Relaxed));
         let (len, force) = probe.physics();
         let regime = probe.regime();
-        let marker = if regime != last_regime { "  <-- regime shift" } else { "" };
+        let marker = if regime != last_regime {
+            "  <-- regime shift"
+        } else {
+            ""
+        };
         last_regime = regime;
         println!(
             "{:>3} | {:>6} | {:>8.2} | {:>5.1} | {:>8.1} | {:>8.1}{}",

@@ -12,7 +12,10 @@ use genesys::soc::{
 
 fn main() {
     // Profile one reproduction step of a LunarLander-sized population.
-    let config = NeatConfig::builder(8, 1).pop_size(150).build().expect("valid");
+    let config = NeatConfig::builder(8, 1)
+        .pop_size(150)
+        .build()
+        .expect("valid");
     let mut pop = Population::new(config.clone(), 11);
     let parent_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
     pop.evolve_once(|net: &Network| net.activate(&[0.1; 8])[0]);

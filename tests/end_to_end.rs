@@ -55,7 +55,10 @@ fn hardware_loop_matches_software_interface_and_learns() {
     let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
     let (reports, _converged) = soc.run_until(25, &mut factory);
     let first = reports.first().unwrap().max_fitness;
-    let best = reports.iter().map(|r| r.max_fitness).fold(f64::MIN, f64::max);
+    let best = reports
+        .iter()
+        .map(|r| r.max_fitness)
+        .fold(f64::MIN, f64::max);
     assert!(
         best > first,
         "hardware evolution should improve fitness: first {first}, best {best}"
@@ -104,7 +107,14 @@ fn trace_replay_is_consistent_with_the_trace() {
     let child_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
 
     let mut buffer = GenomeBuffer::new(SramConfig::default());
-    let report = replay_trace(&trace, &parent_sizes, &child_sizes, 16, NocKind::MulticastTree, &mut buffer);
+    let report = replay_trace(
+        &trace,
+        &parent_sizes,
+        &child_sizes,
+        16,
+        NocKind::MulticastTree,
+        &mut buffer,
+    );
     let non_elite = trace.children.iter().filter(|c| !c.is_elite).count();
     assert_eq!(report.rounds, non_elite.div_ceil(16));
     // Every child gene is written exactly once (elites too).
@@ -148,16 +158,19 @@ fn platform_models_preserve_the_papers_ordering() {
 fn every_suite_env_supports_one_soc_generation() {
     for kind in [EnvKind::CartPole, EnvKind::LunarLander, EnvKind::Asterix] {
         let (inputs, outputs) = kind.interface();
-        let neat = NeatConfig::builder(inputs, outputs).pop_size(6).build().unwrap();
+        let neat = NeatConfig::builder(inputs, outputs)
+            .pop_size(6)
+            .build()
+            .unwrap();
         let mut soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(4), neat, 2);
         let mut factory = move |i: usize| -> Box<dyn Environment> {
             let mut seed_env = kind.make(i as u64);
             // bound Atari episodes so the test stays fast
             if kind.is_atari() {
                 seed_env = match kind {
-                    EnvKind::Asterix => Box::new(
-                        genesys::gym::AsterixRam::from_seed(i as u64).with_max_steps(80),
-                    ),
+                    EnvKind::Asterix => {
+                        Box::new(genesys::gym::AsterixRam::from_seed(i as u64).with_max_steps(80))
+                    }
                     _ => seed_env,
                 };
             }
@@ -212,6 +225,12 @@ fn quantized_and_float_evolution_both_learn() {
     for _ in 0..10 {
         best_quant = best_quant.max(soc.run_generation(&mut factory).max_fitness);
     }
-    assert!(best_float > 20.0, "float baseline learned nothing: {best_float}");
-    assert!(best_quant > 20.0, "quantized loop learned nothing: {best_quant}");
+    assert!(
+        best_float > 20.0,
+        "float baseline learned nothing: {best_float}"
+    );
+    assert!(
+        best_quant > 20.0,
+        "quantized loop learned nothing: {best_quant}"
+    );
 }

@@ -71,15 +71,30 @@ fn fig10_memcpy_ordering_holds() {
     // GeneSys keeps everything on-chip.
     let cost = genesys_cost(&run, &SocConfig::default());
     let g_frac = cost.buffer_transfer_s / (cost.buffer_transfer_s + cost.inference_s);
-    assert!(g_frac < 0.35, "GeneSys should not be transfer-bound: {g_frac}");
+    assert!(
+        g_frac < 0.35,
+        "GeneSys should not be transfer-bound: {g_frac}"
+    );
 }
 
 #[test]
 fn fig11_multicast_and_pe_scaling_trends() {
     let run = run_workload(EnvKind::Amidar, 3, 5, Some(48));
     let base = SocConfig::default();
-    let p2p = genesys_cost(&run, &base.clone().with_noc(NocKind::PointToPoint).with_num_eve_pes(64));
-    let mc = genesys_cost(&run, &base.clone().with_noc(NocKind::MulticastTree).with_num_eve_pes(64));
+    let p2p = genesys_cost(
+        &run,
+        &base
+            .clone()
+            .with_noc(NocKind::PointToPoint)
+            .with_num_eve_pes(64),
+    );
+    let mc = genesys_cost(
+        &run,
+        &base
+            .clone()
+            .with_noc(NocKind::MulticastTree)
+            .with_num_eve_pes(64),
+    );
     assert!(
         mc.replay.noc.sram_reads < p2p.replay.noc.sram_reads,
         "multicast must cut SRAM reads"

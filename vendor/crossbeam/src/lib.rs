@@ -1,0 +1,117 @@
+//! Offline shim for the `crossbeam::thread` scoped-threads API used by this
+//! workspace, backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Call-site compatible with crossbeam 0.8 for the subset GeneSys uses:
+//! `crossbeam::thread::scope(|scope| { scope.spawn(|_| ...); ... })` returning
+//! a `Result` that is `Ok` when no spawned thread panicked.
+
+#![deny(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads (crossbeam 0.8 `crossbeam::thread`).
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope for spawning threads that may borrow from the enclosing stack
+    /// frame. Mirrors `crossbeam::thread::Scope`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// reference to the scope so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope, runs `f` inside it, and joins every spawned thread
+    /// before returning. Matches crossbeam 0.8's contract: a panic in a
+    /// *spawned thread* is returned as `Err` with its payload, while a panic
+    /// in the scope closure itself propagates to the caller (`std`'s scope
+    /// would re-raise both).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let mut closure_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                match catch_unwind(AssertUnwindSafe(|| f(&Scope { inner: s }))) {
+                    Ok(value) => Some(value),
+                    Err(payload) => {
+                        closure_panic = Some(payload);
+                        None
+                    }
+                }
+            })
+        }));
+        // `std::thread::scope` re-raises a spawned thread's panic after
+        // joining, which the outer catch_unwind turns into `Err`. A closure
+        // panic takes precedence, as in crossbeam.
+        if let Some(payload) = closure_panic {
+            std::panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(Some(value)) => Ok(value),
+            Ok(None) => unreachable!("closure panic handled above"),
+            Err(thread_panic) => Err(thread_panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let result = crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scoped_threads_can_write_disjoint_chunks() {
+        let mut data = vec![0u32; 8];
+        crate::thread::scope(|scope| {
+            for chunk in data.chunks_mut(2) {
+                scope.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn closure_panic_propagates_like_crossbeam() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = crate::thread::scope(|_| panic!("in closure"));
+        });
+        assert!(result.is_err(), "closure panics must propagate, not Err");
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline shim for the `proptest` 1.x API surface used by this
+//! workspace's property tests.
+//!
+//! Supports: the [`Strategy`] trait with [`Strategy::prop_map`], range and
+//! tuple strategies, [`any`], [`ProptestConfig`], and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros. Case generation is
+//! deterministic (SplitMix64 seeded by case index) so failures reproduce;
+//! there is no shrinking — a failing case panics with its inputs as-is.
+//! Swap for crates.io proptest to get shrinking and persistence.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic RNG driving case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for one test case.
+    pub fn deterministic(case: u64) -> Self {
+        TestRng {
+            state: case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Creates the RNG for one case of a named test, mixing the test name
+    /// into the seed so distinct tests explore distinct input streams
+    /// (plain `deterministic(case)` would give every test in the workspace
+    /// the same cases).
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, folded into the case index.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::deterministic(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Generates values of an output type from a deterministic RNG.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Lerp form: `start + (end - start) * u` overflows to ±inf when the
+        // span exceeds f64::MAX (e.g. -1e308..1e308); the convex combination
+        // keeps every intermediate within the operands' magnitudes.
+        let u = rng.unit_f64();
+        let v = self.start * (1.0 - u) + self.end * u;
+        // Floating rounding can land on or past `end`; keep it half-open.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = rng.unit_f64() as f32;
+        let v = self.start * (1.0 - u) + self.end * u;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Keep arbitrary floats finite: uniform over a wide symmetric range.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy for the whole domain of `T` (`proptest::prelude::any`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $config;
+            for __pt_case in 0..u64::from(__pt_config.cases) {
+                let mut __pt_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __pt_case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __pt_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strategy = (1u32..5, 0.0f64..1.0).prop_map(|(a, b)| a as f64 + b);
+        let mut rng = TestRng::deterministic(9);
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!((1.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::deterministic(4);
+        let mut b = TestRng::deterministic(4);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let mut a = TestRng::for_case("test_a", 0);
+        let mut b = TestRng::for_case("test_b", 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flag as u32 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline shim for the `rand` 0.8 trait surface used by this workspace.
+//!
+//! `genesys_neat::rng::XorWow` implements [`RngCore`] and [`SeedableRng`] so
+//! it can plug into the wider `rand` ecosystem. The container building this
+//! repo has no registry access, so this crate provides just those traits
+//! (signature-compatible with rand 0.8) and no generators of its own.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations (rand 0.8's `rand::Error`).
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Error").field("msg", &self.msg).finish()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (rand 0.8 `RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random data, reporting failure.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator seedable from fixed entropy (rand 0.8 `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Seed material accepted by [`SeedableRng::from_seed`].
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, spreading it across the seed bytes.
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as rand 0.8 does.
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn try_fill_bytes_default_delegates() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 12];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Counter::seed_from_u64(7);
+        let mut b = Counter::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
