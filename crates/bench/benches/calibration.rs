@@ -1,0 +1,37 @@
+//! Machine-speed calibration probe for the bench-regression gate.
+//!
+//! `calibration/spin` times a fixed, dependency-free integer workload that
+//! never changes with the codebase. Its ratio between two bench runs
+//! therefore measures only the *machine* (CPU model, frequency scaling,
+//! CI-runner class), not the code. `bench_compare` uses that ratio to
+//! rescale the committed baseline before gating, so a baseline recorded on
+//! one machine remains meaningful on another: a runner that is uniformly
+//! 2× slower sees every benchmark (including this one) at ~2×, and the
+//! normalized deltas stay near zero. The probe itself is excluded from the
+//! regression check — by construction it cannot regress from a code change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Fixed integer workload: a xorshift-style scramble over a constant trip
+/// count. DO NOT change this routine or the trip count — every committed
+/// baseline depends on it staying identical.
+fn spin_probe() -> u64 {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..200_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    x
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(60);
+    group.bench_function("spin", |b| b.iter(|| criterion::black_box(spin_probe())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -3,15 +3,16 @@
 //! (a) normalized fitness, (b) total gene count, (c) fittest-parent reuse
 //! — all measured from real `genesys-neat` runs on the Table I suite.
 //!
-//! Usage: `fig04_evolution [--pop N] [--generations N]`
+//! Usage: `fig04_evolution [--pop N] [--generations N] [--threads N]`
 
-use genesys_bench::{print_table, run_workload};
+use genesys_bench::{pool_from_args, print_table, run_workload_on};
 use genesys_gym::EnvKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pop = genesys_bench::arg_usize(&args, "--pop", 64);
     let generations = genesys_bench::arg_usize(&args, "--generations", 12);
+    let pool = pool_from_args(&args);
 
     // Fig 4(a)/(b) use these four workloads in the paper.
     let curve_envs = [
@@ -27,7 +28,13 @@ fn main() {
             kind.label(),
             generations
         );
-        runs.push(run_workload(*kind, generations, 100 + i as u64, Some(pop)));
+        runs.push(run_workload_on(
+            *kind,
+            generations,
+            100 + i as u64,
+            Some(pop),
+            pool.as_ref(),
+        ));
     }
 
     // ---- Fig 4(a): normalized fitness vs generation ----------------------
@@ -80,11 +87,12 @@ fn main() {
     let mut reuse_runs = Vec::new();
     for (i, kind) in reuse_envs.iter().enumerate() {
         eprintln!("reuse profiling {}...", kind.label());
-        reuse_runs.push(run_workload(
+        reuse_runs.push(run_workload_on(
             *kind,
             generations.min(8),
             200 + i as u64,
             Some(pop),
+            pool.as_ref(),
         ));
     }
     let mut header = vec!["Gen".to_string()];

@@ -8,9 +8,9 @@
 //! Every column is driven by the same measured workload profile (Table
 //! III legend printed first).
 //!
-//! Usage: `fig09_runtime_energy [--pop N] [--generations N]`
+//! Usage: `fig09_runtime_energy [--pop N] [--generations N] [--threads N]`
 
-use genesys_bench::{genesys_cost, print_table, run_workload, sci};
+use genesys_bench::{genesys_cost, pool_from_args, print_table, run_workload_on, sci};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::{CpuModel, GpuModel, TABLE_III};
@@ -19,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pop = genesys_bench::arg_usize(&args, "--pop", 64);
     let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+    let pool = pool_from_args(&args);
 
     // ---- Table III legend -------------------------------------------------
     let rows: Vec<Vec<String>> = TABLE_III
@@ -55,7 +56,7 @@ fn main() {
             "profiling {} ({generations} generations, pop {pop})...",
             kind.label()
         );
-        let run = run_workload(*kind, generations, 40 + i as u64, Some(pop));
+        let run = run_workload_on(*kind, generations, 40 + i as u64, Some(pop), pool.as_ref());
         let w = run.profile();
         let gcost = genesys_cost(&run, &soc);
 

@@ -5,9 +5,9 @@
 //! (c) GENESYS split (buffer traffic vs compute),
 //! (d) memory footprint: GPU_a vs GPU_b vs GENESYS.
 //!
-//! Usage: `fig10_time_distribution [--pop N] [--generations N]`
+//! Usage: `fig10_time_distribution [--pop N] [--generations N] [--threads N]`
 
-use genesys_bench::{genesys_cost, print_table, run_workload, sci};
+use genesys_bench::{genesys_cost, pool_from_args, print_table, run_workload_on, sci};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::GpuModel;
@@ -16,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pop = genesys_bench::arg_usize(&args, "--pop", 64);
     let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+    let pool = pool_from_args(&args);
 
     let gtx = GpuModel::gtx_1080();
     let soc = SocConfig::default();
@@ -27,7 +28,7 @@ fn main() {
 
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
         eprintln!("profiling {}...", kind.label());
-        let run = run_workload(*kind, generations, 60 + i as u64, Some(pop));
+        let run = run_workload_on(*kind, generations, 60 + i as u64, Some(pop), pool.as_ref());
         let w = run.profile();
         let g = genesys_cost(&run, &soc);
 

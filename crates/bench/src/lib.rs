@@ -13,11 +13,12 @@
 use genesys_core::{
     inference_timing, replay_trace, AdamConfig, GenomeBuffer, ReplayReport, SocConfig, TechModel,
 };
-use genesys_gym::EnvKind;
+use genesys_gym::{episode_rollout, episode_seed, EnvKind};
 use genesys_neat::trace::GenerationTrace;
-use genesys_neat::{GenerationStats, Genome, Network, Population};
+use genesys_neat::{Executor, GenerationStats, Genome, Network, Population};
 use genesys_platforms::WorkloadProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One profiled evolution run on a workload.
 #[derive(Debug)]
@@ -76,44 +77,55 @@ impl WorkloadRun {
 
 /// Runs `generations` generations of NEAT on `kind`, recording statistics.
 /// `pop_size` overrides the paper's 150 (useful for fast smoke runs).
+/// Evaluation is serial; use [`run_workload_on`] to fan episodes out over a
+/// persistent work-stealing pool.
 pub fn run_workload(
     kind: EnvKind,
     generations: usize,
     seed: u64,
     pop_size: Option<usize>,
 ) -> WorkloadRun {
+    run_workload_on(kind, generations, seed, pop_size, None)
+}
+
+/// [`run_workload`] with an optional shared evaluation pool. Fitness is
+/// **bit-identical** across pool sizes (including `None`): every genome's
+/// episode seed derives from `(seed, generation, genome index)` via
+/// [`genesys_gym::episode_seed`], never from evaluation order, so thread
+/// scheduling cannot leak into the results (the executor's determinism
+/// contract).
+pub fn run_workload_on(
+    kind: EnvKind,
+    generations: usize,
+    seed: u64,
+    pop_size: Option<usize>,
+    pool: Option<&Arc<Executor>>,
+) -> WorkloadRun {
     let mut config = kind.neat_config();
     if let Some(p) = pop_size {
         config.pop_size = p;
     }
     let mut pop = Population::new(config, seed);
+    if let Some(pool) = pool {
+        pop.set_executor(Arc::clone(pool));
+    }
     let mut history = Vec::with_capacity(generations);
     let step_counter = AtomicU64::new(0);
-    let env_counter = AtomicU64::new(seed.wrapping_mul(0x9E37));
     let mut total_steps = 0u64;
     let mut total_macs = 0u64;
     let mut parents: Vec<Genome> = Vec::new();
     let mut parent_sizes: Vec<usize> = Vec::new();
 
-    for _ in 0..generations {
+    for generation in 0..generations {
         parents = pop.genomes().to_vec();
         parent_sizes = parents.iter().map(Genome::num_genes).collect();
         step_counter.store(0, Ordering::Relaxed);
-        let stats = pop.evolve_once(|net: &Network| {
-            let env_seed = env_counter.fetch_add(1, Ordering::Relaxed);
-            let mut env = kind.make(env_seed);
-            let mut obs = env.reset();
-            let mut fitness = 0.0;
-            loop {
-                let action = net.activate(&obs);
-                let step = env.step(&action);
-                fitness += step.reward;
-                step_counter.fetch_add(1, Ordering::Relaxed);
-                if step.done {
-                    break;
-                }
-                obs = step.observation;
-            }
+        let stats = pop.evolve_once_indexed(|index, net: &Network| {
+            let env_seed = episode_seed(seed, generation as u64, index as u64);
+            let (fitness, steps) = episode_rollout(kind, net, env_seed);
+            // Order-insensitive aggregate: summation commutes, unlike the
+            // seed counter this replaced.
+            step_counter.fetch_add(steps, Ordering::Relaxed);
             fitness
         });
         let steps = step_counter.load(Ordering::Relaxed);
@@ -292,6 +304,21 @@ pub fn default_suite_params(args: &[String]) -> (usize, usize, usize) {
     (pop, generations, runs)
 }
 
+/// Builds the shared evaluation pool requested by `--threads N`. `None`
+/// (N ≤ 1, the default) means serial evaluation. The pool is created once
+/// per binary and shared across every workload run, so its worker threads
+/// persist for the whole experiment — results are identical either way by
+/// the determinism contract.
+pub fn pool_from_args(args: &[String]) -> Option<Arc<Executor>> {
+    let threads = arg_usize(args, "--threads", 1);
+    if threads > 1 {
+        eprintln!("evaluating on a persistent {threads}-worker pool");
+        Some(Arc::new(Executor::new(threads)))
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +355,38 @@ mod tests {
         assert!(cost.evolution_j > 0.0);
         // Sub-millisecond evolution at 200 MHz for a small workload.
         assert!(cost.evolution_s < 1e-2, "{}", cost.evolution_s);
+    }
+
+    #[test]
+    fn workload_fitness_identical_serial_vs_pool() {
+        let serial = run_workload(EnvKind::CartPole, 3, 7, Some(16));
+        for workers in [2usize, 4] {
+            let pool = Arc::new(Executor::new(workers));
+            let parallel = run_workload_on(EnvKind::CartPole, 3, 7, Some(16), Some(&pool));
+            for (gen, (a, b)) in serial
+                .history
+                .iter()
+                .zip(parallel.history.iter())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.max_fitness, b.max_fitness,
+                    "gen {gen} diverged at {workers} workers"
+                );
+                assert_eq!(a.total_genes, b.total_genes);
+                assert_eq!(a.ops, b.ops);
+            }
+            assert_eq!(serial.env_steps_per_gen, parallel.env_steps_per_gen);
+        }
+    }
+
+    #[test]
+    fn pool_from_args_respects_threads_flag() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(pool_from_args(&to_args(&["--threads", "1"])).is_none());
+        assert!(pool_from_args(&[]).is_none());
+        let pool = pool_from_args(&to_args(&["--threads", "3"])).expect("pool requested");
+        assert_eq!(pool.workers(), 3);
     }
 
     #[test]

@@ -53,6 +53,47 @@ pub use nonstationary::DriftingCartPole;
 
 use genesys_neat::{NeatConfig, Network};
 
+/// Derives the environment seed for one genome's episode: a SplitMix64-style
+/// mix of the run's base seed, the generation index, and the genome's index
+/// within the generation.
+///
+/// This is the determinism half of the evaluation-engine contract (see
+/// `genesys_neat::executor`): because the seed is a pure function of
+/// `(base, generation, index)` — never of a worker id or a shared counter —
+/// episode evaluation produces bit-identical fitness whether the population
+/// is evaluated serially or spread over any number of work-stealing workers.
+pub fn episode_seed(base: u64, generation: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one episode of `kind` seeded with `env_seed` under the policy
+/// `net`, returning `(cumulative_reward, steps_taken)`. This is the unit of
+/// work the persistent evaluation engine schedules: self-contained (builds
+/// its own environment), deterministic in `(kind, net, env_seed)`, and
+/// step-counted so the harness can aggregate environment traffic without
+/// order-sensitive shared state.
+pub fn episode_rollout(kind: EnvKind, net: &Network, env_seed: u64) -> (f64, u64) {
+    let mut env = kind.make(env_seed);
+    let mut obs = env.reset();
+    let mut fitness = 0.0;
+    let mut steps = 0u64;
+    loop {
+        let action = net.activate(&obs);
+        let step = env.step(&action);
+        fitness += step.reward;
+        steps += 1;
+        if step.done {
+            return (fitness, steps);
+        }
+        obs = step.observation;
+    }
+}
+
 /// Runs `episodes` episodes of `env` under the policy `net`, returning the
 /// mean cumulative reward — the fitness value step 6 of the SoC walkthrough
 /// augments to the genome.
@@ -191,6 +232,7 @@ impl EnvKind {
 mod tests {
     use super::*;
     use genesys_neat::{Genome, XorWow};
+    use std::collections::HashSet;
 
     #[test]
     fn every_env_matches_its_declared_interface() {
@@ -253,5 +295,31 @@ mod tests {
         for kind in EnvKind::FIG9_SUITE {
             assert!(EnvKind::ALL.contains(&kind));
         }
+    }
+
+    #[test]
+    fn episode_seed_is_deterministic_and_index_sensitive() {
+        assert_eq!(episode_seed(7, 3, 11), episode_seed(7, 3, 11));
+        let mut seen = HashSet::new();
+        for generation in 0..8u64 {
+            for index in 0..64u64 {
+                seen.insert(episode_seed(42, generation, index));
+            }
+        }
+        assert_eq!(seen.len(), 8 * 64, "seeds must not collide across jobs");
+    }
+
+    #[test]
+    fn episode_rollout_matches_manual_loop() {
+        let kind = EnvKind::CartPole;
+        let config = kind.neat_config();
+        let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(3));
+        let net = genesys_neat::Network::from_genome(&genome).unwrap();
+        let (fit, steps) = episode_rollout(kind, &net, 99);
+        assert!(steps > 0);
+        let mut env = kind.make(99);
+        assert_eq!(fit, rollout(&net, env.as_mut(), 1));
+        // Same seed, same episode — bit-identical.
+        assert_eq!((fit, steps), episode_rollout(kind, &net, 99));
     }
 }

@@ -244,7 +244,7 @@ impl LayerGenome {
         }
 
         // Deterministic weight painter seeded by the genome key.
-        let mut painter = XorWow::seed_from_u64_value(self.key ^ 0x17A9_E12);
+        let mut painter = XorWow::seed_from_u64_value(self.key ^ 0x017A_9E12);
         let mut conns = Vec::new();
         for l in 0..dims.len() - 1 {
             let gain = if l < self.hidden.len() {

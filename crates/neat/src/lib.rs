@@ -18,6 +18,10 @@
 //!   evaluation (Section VI-A).
 //! * [`population`] — the outer evolutionary loop with optional
 //!   population-level parallelism (PLP) over evaluation.
+//! * [`executor`] — the persistent work-stealing worker pool that backs
+//!   PLP: threads are spawned once and reused across generations, and
+//!   genome jobs are balanced through work-stealing deques instead of
+//!   static chunks.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ pub mod activation;
 pub mod aggregation;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod gene;
 pub mod genome;
 pub mod hyperneat;
@@ -66,6 +71,7 @@ pub use activation::Activation;
 pub use aggregation::Aggregation;
 pub use config::{InitialWeights, NeatConfig, NeatConfigBuilder};
 pub use error::{ConfigError, GenomeError};
+pub use executor::Executor;
 pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
 pub use genome::Genome;
 pub use hyperneat::{HyperNeat, Substrate};

@@ -7,6 +7,7 @@
 //! [`GenerationTrace`] that drives the hardware model.
 
 use crate::config::NeatConfig;
+use crate::executor::Executor;
 use crate::genome::Genome;
 use crate::innovation::InnovationTracker;
 use crate::network::Network;
@@ -15,6 +16,7 @@ use crate::rng::XorWow;
 use crate::species::SpeciesSet;
 use crate::stats::GenerationStats;
 use crate::trace::GenerationTrace;
+use std::sync::Arc;
 
 /// Why an evolution run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +59,7 @@ pub struct Population {
     rng: XorWow,
     generation: usize,
     next_key: u64,
-    threads: usize,
+    executor: Option<Arc<Executor>>,
     last_trace: Option<GenerationTrace>,
     best_ever: Option<Genome>,
 }
@@ -85,7 +87,7 @@ impl Population {
             innovations,
             rng,
             generation: 0,
-            threads: 1,
+            executor: None,
             last_trace: None,
             best_ever: None,
         }
@@ -94,8 +96,31 @@ impl Population {
     /// Enables population-level parallelism: fitness evaluation fans out
     /// over `threads` OS threads (the paper's CPU_b/CPU_d configuration
     /// runs 4).
+    ///
+    /// Compatibility shim over [`Population::set_executor`]: spawns a
+    /// dedicated persistent [`Executor`] of `threads` workers (once — the
+    /// pool is reused across every subsequent generation). Pass `1` (or
+    /// `0`) to return to serial evaluation. To share one pool between
+    /// several populations, build the [`Executor`] yourself and use
+    /// [`Population::set_executor`].
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        if threads <= 1 {
+            self.executor = None;
+        } else if self.executor.as_deref().map(Executor::workers) != Some(threads) {
+            self.executor = Some(Arc::new(Executor::new(threads)));
+        }
+    }
+
+    /// Runs fitness evaluation on an existing persistent worker pool. The
+    /// pool is shared (`Arc`), so several populations — or the bench
+    /// harness's repeated workload runs — can reuse one set of threads.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        self.executor = Some(executor);
+    }
+
+    /// The evaluation pool in use, if parallelism is enabled.
+    pub fn executor(&self) -> Option<&Arc<Executor>> {
+        self.executor.as_ref()
     }
 
     /// Restores a population from previously evolved genomes (e.g. a
@@ -128,7 +153,7 @@ impl Population {
             innovations,
             rng: XorWow::seed_from_u64_value(seed),
             generation: 0,
-            threads: 1,
+            executor: None,
             last_trace: None,
             best_ever: None,
         }
@@ -171,6 +196,19 @@ impl Population {
     where
         F: Fn(&Network) -> f64 + Sync,
     {
+        self.evaluate_indexed(|_, net| fitness_fn(net))
+    }
+
+    /// Like [`Population::evaluate`], but the fitness function also
+    /// receives the genome's index within the generation. This is the hook
+    /// for *deterministic* parallel evaluation: derive any per-genome
+    /// randomness (gym episode seeds, dropout masks, …) from the index so
+    /// the result is independent of which worker runs the genome — see the
+    /// determinism contract in [`crate::executor`].
+    pub fn evaluate_indexed<F>(&mut self, fitness_fn: F) -> u64
+    where
+        F: Fn(usize, &Network) -> f64 + Sync,
+    {
         let nets: Vec<Network> = self
             .genomes
             .iter()
@@ -178,25 +216,17 @@ impl Population {
             .collect();
         let macs: u64 = nets.iter().map(Network::num_macs).sum();
         let n = nets.len();
-        let mut fitness = vec![0.0f64; n];
-        if self.threads <= 1 {
-            for (net, out) in nets.iter().zip(fitness.iter_mut()) {
-                *out = fitness_fn(net);
-            }
-        } else {
-            let chunk = n.div_ceil(self.threads);
-            let f = &fitness_fn;
-            crossbeam::thread::scope(|scope| {
-                for (net_chunk, fit_chunk) in nets.chunks(chunk).zip(fitness.chunks_mut(chunk)) {
-                    scope.spawn(move |_| {
-                        for (net, out) in net_chunk.iter().zip(fit_chunk.iter_mut()) {
-                            *out = f(net);
-                        }
-                    });
-                }
-            })
-            .expect("evaluation threads must not panic");
-        }
+        // The persistent pool pulls genome jobs from a work-stealing deque:
+        // no per-generation thread spawn, and stragglers (deep genomes,
+        // long gym episodes) get backfilled instead of serializing a chunk.
+        let fitness: Vec<f64> = match &self.executor {
+            Some(pool) => pool.map(n, |i| fitness_fn(i, &nets[i])),
+            None => nets
+                .iter()
+                .enumerate()
+                .map(|(i, net)| fitness_fn(i, net))
+                .collect(),
+        };
         for (g, f) in self.genomes.iter_mut().zip(fitness.iter()) {
             g.set_fitness(*f);
         }
@@ -223,7 +253,16 @@ impl Population {
     where
         F: Fn(&Network) -> f64 + Sync,
     {
-        let macs = self.evaluate(fitness_fn);
+        self.evolve_once_indexed(|_, net| fitness_fn(net))
+    }
+
+    /// Index-aware variant of [`Population::evolve_once`]; see
+    /// [`Population::evaluate_indexed`] for when the index matters.
+    pub fn evolve_once_indexed<F>(&mut self, fitness_fn: F) -> GenerationStats
+    where
+        F: Fn(usize, &Network) -> f64 + Sync,
+    {
+        let macs = self.evaluate_indexed(fitness_fn);
         self.species
             .speciate(&self.genomes, &self.config, self.generation);
         self.species
@@ -359,14 +398,37 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_evaluation_agree() {
-        let mut a = Population::new(small_config(), 5);
-        let mut b = Population::new(small_config(), 5);
-        b.set_parallelism(4);
-        let macs_a = a.evaluate(proxy_fitness);
-        let macs_b = b.evaluate(proxy_fitness);
-        assert_eq!(macs_a, macs_b);
-        for (ga, gb) in a.genomes().iter().zip(b.genomes().iter()) {
-            assert_eq!(ga.fitness(), gb.fitness());
+        let mut serial = Population::new(small_config(), 5);
+        let macs_serial = serial.evaluate(proxy_fitness);
+        for workers in [1usize, 4, 8] {
+            let mut par = Population::new(small_config(), 5);
+            par.set_executor(std::sync::Arc::new(Executor::new(workers)));
+            let macs_par = par.evaluate(proxy_fitness);
+            assert_eq!(macs_serial, macs_par, "workers={workers}");
+            for (gs, gp) in serial.genomes().iter().zip(par.genomes().iter()) {
+                assert_eq!(gs.fitness(), gp.fitness(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_parallelism_shim_reuses_its_pool() {
+        let mut pop = Population::new(small_config(), 5);
+        pop.set_parallelism(4);
+        let pool = std::sync::Arc::as_ptr(pop.executor().unwrap());
+        pop.set_parallelism(4); // same width: must not respawn
+        assert_eq!(pool, std::sync::Arc::as_ptr(pop.executor().unwrap()));
+        pop.set_parallelism(1);
+        assert!(pop.executor().is_none(), "threads<=1 falls back to serial");
+    }
+
+    #[test]
+    fn evaluate_indexed_passes_stable_indices() {
+        let mut pop = Population::new(small_config(), 5);
+        pop.set_parallelism(4);
+        pop.evaluate_indexed(|i, _| i as f64);
+        for (i, g) in pop.genomes().iter().enumerate() {
+            assert_eq!(g.fitness(), Some(i as f64));
         }
     }
 

@@ -1,0 +1,128 @@
+//! Integration tests for the persistent work-stealing evaluation engine:
+//! parallel-vs-serial fitness agreement, panic propagation, and pool reuse
+//! across generations (the "no per-generation thread spawn" guarantee).
+
+use genesys::neat::{Executor, NeatConfig, Network, Population};
+use std::sync::Arc;
+
+fn fitness(net: &Network) -> f64 {
+    let cases = [[0.0, 0.0], [0.25, 1.0], [0.5, 0.5], [1.0, 0.0]];
+    let mut fit = 4.0;
+    for c in &cases {
+        let out = net.activate(c)[0];
+        fit -= (out - c[0]) * (out - c[0]);
+    }
+    fit
+}
+
+fn config(pop: usize) -> NeatConfig {
+    NeatConfig::builder(2, 1).pop_size(pop).build().unwrap()
+}
+
+#[test]
+fn parallel_and_serial_evaluation_agree() {
+    // The acceptance-criterion test: work-stealing evaluation at 1, 4 and
+    // 8 workers is bit-identical to serial across whole generations.
+    let mut serial = Population::new(config(53), 17);
+    let mut serial_stats = Vec::new();
+    for _ in 0..4 {
+        serial_stats.push(serial.evolve_once(fitness));
+    }
+    for workers in [1usize, 4, 8] {
+        let mut par = Population::new(config(53), 17);
+        par.set_executor(Arc::new(Executor::new(workers)));
+        for (generation, expect) in serial_stats.iter().enumerate() {
+            let got = par.evolve_once(fitness);
+            assert_eq!(
+                expect.max_fitness, got.max_fitness,
+                "gen {generation}, workers {workers}"
+            );
+            assert_eq!(expect.mean_fitness, got.mean_fitness);
+            assert_eq!(expect.total_genes, got.total_genes);
+            assert_eq!(expect.ops, got.ops);
+        }
+    }
+}
+
+#[test]
+fn pool_is_reused_across_generations() {
+    // Per-instance spawn counter + Arc identity: the pool Population uses
+    // is never replaced and never grows, no matter how many generations
+    // run. (Per-instance, so concurrent sibling tests spawning their own
+    // pools cannot perturb the assertion.)
+    let mut pop = Population::new(config(40), 9);
+    pop.set_parallelism(4);
+    let pool = Arc::clone(pop.executor().expect("parallelism enabled"));
+    assert_eq!(pool.threads_spawned(), 4);
+    for _ in 0..5 {
+        pop.evolve_once(fitness);
+    }
+    assert!(
+        Arc::ptr_eq(&pool, pop.executor().unwrap()),
+        "evolve_once must not swap the pool"
+    );
+    assert_eq!(
+        pool.threads_spawned(),
+        4,
+        "evolve_once must never spawn threads: the pool is persistent"
+    );
+    // An odd population size (not divisible by the worker count) must
+    // still evaluate every genome — the old div_ceil chunking left
+    // workers idle here; the deque cannot.
+    let mut odd = Population::new(config(9), 3);
+    odd.set_parallelism(8);
+    let odd_pool = Arc::clone(odd.executor().unwrap());
+    for _ in 0..3 {
+        let stats = odd.evolve_once(fitness);
+        assert!(stats.max_fitness.is_finite());
+        assert_eq!(odd.genomes().len(), 9);
+    }
+    assert_eq!(odd_pool.threads_spawned(), 8);
+}
+
+#[test]
+fn one_pool_shared_by_several_populations() {
+    let pool = Arc::new(Executor::new(4));
+    let mut results = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut pop = Population::new(config(24), seed);
+        pop.set_executor(Arc::clone(&pool));
+        results.push(pop.evolve_once(fitness).max_fitness);
+    }
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        pool.threads_spawned(),
+        4,
+        "sharing one pool across populations spawns nothing new"
+    );
+}
+
+#[test]
+fn worker_panic_propagates_to_caller_and_pool_survives() {
+    let mut pop = Population::new(config(32), 5);
+    pop.set_parallelism(4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pop.evaluate(|net| {
+            if net.num_macs() > 0 {
+                panic!("episode crashed");
+            }
+            0.0
+        })
+    }));
+    assert!(result.is_err(), "a worker panic must reach the caller");
+    // The pool survives the panic: the same population evaluates cleanly.
+    let macs = pop.evaluate(fitness);
+    assert!(macs > 0);
+    assert!(pop.genomes().iter().all(|g| g.fitness().is_some()));
+}
+
+#[test]
+fn executor_map_preserves_index_order() {
+    let pool = Executor::new(8);
+    for round in 0..3 {
+        let out = pool.map(101, |i| (i as u64) * 3 + round);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3 + round);
+        }
+    }
+}

@@ -4,15 +4,65 @@
 //! The container building this repo has no registry access, so this crate
 //! stands in for criterion: call-site compatible (`benchmark_group`,
 //! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`,
-//! `criterion_group!`, `criterion_main!`), with a simple measurement loop
-//! that warms up, times a batch of iterations, and prints the mean
-//! wall-clock per iteration (plus throughput when declared). No statistics,
-//! plots, or HTML reports — swap for crates.io criterion to get those.
+//! `criterion_group!`, `criterion_main!`), with a measurement loop that
+//! warms up, then times each iteration individually and reports
+//! **min / mean / p95** wall-clock per iteration (plus throughput over the
+//! mean when declared). No plots or HTML reports — swap for crates.io
+//! criterion to get those.
+//!
+//! # Machine-readable output for regression gating
+//!
+//! When the `GENESYS_BENCH_JSON` environment variable names a file, every
+//! benchmark appends one JSON line to it:
+//!
+//! ```text
+//! {"id":"group/bench","min_ns":123,"mean_ns":140,"p95_ns":160,"iters":18}
+//! ```
+//!
+//! CI runs `cargo bench` with this set, then feeds the file to the
+//! `bench_compare` bin in `crates/bench`, which fails the build if any
+//! benchmark's **min** (the most scheduling-noise-resistant statistic)
+//! regresses beyond a threshold against the committed baseline.
 
 #![deny(missing_docs)]
 
 use std::fmt;
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// Per-benchmark statistics over the individually-timed iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest observed iteration, seconds.
+    pub min_s: f64,
+    /// Mean iteration time, seconds.
+    pub mean_s: f64,
+    /// 95th-percentile iteration time, seconds (nearest-rank).
+    pub p95_s: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+impl Stats {
+    /// Computes min/mean/p95 from raw per-iteration samples. Returns `None`
+    /// for an empty sample set.
+    pub fn from_samples(samples: &[Duration]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = secs.len();
+        // Nearest-rank p95: the smallest sample ≥ 95 % of the distribution.
+        let p95_rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        Some(Stats {
+            min_s: secs[0],
+            mean_s: secs.iter().sum::<f64>() / n as f64,
+            p95_s: secs[p95_rank - 1],
+            iters: n as u64,
+        })
+    }
+}
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -72,26 +122,28 @@ impl fmt::Display for BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
-    measured: Option<(Duration, u64)>,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine`: one warm-up call, then a measured batch. The batch
-    /// is cut short once it exceeds the per-benchmark time budget so heavy
-    /// routines (whole NEAT generations) stay tractable.
+    /// Times `routine`: one warm-up call, then up to `sample_size`
+    /// individually-timed iterations (each its own sample, so min/mean/p95
+    /// are well-defined). The batch is cut short once it exceeds the
+    /// per-benchmark time budget so heavy routines (whole NEAT
+    /// generations) stay tractable.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine());
         let budget = Duration::from_millis(200);
         let start = Instant::now();
-        let mut iters = 0u64;
+        self.samples.clear();
         for _ in 0..self.sample_size {
+            let t0 = Instant::now();
             black_box(routine());
-            iters += 1;
+            self.samples.push(t0.elapsed());
             if start.elapsed() > budget {
                 break;
             }
         }
-        self.measured = Some((start.elapsed(), iters.max(1)));
     }
 }
 
@@ -205,29 +257,68 @@ fn run_one<F>(
 {
     let mut bencher = Bencher {
         sample_size,
-        measured: None,
+        samples: Vec::new(),
     };
     f(&mut bencher);
     let label = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
-    match bencher.measured {
-        Some((elapsed, iters)) => {
-            let per_iter = elapsed.as_secs_f64() / iters as f64;
+    match Stats::from_samples(&bencher.samples) {
+        Some(stats) => {
             let rate = match throughput {
                 Some(Throughput::Elements(n)) => {
-                    format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+                    format!("  ({:.3e} elem/s)", n as f64 / stats.mean_s)
                 }
-                Some(Throughput::Bytes(n)) => format!("  ({:.3e} B/s)", n as f64 / per_iter),
+                Some(Throughput::Bytes(n)) => format!("  ({:.3e} B/s)", n as f64 / stats.mean_s),
                 None => String::new(),
             };
             println!(
-                "  {label:<40} {:.3e} s/iter over {iters} iters{rate}",
-                per_iter
+                "  {label:<40} min {:.3e}  mean {:.3e}  p95 {:.3e} s/iter over {} iters{rate}",
+                stats.min_s, stats.mean_s, stats.p95_s, stats.iters
             );
+            write_json_line(&label, stats);
         }
         None => println!("  {label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Appends one JSON line for `label` to the file named by the
+/// `GENESYS_BENCH_JSON` environment variable, if set. Failures to write are
+/// reported to stderr but do not fail the benchmark run.
+fn write_json_line(label: &str, stats: Stats) {
+    let Ok(path) = std::env::var("GENESYS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    // Core count travels with every record so regression tooling can tell
+    // "slower machine" apart from "fewer cores" (multithreaded benches
+    // scale with the latter, which a single-thread calibration probe
+    // cannot normalize away).
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"min_ns\":{},\"mean_ns\":{},\"p95_ns\":{},\"iters\":{},\"cores\":{cores}}}\n",
+        (stats.min_s * 1e9).round() as u64,
+        (stats.mean_s * 1e9).round() as u64,
+        (stats.p95_s * 1e9).round() as u64,
+        stats.iters
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("warning: could not append bench result to {path}: {err}");
     }
 }
 
@@ -286,5 +377,52 @@ mod tests {
     fn ids_render_like_criterion() {
         assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
         assert_eq!(BenchmarkId::from_parameter("Tree").to_string(), "Tree");
+    }
+
+    #[test]
+    fn stats_min_mean_p95() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let stats = Stats::from_samples(&samples).unwrap();
+        assert_eq!(stats.iters, 100);
+        assert!((stats.min_s - 1e-6).abs() < 1e-12);
+        assert!((stats.mean_s - 50.5e-6).abs() < 1e-10);
+        assert!((stats.p95_s - 95e-6).abs() < 1e-10, "{}", stats.p95_s);
+    }
+
+    #[test]
+    fn stats_single_sample_and_empty() {
+        let one = Stats::from_samples(&[Duration::from_millis(3)]).unwrap();
+        assert_eq!(one.min_s, one.mean_s);
+        assert_eq!(one.min_s, one.p95_s);
+        assert_eq!(one.iters, 1);
+        assert!(Stats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn json_lines_written_when_env_set() {
+        let path = std::env::temp_dir().join(format!("bench_json_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global; fine here because tests in this
+        // crate run in one process and no other test reads this var.
+        std::env::set_var("GENESYS_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json");
+        group.sample_size(3);
+        group.bench_function("probe", |b| b.iter(|| black_box(2u64.pow(10))));
+        group.finish();
+        std::env::remove_var("GENESYS_BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests may race on the env var and append their own lines;
+        // find ours instead of assuming it is first.
+        let line = contents
+            .lines()
+            .find(|l| l.contains("json/probe"))
+            .expect("one line for this bench");
+        assert!(line.starts_with("{\"id\":\"json/probe\",\"min_ns\":"));
+        assert!(line.contains("\"mean_ns\":"));
+        assert!(line.contains("\"p95_ns\":"));
+        assert!(line.contains("\"cores\":"));
+        assert!(line.ends_with('}'));
     }
 }

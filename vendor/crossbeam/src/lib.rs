@@ -1,11 +1,258 @@
-//! Offline shim for the `crossbeam::thread` scoped-threads API used by this
-//! workspace, backed by `std::thread::scope` (stable since Rust 1.63).
+//! Offline shim for the `crossbeam` APIs used by this workspace.
 //!
 //! Call-site compatible with crossbeam 0.8 for the subset GeneSys uses:
-//! `crossbeam::thread::scope(|scope| { scope.spawn(|_| ...); ... })` returning
-//! a `Result` that is `Ok` when no spawned thread panicked.
+//!
+//! * [`thread`] — scoped threads, backed by `std::thread::scope` (stable
+//!   since Rust 1.63): `crossbeam::thread::scope(|scope| { scope.spawn(|_|
+//!   ...); ... })` returning a `Result` that is `Ok` when no spawned thread
+//!   panicked.
+//! * [`deque`] — the work-stealing deque primitives of `crossbeam-deque`
+//!   ([`deque::Injector`], [`deque::Worker`], [`deque::Stealer`],
+//!   [`deque::Steal`]) that back the persistent evaluation executor in
+//!   `genesys_neat::executor`. The shim trades the lock-free Chase–Lev
+//!   algorithm for straightforward mutex-guarded ring buffers — identical
+//!   semantics (LIFO owner pops, FIFO steals, batched injector steals),
+//!   adequate throughput for the coarse-grained jobs GeneSys schedules
+//!   (whole gym episodes), and the same call sites when swapped for the
+//!   crates.io implementation.
 
 #![deny(missing_docs)]
+
+pub mod deque {
+    //! Work-stealing deques (crossbeam-deque 0.8 `crossbeam::deque`).
+    //!
+    //! A [`Worker`] is an owner-side deque handle: the owning thread pushes
+    //! and pops work at one end, while any number of [`Stealer`] handles
+    //! take work from the opposite end. An [`Injector`] is a shared FIFO
+    //! queue that batches of new work are pushed into and that workers pull
+    //! from when their local deque runs dry.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty at the time of the attempt.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried. The mutex-backed
+        /// shim never produces this, but callers written against
+        /// crossbeam-deque handle it, so the variant is kept for
+        /// call-site compatibility.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts into `Some(task)` on success.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// True when a task was stolen.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// True when the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// Owner-side handle of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops the most recently pushed task
+        /// first (depth-first; the executor's default).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Creates a deque whose owner pops the oldest task first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops a task from the owner end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque poisoned");
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Creates a new stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// True when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// Thief-side handle of a work-stealing deque. Cloneable; steals from
+    /// the end opposite the owner's LIFO end.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front (the oldest task).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals roughly half the queue into `dest`, returning one of the
+        /// stolen tasks directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch = {
+                let mut q = self.queue.lock().expect("deque poisoned");
+                let take = q.len().div_ceil(2);
+                q.drain(..take).collect::<Vec<T>>()
+            };
+            push_batch_and_pop(batch, dest)
+        }
+
+        /// True when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A shared FIFO injector queue feeding a pool of workers.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`, returning one directly.
+        /// Batch size mirrors crossbeam: half the queue, capped so one
+        /// greedy worker cannot drain the injector.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            const MAX_BATCH: usize = 32;
+            let batch = {
+                let mut q = self.queue.lock().expect("injector poisoned");
+                let take = q.len().div_ceil(2).min(MAX_BATCH);
+                q.drain(..take).collect::<Vec<T>>()
+            };
+            push_batch_and_pop(batch, dest)
+        }
+
+        /// True when the queue holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// Moves `batch` into `dest` keeping FIFO order, returning the first
+    /// task (what the thief runs immediately).
+    fn push_batch_and_pop<T>(batch: Vec<T>, dest: &Worker<T>) -> Steal<T> {
+        let mut iter = batch.into_iter();
+        match iter.next() {
+            None => Steal::Empty,
+            Some(first) => {
+                for task in iter {
+                    dest.push(task);
+                }
+                Steal::Success(first)
+            }
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads (crossbeam 0.8 `crossbeam::thread`).
@@ -68,6 +315,116 @@ pub mod thread {
 }
 
 #[cfg(test)]
+mod deque_tests {
+    use crate::deque::{Injector, Steal, Worker};
+    use std::collections::HashSet;
+
+    #[test]
+    fn lifo_worker_pops_newest_first() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest_first() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn stealer_takes_from_opposite_end() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_half() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let local = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&local);
+        assert_eq!(first, Steal::Success(0));
+        assert_eq!(local.len(), 4, "half of 10 minus the popped one");
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn every_task_is_delivered_exactly_once_under_contention() {
+        const N: usize = 10_000;
+        const THIEVES: usize = 4;
+        let inj = Injector::new();
+        for i in 0..N {
+            inj.push(i);
+        }
+        let mut all = Vec::new();
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..THIEVES {
+                handles.push(scope.spawn(|_| {
+                    let local = Worker::new_lifo();
+                    let mut seen = Vec::new();
+                    loop {
+                        let task = local.pop().or_else(|| loop {
+                            match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => break Some(t),
+                                Steal::Empty => break None,
+                                Steal::Retry => continue,
+                            }
+                        });
+                        match task {
+                            Some(t) => seen.push(t),
+                            None => break,
+                        }
+                    }
+                    seen
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("thief panicked"));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(all.len(), N, "no task lost or duplicated");
+        let unique: HashSet<usize> = all.into_iter().collect();
+        assert_eq!(unique.len(), N);
+    }
+
+    #[test]
+    fn steal_success_converts_to_option() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert!(Steal::<i32>::Retry.is_retry());
+    }
+
+    #[test]
+    fn empty_len_reporting() {
+        let w: Worker<u8> = Worker::new_lifo();
+        let s = w.stealer();
+        let inj: Injector<u8> = Injector::new();
+        assert!(w.is_empty() && s.is_empty() && inj.is_empty());
+        w.push(1);
+        inj.push(2);
+        assert_eq!((w.len(), s.len(), inj.len()), (1, 1, 1));
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -85,7 +442,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_can_write_disjoint_chunks() {
-        let mut data = vec![0u32; 8];
+        let mut data = [0u32; 8];
         crate::thread::scope(|scope| {
             for chunk in data.chunks_mut(2) {
                 scope.spawn(move |_| {
