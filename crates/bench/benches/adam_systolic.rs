@@ -30,8 +30,8 @@ fn bench_timing(c: &mut Criterion) {
         let genome = evolved(inputs, 1, rounds);
         let net = Network::from_genome(&genome).unwrap();
         let cfg = AdamConfig::default();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &genome, |b, g| {
-            b.iter(|| inference_timing(&net, g, &cfg));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &genome, |b, _g| {
+            b.iter(|| inference_timing(&net, &cfg));
         });
     }
     group.finish();

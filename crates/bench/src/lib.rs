@@ -13,9 +13,9 @@
 use genesys_core::{
     inference_timing, replay_trace, AdamConfig, GenomeBuffer, ReplayReport, SocConfig, TechModel,
 };
-use genesys_gym::{episode_rollout, episode_seed, EnvKind};
+use genesys_gym::{episode_rollout_with, episode_seed, EnvKind, RolloutScratch};
 use genesys_neat::trace::GenerationTrace;
-use genesys_neat::{Executor, GenerationStats, Genome, Network, Population};
+use genesys_neat::{Executor, GenerationStats, Genome, Network, Population, WorkerLocal};
 use genesys_platforms::WorkloadProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -115,6 +115,10 @@ pub fn run_workload_on(
     let mut total_macs = 0u64;
     let mut parents: Vec<Genome> = Vec::new();
     let mut parent_sizes: Vec<usize> = Vec::new();
+    // One rollout buffer set per worker (and one for the serial path),
+    // reused across every episode and generation: with the compiled plan
+    // and `step_into`, the evaluation hot loop allocates nothing per step.
+    let scratch: WorkerLocal<RolloutScratch> = WorkerLocal::new(RolloutScratch::new);
 
     for generation in 0..generations {
         parents = pop.genomes().to_vec();
@@ -122,7 +126,8 @@ pub fn run_workload_on(
         step_counter.store(0, Ordering::Relaxed);
         let stats = pop.evolve_once_indexed(|index, net: &Network| {
             let env_seed = episode_seed(seed, generation as u64, index as u64);
-            let (fitness, steps) = episode_rollout(kind, net, env_seed);
+            let (fitness, steps) =
+                scratch.with(|buffers| episode_rollout_with(kind, net, env_seed, buffers));
             // Order-insensitive aggregate: summation commutes, unlike the
             // seed counter this replaced.
             step_counter.fetch_add(steps, Ordering::Relaxed);
@@ -182,7 +187,7 @@ pub fn genesys_cost(run: &WorkloadRun, soc: &SocConfig) -> GenesysCost {
     let mut util_acc = 0.0;
     for genome in &run.parents {
         let net = Network::from_genome(genome).expect("profiled genomes are valid");
-        let t = inference_timing(&net, genome, adam);
+        let t = inference_timing(&net, adam);
         macs += mean_steps * t.macs as f64;
         util_acc += t.utilization;
     }

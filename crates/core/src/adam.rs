@@ -5,10 +5,13 @@
 //! multiplication problem" on a systolic array of MAC units (32×32 in the
 //! paper's design point). The CPU-side **vectorize** routine packs
 //! topologically-ready node values into dense input vectors; this module
-//! reuses the wavefronts computed by [`Network::layers`] for that packing
-//! and models the systolic timing, while delegating the numerics to
-//! [`Network::activate`] (bit-identical: a MAC array computing a weighted
-//! sum is exactly the `Sum` aggregation path).
+//! consumes the network's **compiled plan** directly — the wavefront
+//! ranges of [`Network::layer_eval_ranges`] and the CSR edge lists of
+//! [`Network::incoming_edges`] — for that packing, instead of re-deriving
+//! layer membership by scanning the genome's connection genes. The
+//! numerics are delegated to [`Network::activate_into`] (bit-identical: a
+//! MAC array computing a weighted sum is exactly the `Sum` aggregation
+//! path).
 
 use genesys_neat::gene::NodeType;
 use genesys_neat::{Genome, Network};
@@ -89,26 +92,24 @@ impl AdamReport {
 /// predecessor values is a packed `m × k` matrix–vector product, tiled
 /// over the `rows × cols` array; weights stay resident ("the weight
 /// matrices do not change within a given generation"), so a tile costs
-/// `k_tile + rows` cycles (stream + drain).
-pub fn inference_timing(net: &Network, genome: &Genome, config: &AdamConfig) -> AdamReport {
+/// `k_tile + rows` cycles (stream + drain). Layer membership and fan-in
+/// come straight from the compiled plan.
+pub fn inference_timing(net: &Network, config: &AdamConfig) -> AdamReport {
     let mut array_cycles = 0u64;
     let mut vectorize_cycles = 0u64;
     let mut macs = 0u64;
 
-    // Predecessor sets per layer: distinct source nodes feeding the layer.
-    for layer in net.layers().iter().skip(1) {
-        let m = layer.len();
+    // Predecessor sets per layer: distinct source slots feeding the layer.
+    for &(start, end) in net.layer_eval_ranges().iter().skip(1) {
+        let m = end - start;
         if m == 0 {
             continue;
         }
-        let mut sources: HashSet<u32> = HashSet::new();
+        let mut sources: HashSet<usize> = HashSet::new();
         let mut layer_macs = 0u64;
-        for node_id in layer {
-            for conn in genome
-                .conns()
-                .filter(|c| c.enabled && c.key.dst == *node_id)
-            {
-                sources.insert(conn.key.src.0);
+        for eval in start..end {
+            for &(src_slot, _) in net.incoming_edges(eval) {
+                sources.insert(src_slot);
                 layer_macs += 1;
             }
         }
@@ -145,16 +146,13 @@ pub fn inference_timing(net: &Network, genome: &Genome, config: &AdamConfig) -> 
 /// packing). Each vertex update is a `1 × k` product occupying one column:
 /// `k + 1` cycles with at most `k` useful MACs among `rows × cols` slots.
 /// The gap to the packed schedule is the win of the vectorize routine.
-pub fn naive_inference_timing(net: &Network, genome: &Genome, config: &AdamConfig) -> AdamReport {
+pub fn naive_inference_timing(net: &Network, config: &AdamConfig) -> AdamReport {
     let mut array_cycles = 0u64;
     let mut vectorize_cycles = 0u64;
     let mut macs = 0u64;
-    for layer in net.layers().iter().skip(1) {
-        for node_id in layer {
-            let k = genome
-                .conns()
-                .filter(|c| c.enabled && c.key.dst == *node_id)
-                .count();
+    for &(start, end) in net.layer_eval_ranges().iter().skip(1) {
+        for eval in start..end {
+            let k = net.incoming_edges(eval).len();
             array_cycles += (k + 1) as u64;
             vectorize_cycles += config.vectorize_cycles_per_node;
             macs += k as u64;
@@ -213,7 +211,7 @@ mod tests {
     fn initial_genome_is_one_wavefront_of_macs() {
         let (g, _) = genome_with_structure(0);
         let net = Network::from_genome(&g).unwrap();
-        let report = inference_timing(&net, &g, &AdamConfig::default());
+        let report = inference_timing(&net, &AdamConfig::default());
         assert_eq!(report.macs, 16, "8 inputs × 2 outputs");
         // one layer: k=8 sources, m=2 vertices, single tile: 8+2 cycles
         assert_eq!(report.array_cycles, 10);
@@ -224,7 +222,7 @@ mod tests {
     fn macs_match_enabled_connections() {
         let (g, _) = genome_with_structure(6);
         let net = Network::from_genome(&g).unwrap();
-        let report = inference_timing(&net, &g, &AdamConfig::default());
+        let report = inference_timing(&net, &AdamConfig::default());
         assert_eq!(report.macs, net.num_macs());
     }
 
@@ -235,8 +233,8 @@ mod tests {
         let net_s = Network::from_genome(&shallow).unwrap();
         let net_d = Network::from_genome(&deep).unwrap();
         let cfg = AdamConfig::default();
-        let rs = inference_timing(&net_s, &shallow, &cfg);
-        let rd = inference_timing(&net_d, &deep, &cfg);
+        let rs = inference_timing(&net_s, &cfg);
+        let rd = inference_timing(&net_d, &cfg);
         assert!(rd.array_cycles > rs.array_cycles);
         assert!(rd.vectorize_cycles > rs.vectorize_cycles);
     }
@@ -250,7 +248,6 @@ mod tests {
         let net = Network::from_genome(&g).unwrap();
         let small = inference_timing(
             &net,
-            &g,
             &AdamConfig {
                 rows: 32,
                 cols: 32,
@@ -259,7 +256,6 @@ mod tests {
         );
         let big = inference_timing(
             &net,
-            &g,
             &AdamConfig {
                 rows: 128,
                 cols: 32,
@@ -275,7 +271,7 @@ mod tests {
         for extra in [0, 3, 9] {
             let (g, _) = genome_with_structure(extra);
             let net = Network::from_genome(&g).unwrap();
-            let r = inference_timing(&net, &g, &AdamConfig::default());
+            let r = inference_timing(&net, &AdamConfig::default());
             assert!(r.utilization <= 1.0);
             assert!(r.utilization >= 0.0);
         }
@@ -297,8 +293,8 @@ mod tests {
             let (g, _) = genome_with_structure(extra);
             let net = Network::from_genome(&g).unwrap();
             let cfg = AdamConfig::default();
-            let packed = inference_timing(&net, &g, &cfg);
-            let naive = naive_inference_timing(&net, &g, &cfg);
+            let packed = inference_timing(&net, &cfg);
+            let naive = naive_inference_timing(&net, &cfg);
             assert_eq!(packed.macs, naive.macs, "same useful work");
             assert!(
                 packed.array_cycles <= naive.array_cycles,
@@ -318,8 +314,8 @@ mod tests {
         let g = Genome::initial(0, &c, &mut rng);
         let net = Network::from_genome(&g).unwrap();
         let cfg = AdamConfig::default();
-        let packed = inference_timing(&net, &g, &cfg);
-        let naive = naive_inference_timing(&net, &g, &cfg);
+        let packed = inference_timing(&net, &cfg);
+        let naive = naive_inference_timing(&net, &cfg);
         assert!(
             naive.array_cycles as f64 / packed.array_cycles as f64 > 4.0,
             "16 packed vertices should be >4x faster: {} vs {}",
@@ -332,7 +328,7 @@ mod tests {
     fn report_merge_accumulates() {
         let (g, _) = genome_with_structure(2);
         let net = Network::from_genome(&g).unwrap();
-        let r = inference_timing(&net, &g, &AdamConfig::default());
+        let r = inference_timing(&net, &AdamConfig::default());
         let mut sum = r;
         sum.merge(&r);
         assert_eq!(sum.macs, 2 * r.macs);

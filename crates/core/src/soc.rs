@@ -16,7 +16,7 @@ use crate::eve::{EveEngine, MergeDrops};
 use crate::pe::PeConfig;
 use crate::selector::{allocate_pes, select_parents};
 use crate::sram::{GenomeBuffer, SramStats};
-use genesys_gym::Environment;
+use genesys_gym::{episode_into, Environment, RolloutScratch};
 use genesys_neat::trace::OpCounters;
 use genesys_neat::{Genome, NeatConfig, Network, SpeciesSet, XorWow};
 
@@ -158,10 +158,14 @@ impl GenesysSoc {
         let mut best_idx = 0usize;
         let mut best_fit = f64::NEG_INFINITY;
         let mut fitness_sum = 0.0;
+        // One buffer set for the whole generation: the rollout hot loop
+        // allocates nothing per step (the software mirror of ADAM running
+        // out of fixed SRAM buffers).
+        let mut scratch = RolloutScratch::new();
         for idx in 0..self.genomes.len() {
             let genome = &self.genomes[idx];
             let net = Network::from_genome(genome).expect("resident genomes are valid");
-            let timing = inference_timing(&net, genome, &self.soc.adam);
+            let timing = inference_timing(&net, &self.soc.adam);
             // Step 1: map the genome over the MAC units (one pass of its
             // genes from the buffer).
             buffer.read_genes(genome.num_genes() as u64);
@@ -169,17 +173,10 @@ impl GenesysSoc {
             let mut fitness = 0.0;
             let mut steps = 0u64;
             for _ in 0..self.soc.episodes_per_eval.max(1) {
-                let mut obs = env.reset();
-                loop {
-                    let action = net.activate(&obs);
-                    let step = env.step(&action);
-                    fitness += step.reward;
-                    steps += 1;
-                    if step.done {
-                        break;
-                    }
-                    obs = step.observation;
-                }
+                let (episode_fitness, episode_steps) =
+                    episode_into(&net, env.as_mut(), &mut scratch);
+                fitness += episode_fitness;
+                steps += episode_steps;
             }
             fitness /= self.soc.episodes_per_eval.max(1) as f64;
             // Steps 2–5: every environment step is one packed inference.

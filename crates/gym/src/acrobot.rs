@@ -6,7 +6,7 @@
 //! (Table I's "six floating point numbers"). Action: one float decoded to
 //! torque ∈ {-1, 0, +1}.
 
-use crate::env::{quantize_action, ActionKind, Environment, Step};
+use crate::env::{quantize_action, ActionKind, Environment};
 use genesys_neat::XorWow;
 
 const DT: f64 = 0.2;
@@ -45,9 +45,9 @@ impl Acrobot {
         env
     }
 
-    fn observation(&self) -> Vec<f64> {
+    fn write_observation(&self, obs: &mut [f64]) {
         let [t1, t2, d1, d2] = self.state;
-        vec![t1.cos(), t1.sin(), t2.cos(), t2.sin(), d1, d2]
+        obs.copy_from_slice(&[t1.cos(), t1.sin(), t2.cos(), t2.sin(), d1, d2]);
     }
 
     /// Height of the tip above the pivot: `-cosθ1 - cos(θ1+θ2)`.
@@ -130,34 +130,28 @@ impl Environment for Acrobot {
         ActionKind::Discrete(3)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         for s in &mut self.state {
             *s = self.rng.uniform(-0.1, 0.1);
         }
         self.steps = 0;
         self.done = false;
-        self.observation()
+        self.write_observation(obs);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "Acrobot takes one output");
         if self.done {
-            return Step {
-                observation: self.observation(),
-                reward: 0.0,
-                done: true,
-            };
+            self.write_observation(obs);
+            return (0.0, true);
         }
         let torque = quantize_action(action[0], 3) as f64 - 1.0;
         self.rk4(torque);
         self.steps += 1;
         let solved = self.tip_height() > 1.0;
         self.done = solved || self.steps >= Self::MAX_STEPS;
-        Step {
-            observation: self.observation(),
-            reward: if solved { 0.0 } else { -1.0 },
-            done: self.done,
-        }
+        self.write_observation(obs);
+        (if solved { 0.0 } else { -1.0 }, self.done)
     }
 
     fn max_steps(&self) -> usize {

@@ -22,7 +22,7 @@ pub use alien::Alien;
 pub use amidar::Amidar;
 pub use asterix::Asterix;
 
-use crate::env::{quantize_action, ActionKind, Environment, Step};
+use crate::env::{quantize_action, ActionKind, Environment};
 
 /// Size of the exposed RAM, matching the Atari 2600's 128 bytes.
 pub const RAM_SIZE: usize = 128;
@@ -95,8 +95,11 @@ impl<G: RamGame> RamEnv<G> {
         &self.ram
     }
 
-    fn observation(&self) -> Vec<f64> {
-        self.ram.iter().map(|&b| f64::from(b) / 255.0).collect()
+    fn write_observation(&self, obs: &mut [f64]) {
+        assert_eq!(obs.len(), RAM_SIZE, "RAM observation is 128 components");
+        for (out, &b) in obs.iter_mut().zip(self.ram.iter()) {
+            *out = f64::from(b) / 255.0;
+        }
     }
 }
 
@@ -117,31 +120,28 @@ impl<G: RamGame> Environment for RamEnv<G> {
         ActionKind::Discrete(self.game.n_actions())
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         self.game.restart();
         self.steps = 0;
         self.game.write_ram(&mut self.ram);
-        self.observation()
+        self.write_observation(obs);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "RAM games take one output (button press)");
         if self.game.game_over() || self.steps >= self.max_steps {
-            return Step {
-                observation: self.observation(),
-                reward: 0.0,
-                done: true,
-            };
+            self.write_observation(obs);
+            return (0.0, true);
         }
         let button = quantize_action(action[0], self.game.n_actions());
         let reward = self.game.tick(button);
         self.steps += 1;
         self.game.write_ram(&mut self.ram);
-        Step {
-            observation: self.observation(),
+        self.write_observation(obs);
+        (
             reward,
-            done: self.game.game_over() || self.steps >= self.max_steps,
-        }
+            self.game.game_over() || self.steps >= self.max_steps,
+        )
     }
 
     fn max_steps(&self) -> usize {

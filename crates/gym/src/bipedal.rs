@@ -10,7 +10,7 @@
 //! but preserves the control problem's character: the two legs must
 //! alternate to make progress.
 
-use crate::env::{ActionKind, Environment, Step};
+use crate::env::{ActionKind, Environment};
 use genesys_neat::XorWow;
 
 const DT: f64 = 0.05;
@@ -70,23 +70,26 @@ impl Bipedal {
         self.x
     }
 
-    fn observation(&self) -> Vec<f64> {
-        let mut obs = vec![self.angle, self.vangle, self.vx, self.vy];
-        for leg in &self.legs {
-            obs.push(leg.hip);
-            obs.push(leg.hip_vel);
-            obs.push(leg.knee);
-            obs.push(leg.knee_vel);
-            obs.push(if leg.contact { 1.0 } else { 0.0 });
+    fn write_observation(&self, obs: &mut [f64]) {
+        assert_eq!(obs.len(), 24, "Bipedal emits 24 observation components");
+        obs[0] = self.angle;
+        obs[1] = self.vangle;
+        obs[2] = self.vx;
+        obs[3] = self.vy;
+        for (i, leg) in self.legs.iter().enumerate() {
+            let base = 4 + 5 * i;
+            obs[base] = leg.hip;
+            obs[base + 1] = leg.hip_vel;
+            obs[base + 2] = leg.knee;
+            obs[base + 3] = leg.knee_vel;
+            obs[base + 4] = if leg.contact { 1.0 } else { 0.0 };
         }
         // Flat terrain: the 10 lidar returns are the constant ground
         // distance under each ray angle.
         for i in 0..LIDAR_RAYS {
             let ray = 0.1 + 0.1 * i as f64;
-            obs.push((self.y / ray.cos()).min(2.0));
+            obs[14 + i] = (self.y / ray.cos()).min(2.0);
         }
-        debug_assert_eq!(obs.len(), 24);
-        obs
     }
 }
 
@@ -107,7 +110,7 @@ impl Environment for Bipedal {
         ActionKind::Continuous(4)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         self.x = 0.0;
         self.vx = 0.0;
         self.y = 1.0;
@@ -123,23 +126,18 @@ impl Environment for Bipedal {
         }
         self.steps = 0;
         self.done = false;
-        self.observation()
+        self.write_observation(obs);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 4, "Bipedal takes four torque outputs");
         if self.done {
-            return Step {
-                observation: self.observation(),
-                reward: 0.0,
-                done: true,
-            };
+            self.write_observation(obs);
+            return (0.0, true);
         }
         // Map sigmoid-range outputs to torques in [-1, 1].
-        let torque: Vec<f64> = action
-            .iter()
-            .map(|&a| ((a - 0.5) * 2.0).clamp(-1.0, 1.0) * TORQUE_SCALE)
-            .collect();
+        let torque: [f64; 4] =
+            std::array::from_fn(|j| ((action[j] - 0.5) * 2.0).clamp(-1.0, 1.0) * TORQUE_SCALE);
         let mut torque_cost = 0.0;
         let mut thrust = 0.0;
         for (i, leg) in self.legs.iter_mut().enumerate() {
@@ -186,11 +184,8 @@ impl Environment for Bipedal {
         if fell {
             reward -= 100.0;
         }
-        Step {
-            observation: self.observation(),
-            reward,
-            done: self.done,
-        }
+        self.write_observation(obs);
+        (reward, self.done)
     }
 
     fn max_steps(&self) -> usize {

@@ -5,7 +5,7 @@
 //! `tau = 0.02 s`, force ±10 N, termination at |x| > 2.4 or |θ| > 12°.
 //! Observation: four floats. Action: one binary value (Table I).
 
-use crate::env::{binary_action, ActionKind, Environment, Step};
+use crate::env::{binary_action, ActionKind, Environment};
 use genesys_neat::XorWow;
 
 const GRAVITY: f64 = 9.8;
@@ -67,23 +67,20 @@ impl Environment for CartPole {
         ActionKind::Discrete(2)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         for s in &mut self.state {
             *s = self.rng.uniform(-0.05, 0.05);
         }
         self.steps = 0;
         self.done = false;
-        self.state.to_vec()
+        obs.copy_from_slice(&self.state);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "CartPole takes one binary output");
         if self.done {
-            return Step {
-                observation: self.state.to_vec(),
-                reward: 0.0,
-                done: true,
-            };
+            obs.copy_from_slice(&self.state);
+            return (0.0, true);
         }
         let force = if binary_action(action[0]) {
             FORCE_MAG
@@ -106,11 +103,8 @@ impl Environment for CartPole {
         self.steps += 1;
         let fell = self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
         self.done = fell || self.steps >= Self::MAX_STEPS;
-        Step {
-            observation: self.state.to_vec(),
-            reward: 1.0,
-            done: self.done,
-        }
+        obs.copy_from_slice(&self.state);
+        (1.0, self.done)
     }
 
     fn max_steps(&self) -> usize {

@@ -43,6 +43,15 @@ impl fmt::Display for ActionKind {
 /// Implementations are deterministic functions of their construction seed,
 /// which is what lets every experiment in this reproduction be replayed
 /// bit-for-bit.
+///
+/// The primitive operations are the **buffer-writing** variants
+/// [`Environment::reset_into`] and [`Environment::step_into`]: they write
+/// the observation into a caller-owned slice and allocate nothing, which
+/// is what keeps the steady-state rollout loop (`crate::episode_rollout`)
+/// free of per-step heap traffic — the software analogue of EvE/ADAM
+/// executing out of fixed buffers. The allocating [`Environment::reset`] /
+/// [`Environment::step`] are provided convenience wrappers and produce
+/// bit-identical trajectories.
 pub trait Environment {
     /// Stable environment name (matches the paper's workload labels).
     fn name(&self) -> &'static str;
@@ -58,16 +67,46 @@ pub trait Environment {
     /// Action interface kind (for reporting).
     fn action_kind(&self) -> ActionKind;
 
-    /// Resets to a (seed-derived) initial state and returns the first
-    /// observation.
-    fn reset(&mut self) -> Vec<f64>;
+    /// Resets to a (seed-derived) initial state and writes the first
+    /// observation into `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len() != self.observation_dim()`.
+    fn reset_into(&mut self, obs: &mut [f64]);
 
-    /// Advances one timestep using the raw network outputs.
+    /// Advances one timestep using the raw network outputs, writing the
+    /// next observation into `obs` and returning `(reward, done)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len() != self.observation_dim()`; implementations
+    /// may panic if `action.len() != self.action_dim()`.
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool);
+
+    /// Resets to a (seed-derived) initial state and returns the first
+    /// observation. Allocating wrapper over [`Environment::reset_into`].
+    fn reset(&mut self) -> Vec<f64> {
+        let mut obs = vec![0.0; self.observation_dim()];
+        self.reset_into(&mut obs);
+        obs
+    }
+
+    /// Advances one timestep using the raw network outputs. Allocating
+    /// wrapper over [`Environment::step_into`].
     ///
     /// # Panics
     ///
     /// Implementations may panic if `action.len() != self.action_dim()`.
-    fn step(&mut self, action: &[f64]) -> Step;
+    fn step(&mut self, action: &[f64]) -> Step {
+        let mut obs = vec![0.0; self.observation_dim()];
+        let (reward, done) = self.step_into(action, &mut obs);
+        Step {
+            observation: obs,
+            reward,
+            done,
+        }
+    }
 
     /// Episode step limit.
     fn max_steps(&self) -> usize;

@@ -15,6 +15,14 @@
 //! Atari workloads are reduced-order substitutes documented in
 //! `DESIGN.md` §4.
 //!
+//! Every environment implements the buffer-writing primitives
+//! [`Environment::reset_into`] / [`Environment::step_into`], and the
+//! episode loops ([`rollout_with`], [`episode_rollout_with`], both built
+//! on [`episode_into`]) reuse one [`RolloutScratch`] per worker — after
+//! warm-up the steady-state rollout performs **zero heap allocations per
+//! step** (proved by the workspace's counting-allocator test), with
+//! fitness bit-identical to the allocating wrappers.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -51,7 +59,67 @@ pub use lunar_lander::LunarLander;
 pub use mountain_car::MountainCar;
 pub use nonstationary::DriftingCartPole;
 
-use genesys_neat::{NeatConfig, Network};
+use genesys_neat::{NeatConfig, Network, Scratch};
+
+/// Reusable buffers for the steady-state rollout hot loop: one observation
+/// slice, one action slice and one network [`Scratch`].
+///
+/// # Ownership rules
+///
+/// Like [`Scratch`], a `RolloutScratch` is pure workspace: reuse one
+/// instance across steps, episodes, environments and networks of any size
+/// (buffers grow to the largest interface seen and are retained), but
+/// never share it between concurrent evaluations — give each worker its
+/// own, e.g. through `genesys_neat::WorkerLocal`. Contents carry no
+/// information between episodes; reuse changes performance only, never
+/// results.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutScratch {
+    obs: Vec<f64>,
+    action: Vec<f64>,
+    net: Scratch,
+}
+
+impl RolloutScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> RolloutScratch {
+        RolloutScratch::default()
+    }
+}
+
+/// Runs one episode of `env` under the policy `net` using caller-owned
+/// buffers, returning `(cumulative_reward, steps_taken)`.
+///
+/// This is **the** episode loop: [`rollout`], [`rollout_with`],
+/// [`episode_rollout`] and [`episode_rollout_with`] (and the SoC
+/// simulator's inference phase) all funnel through it, so the
+/// reward/termination semantics cannot drift between entry points. After
+/// the buffers have grown to the environment's interface (first call), the
+/// loop performs **zero heap allocations per step**: observations are
+/// written in place by [`Environment::step_into`] and the network
+/// evaluates through [`Network::activate_into`].
+pub fn episode_into(
+    net: &Network,
+    env: &mut dyn Environment,
+    scratch: &mut RolloutScratch,
+) -> (f64, u64) {
+    scratch.obs.resize(env.observation_dim(), 0.0);
+    scratch.action.resize(net.num_outputs(), 0.0);
+    let obs = &mut scratch.obs[..env.observation_dim()];
+    let action = &mut scratch.action[..net.num_outputs()];
+    env.reset_into(obs);
+    let mut fitness = 0.0;
+    let mut steps = 0u64;
+    loop {
+        net.activate_into(&mut scratch.net, obs, action);
+        let (reward, done) = env.step_into(action, obs);
+        fitness += reward;
+        steps += 1;
+        if done {
+            return (fitness, steps);
+        }
+    }
+}
 
 /// Derives the environment seed for one genome's episode: a SplitMix64-style
 /// mix of the run's base seed, the generation index, and the genome's index
@@ -78,39 +146,51 @@ pub fn episode_seed(base: u64, generation: u64, index: u64) -> u64 {
 /// step-counted so the harness can aggregate environment traffic without
 /// order-sensitive shared state.
 pub fn episode_rollout(kind: EnvKind, net: &Network, env_seed: u64) -> (f64, u64) {
+    episode_rollout_with(kind, net, env_seed, &mut RolloutScratch::new())
+}
+
+/// [`episode_rollout`] with caller-owned buffers: the zero-allocation form
+/// the evaluation engine's workers call, reusing one [`RolloutScratch`]
+/// per worker across every episode and generation. Heap allocation happens
+/// only at episode setup (environment construction) — never per step.
+pub fn episode_rollout_with(
+    kind: EnvKind,
+    net: &Network,
+    env_seed: u64,
+    scratch: &mut RolloutScratch,
+) -> (f64, u64) {
     let mut env = kind.make(env_seed);
-    let mut obs = env.reset();
-    let mut fitness = 0.0;
-    let mut steps = 0u64;
-    loop {
-        let action = net.activate(&obs);
-        let step = env.step(&action);
-        fitness += step.reward;
-        steps += 1;
-        if step.done {
-            return (fitness, steps);
-        }
-        obs = step.observation;
-    }
+    episode_into(net, env.as_mut(), scratch)
 }
 
 /// Runs `episodes` episodes of `env` under the policy `net`, returning the
 /// mean cumulative reward — the fitness value step 6 of the SoC walkthrough
 /// augments to the genome.
+///
+/// # Panics
+///
+/// Panics if `episodes == 0`.
 pub fn rollout(net: &Network, env: &mut dyn Environment, episodes: usize) -> f64 {
+    rollout_with(net, env, episodes, &mut RolloutScratch::new())
+}
+
+/// [`rollout`] with caller-owned buffers (see [`RolloutScratch`]); the
+/// episode loop is shared with [`episode_rollout_with`] via
+/// [`episode_into`].
+///
+/// # Panics
+///
+/// Panics if `episodes == 0`.
+pub fn rollout_with(
+    net: &Network,
+    env: &mut dyn Environment,
+    episodes: usize,
+    scratch: &mut RolloutScratch,
+) -> f64 {
     assert!(episodes > 0, "at least one episode required");
     let mut total = 0.0;
     for _ in 0..episodes {
-        let mut obs = env.reset();
-        loop {
-            let action = net.activate(&obs);
-            let step = env.step(&action);
-            total += step.reward;
-            obs = step.observation;
-            if step.done {
-                break;
-            }
-        }
+        total += episode_into(net, env, scratch).0;
     }
     total / episodes as f64
 }
@@ -307,6 +387,58 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 8 * 64, "seeds must not collide across jobs");
+    }
+
+    #[test]
+    fn shared_scratch_across_all_envs_matches_fresh_buffers() {
+        // One RolloutScratch reused across every env kind (interfaces from
+        // 2 to 128 observations) must be bit-identical to fresh buffers.
+        let mut scratch = RolloutScratch::new();
+        for kind in EnvKind::ALL {
+            let config = kind.neat_config();
+            let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(3));
+            let net = genesys_neat::Network::from_genome(&genome).unwrap();
+            let reused = episode_rollout_with(kind, &net, 21, &mut scratch);
+            let fresh = episode_rollout(kind, &net, 21);
+            assert_eq!(reused, fresh, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn rollout_with_matches_rollout() {
+        let kind = EnvKind::MountainCar;
+        let config = kind.neat_config();
+        let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(5));
+        let net = genesys_neat::Network::from_genome(&genome).unwrap();
+        let mut scratch = RolloutScratch::new();
+        let a = rollout_with(&net, kind.make(33).as_mut(), 3, &mut scratch);
+        let b = rollout(&net, kind.make(33).as_mut(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_into_matches_allocating_step() {
+        // The provided reset/step wrappers and the buffer-writing
+        // primitives must produce bit-identical trajectories.
+        for kind in EnvKind::ALL {
+            let mut a = kind.make(7);
+            let mut b = kind.make(7);
+            let act_dim = a.action_dim();
+            let action = vec![0.61; act_dim];
+            let mut obs = vec![0.0; a.observation_dim()];
+            a.reset_into(&mut obs);
+            assert_eq!(obs, b.reset(), "{}", kind.label());
+            for _ in 0..50 {
+                let (reward, done) = a.step_into(&action, &mut obs);
+                let step = b.step(&action);
+                assert_eq!(obs, step.observation, "{}", kind.label());
+                assert_eq!(reward, step.reward, "{}", kind.label());
+                assert_eq!(done, step.done, "{}", kind.label());
+                if done {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! costs. Dynamics constants are chosen to give comparable episode lengths
 //! (hundreds of steps) and the same qualitative difficulty.
 
-use crate::env::{quantize_action, ActionKind, Environment, Step};
+use crate::env::{quantize_action, ActionKind, Environment};
 use genesys_neat::XorWow;
 
 const GRAVITY: f64 = -0.40; // scaled units per step²
@@ -61,8 +61,8 @@ impl LunarLander {
         env
     }
 
-    fn observation(&self) -> Vec<f64> {
-        vec![
+    fn write_observation(&self, obs: &mut [f64]) {
+        obs.copy_from_slice(&[
             self.x,
             self.y,
             self.vx,
@@ -71,7 +71,7 @@ impl LunarLander {
             self.vangle,
             if self.left_leg { 1.0 } else { 0.0 },
             if self.right_leg { 1.0 } else { 0.0 },
-        ]
+        ]);
     }
 
     /// Gym's shaping potential: closer/slower/straighter is better.
@@ -109,7 +109,7 @@ impl Environment for LunarLander {
         ActionKind::Discrete(4)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         self.x = self.rng.uniform(-0.3, 0.3);
         self.y = 1.4;
         self.vx = self.rng.uniform(-0.1, 0.1);
@@ -121,17 +121,14 @@ impl Environment for LunarLander {
         self.steps = 0;
         self.done = false;
         self.prev_shaping = None;
-        self.observation()
+        self.write_observation(obs);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "LunarLander takes one output");
         if self.done {
-            return Step {
-                observation: self.observation(),
-                reward: 0.0,
-                done: true,
-            };
+            self.write_observation(obs);
+            return (0.0, true);
         }
         let a = quantize_action(action[0], 4); // 0 none, 1 left, 2 main, 3 right
         let mut fuel_cost = 0.0;
@@ -195,11 +192,8 @@ impl Environment for LunarLander {
             self.done = true;
         }
 
-        Step {
-            observation: self.observation(),
-            reward,
-            done: self.done,
-        }
+        self.write_observation(obs);
+        (reward, self.done)
     }
 
     fn max_steps(&self) -> usize {

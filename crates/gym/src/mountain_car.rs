@@ -5,7 +5,7 @@
 //! right), goal at position 0.5. Observation: two floats. Action: one
 //! integer less than three (Table I).
 
-use crate::env::{quantize_action, ActionKind, Environment, Step};
+use crate::env::{quantize_action, ActionKind, Environment};
 use genesys_neat::XorWow;
 
 const MIN_POS: f64 = -1.2;
@@ -70,22 +70,19 @@ impl Environment for MountainCar {
         ActionKind::Discrete(3)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         self.position = self.rng.uniform(-0.6, -0.4);
         self.velocity = 0.0;
         self.steps = 0;
         self.done = false;
-        vec![self.position, self.velocity]
+        obs.copy_from_slice(&[self.position, self.velocity]);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "MountainCar takes one output");
         if self.done {
-            return Step {
-                observation: vec![self.position, self.velocity],
-                reward: 0.0,
-                done: true,
-            };
+            obs.copy_from_slice(&[self.position, self.velocity]);
+            return (0.0, true);
         }
         let a = quantize_action(action[0], 3) as f64 - 1.0; // -1, 0, +1
         self.velocity += a * FORCE + (3.0 * self.position).cos() * (-GRAVITY);
@@ -97,11 +94,8 @@ impl Environment for MountainCar {
         }
         self.steps += 1;
         self.done = self.reached_goal() || self.steps >= Self::MAX_STEPS;
-        Step {
-            observation: vec![self.position, self.velocity],
-            reward: -1.0,
-            done: self.done,
-        }
+        obs.copy_from_slice(&[self.position, self.velocity]);
+        (-1.0, self.done)
     }
 
     fn max_steps(&self) -> usize {

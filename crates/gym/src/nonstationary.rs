@@ -8,7 +8,7 @@
 //! keep re-adapting — the behaviour `examples/continuous_learning.rs`
 //! demonstrates.
 
-use crate::env::{ActionKind, Environment, Step};
+use crate::env::{ActionKind, Environment};
 
 /// A drifting variant of CartPole: pole length and push force change every
 /// `period` resets, within physically plausible bounds. Observation and
@@ -96,7 +96,7 @@ impl Environment for DriftingCartPole {
         ActionKind::Discrete(2)
     }
 
-    fn reset(&mut self) -> Vec<f64> {
+    fn reset_into(&mut self, obs: &mut [f64]) {
         self.episode += 1;
         self.apply_regime();
         for s in &mut self.state {
@@ -104,17 +104,14 @@ impl Environment for DriftingCartPole {
         }
         self.steps = 0;
         self.done = false;
-        self.state.to_vec()
+        obs.copy_from_slice(&self.state);
     }
 
-    fn step(&mut self, action: &[f64]) -> Step {
+    fn step_into(&mut self, action: &[f64], obs: &mut [f64]) -> (f64, bool) {
         assert_eq!(action.len(), 1, "DriftingCartPole takes one binary output");
         if self.done {
-            return Step {
-                observation: self.state.to_vec(),
-                reward: 0.0,
-                done: true,
-            };
+            obs.copy_from_slice(&self.state);
+            return (0.0, true);
         }
         // Same dynamics as CartPole, parameterized by the drifted regime.
         const GRAVITY: f64 = 9.8;
@@ -146,11 +143,8 @@ impl Environment for DriftingCartPole {
         let fell =
             self.state[0].abs() > 2.4 || self.state[2].abs() > 12.0 * std::f64::consts::PI / 180.0;
         self.done = fell || self.steps >= Self::MAX_STEPS;
-        Step {
-            observation: self.state.to_vec(),
-            reward: 1.0,
-            done: self.done,
-        }
+        obs.copy_from_slice(&self.state);
+        (1.0, self.done)
     }
 
     fn max_steps(&self) -> usize {

@@ -444,6 +444,78 @@ impl Drop for Executor {
     }
 }
 
+/// Per-thread reusable scratch state for executor jobs.
+///
+/// Evaluation jobs need mutable workspace (e.g. a
+/// [`crate::network::Scratch`] plus gym rollout buffers) that is expensive
+/// to reallocate per job but must not be shared between threads. A
+/// `WorkerLocal` is a checkout pool: [`WorkerLocal::with`] hands the
+/// calling thread an instance for the duration of one job — reusing a
+/// previously returned one when available, creating a fresh one (via the
+/// factory) only when all instances are currently checked out. The live
+/// instance count is therefore bounded by the number of threads ever
+/// concurrently inside `with`, no matter how many jobs run.
+///
+/// Determinism: scratch contents never carry information between jobs
+/// (each job fully overwrites what it reads), so which instance a job
+/// receives cannot affect results — consistent with the executor's
+/// determinism contract.
+pub struct WorkerLocal<S> {
+    free: Mutex<Vec<S>>,
+    make: Box<dyn Fn() -> S + Send + Sync>,
+    created: AtomicUsize,
+}
+
+impl<S> fmt::Debug for WorkerLocal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerLocal")
+            .field("created", &self.created.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<S> WorkerLocal<S> {
+    /// Creates an empty pool; `make` builds one instance per concurrent
+    /// thread, lazily.
+    pub fn new(make: impl Fn() -> S + Send + Sync + 'static) -> WorkerLocal<S> {
+        WorkerLocal {
+            free: Mutex::new(Vec::new()),
+            make: Box::new(make),
+            created: AtomicUsize::new(0),
+        }
+    }
+
+    /// Runs `f` with a checked-out instance; the instance is returned to
+    /// the pool afterwards for reuse by the next job on any thread. If `f`
+    /// panics the instance is dropped, not returned.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut state = {
+            let mut free = self
+                .free
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            free.pop()
+        }
+        .unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            (self.make)()
+        });
+        let result = f(&mut state);
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(state);
+        result
+    }
+
+    /// Instances created so far — bounded by the peak number of threads
+    /// concurrently inside [`WorkerLocal::with`], which is what tests
+    /// assert to prove buffer reuse across jobs and generations.
+    pub fn instances(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+}
+
 /// Shared mutable access to disjoint slots of a slice. The executor's
 /// exactly-once index delivery guarantees writes never alias.
 struct SliceSlots<T> {
@@ -554,6 +626,38 @@ mod tests {
         let pool = Executor::new(8);
         let out = pool.map(3, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_local_reuses_instances_across_batches() {
+        let pool = Executor::new(4);
+        let scratch: WorkerLocal<Vec<u64>> = WorkerLocal::new(Vec::new);
+        for _round in 0..5 {
+            pool.run(64, |i| {
+                scratch.with(|buf| {
+                    buf.clear();
+                    buf.extend(0..(i as u64 % 7));
+                });
+            });
+        }
+        // 1 submitter + 4 workers can be concurrently active at most.
+        assert!(
+            scratch.instances() <= 5,
+            "instances bounded by participants, got {}",
+            scratch.instances()
+        );
+        assert!(scratch.instances() >= 1);
+    }
+
+    #[test]
+    fn worker_local_serial_use_creates_one_instance() {
+        let scratch: WorkerLocal<Vec<u8>> = WorkerLocal::new(Vec::new);
+        for _ in 0..100 {
+            scratch.with(|buf| buf.push(1));
+        }
+        assert_eq!(scratch.instances(), 1);
+        // The single instance accumulated all pushes: proof of reuse.
+        scratch.with(|buf| assert_eq!(buf.len(), 100));
     }
 
     #[test]

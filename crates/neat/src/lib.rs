@@ -71,13 +71,13 @@ pub use activation::Activation;
 pub use aggregation::Aggregation;
 pub use config::{InitialWeights, NeatConfig, NeatConfigBuilder};
 pub use error::{ConfigError, GenomeError};
-pub use executor::Executor;
+pub use executor::{Executor, WorkerLocal};
 pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
 pub use genome::Genome;
 pub use hyperneat::{HyperNeat, Substrate};
 pub use innovation::InnovationTracker;
 pub use layers::{LayerConfig, LayerGene, LayerGenome};
-pub use network::Network;
+pub use network::{Network, Scratch};
 pub use population::{Population, RunOutcome, RunResult};
 pub use reproduction::ReproductionReport;
 pub use rng::XorWow;

@@ -1,14 +1,41 @@
-//! Feed-forward phenotype of a genome.
+//! Feed-forward phenotype of a genome, compiled into a flat evaluation plan.
 //!
 //! NEAT phenotypes are irregular acyclic graphs, not layered MLPs. This
 //! module compiles a [`Genome`] into an evaluation plan: nodes sorted into
 //! **topological wavefronts** (every node's enabled predecessors live in
 //! strictly earlier wavefronts). Wavefronts serve two purposes:
 //!
-//! 1. Software evaluation ([`Network::activate`]) walks them in order.
+//! 1. Software evaluation ([`Network::activate_into`]) walks them in order.
 //! 2. They are exactly the "well formed input vectors" the paper's
 //!    vectorize routine packs for ADAM's systolic array (Section IV-D) —
-//!    `genesys-core` reuses [`Network::layers`] for its cycle model.
+//!    `genesys-core` consumes the compiled plan directly through
+//!    [`Network::layer_eval_ranges`] / [`Network::incoming_edges`] for its
+//!    cycle model.
+//!
+//! # The compiled plan
+//!
+//! The plan is structure-of-arrays, mirroring how EvE/ADAM execute
+//! gene-level operations out of fixed buffers with no heap: per non-input
+//! node, parallel arrays hold the value slot, bias, response, activation
+//! and aggregation, and one flat CSR-style `(source slot, weight)` edge
+//! array with per-node offsets replaces the nested `Vec`-of-`Vec`s an
+//! interpreter would chase. Aggregation is folded directly into the edge
+//! walk, so no per-node temporary is materialized.
+//!
+//! # Zero-allocation evaluation and the determinism contract
+//!
+//! [`Network::activate_into`] performs **no heap allocation in steady
+//! state**: all mutable state lives in a caller-owned [`Scratch`] whose
+//! buffers grow to the largest network evaluated through them and are then
+//! reused (the one exception: a [`Aggregation::Median`] node with more
+//! incoming edges than fit the standard library's on-stack sort buffer may
+//! allocate inside the sort). The numerics are **bit-identical** to the
+//! retained reference interpreter ([`reference::activate`]) and to the
+//! pre-compilation implementation: edges are walked in the same order the
+//! genome stores them, and every aggregation fold uses the same operation
+//! order, so fitness values are reproducible across the compiled and
+//! interpreted paths and across any worker count (see
+//! `crate::executor`'s determinism contract).
 
 use crate::activation::Activation;
 use crate::aggregation::Aggregation;
@@ -17,28 +44,45 @@ use crate::gene::{NodeId, NodeType};
 use crate::genome::Genome;
 use std::collections::HashMap;
 
-/// Evaluation recipe for one non-input node.
-#[derive(Debug, Clone)]
-struct NodeEval {
-    /// Value-slot index this node writes.
-    slot: usize,
-    bias: f64,
-    response: f64,
-    activation: Activation,
-    aggregation: Aggregation,
-    /// `(value slot, weight)` of each enabled incoming connection.
-    incoming: Vec<(usize, f64)>,
+/// Reusable evaluation workspace for [`Network::activate_into`].
+///
+/// # Ownership rules
+///
+/// A `Scratch` is plain mutable state with no ties to any particular
+/// network: one instance may be reused across calls, episodes and
+/// networks of different sizes (buffers grow to the largest network seen
+/// and are retained). It must not be shared between concurrent
+/// evaluations — give each worker thread its own (e.g. via
+/// `crate::executor::WorkerLocal`). Contents carry no information between
+/// calls; reuse affects performance only, never results.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Node value slots (`Network::total_slots` entries while evaluating).
+    values: Vec<f64>,
+    /// Sort buffer for [`Aggregation::Median`] nodes.
+    sorted: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
 }
 
 /// A compiled, immutable, reusable phenotype.
 ///
 /// ```
-/// use genesys_neat::{Genome, NeatConfig, Network, XorWow};
+/// use genesys_neat::{Genome, NeatConfig, Network, Scratch, XorWow};
 /// let config = NeatConfig::builder(2, 1).build()?;
 /// let genome = Genome::initial(0, &config, &mut XorWow::seed_from_u64_value(1));
 /// let net = Network::from_genome(&genome)?;
-/// let out = net.activate(&[0.5, -0.5]);
-/// assert_eq!(out.len(), 1);
+/// // Allocation-free hot path: reuse the scratch and output buffers.
+/// let mut scratch = Scratch::new();
+/// let mut out = [0.0f64; 1];
+/// net.activate_into(&mut scratch, &[0.5, -0.5], &mut out);
+/// // Convenience wrapper (allocates per call):
+/// assert_eq!(net.activate(&[0.5, -0.5]), out);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -46,7 +90,21 @@ pub struct Network {
     num_inputs: usize,
     num_outputs: usize,
     total_slots: usize,
-    evals: Vec<NodeEval>,
+    // ---- compiled plan: SoA over non-input nodes, topological order ----
+    /// Value slot each eval node writes.
+    slots: Vec<usize>,
+    biases: Vec<f64>,
+    responses: Vec<f64>,
+    activations: Vec<Activation>,
+    aggregations: Vec<Aggregation>,
+    /// CSR offsets into `edges`: eval node `i` owns
+    /// `edges[edge_offsets[i]..edge_offsets[i + 1]]`.
+    edge_offsets: Vec<usize>,
+    /// Flat `(source value slot, weight)` array for all enabled edges.
+    edges: Vec<(usize, f64)>,
+    /// Per-wavefront `(start, end)` ranges over the eval arrays (entry 0 is
+    /// the input wavefront and covers only its source-free non-input nodes).
+    layer_ranges: Vec<(usize, usize)>,
     output_slots: Vec<usize>,
     layers: Vec<Vec<NodeId>>,
     num_macs: u64,
@@ -93,13 +151,11 @@ impl Network {
             .collect();
         frontier.sort_unstable();
         let mut layers: Vec<Vec<NodeId>> = Vec::new();
-        let mut order: Vec<NodeId> = Vec::new();
         let mut processed = 0usize;
         while !frontier.is_empty() {
             let mut next: Vec<NodeId> = Vec::new();
             for &id in &frontier {
                 processed += 1;
-                order.push(id);
                 if let Some(dsts) = out_edges.get(&id) {
                     for &dst in dsts {
                         let d = indegree.get_mut(&dst).expect("node present");
@@ -118,23 +174,38 @@ impl Network {
             return Err(GenomeError::Cycle);
         }
 
-        let evals: Vec<NodeEval> = order
-            .iter()
-            .filter_map(|id| {
+        // Flatten the topological order into the SoA plan. Per-node edge
+        // order is exactly the genome's connection order (bit-identical
+        // aggregation folds versus the reference interpreter).
+        let eval_count = genome.num_nodes().saturating_sub(genome.num_inputs());
+        let mut slots = Vec::with_capacity(eval_count);
+        let mut biases = Vec::with_capacity(eval_count);
+        let mut responses = Vec::with_capacity(eval_count);
+        let mut activations = Vec::with_capacity(eval_count);
+        let mut aggregations = Vec::with_capacity(eval_count);
+        let mut edge_offsets = Vec::with_capacity(eval_count + 1);
+        let mut edges: Vec<(usize, f64)> = Vec::with_capacity(num_macs as usize);
+        let mut layer_ranges = Vec::with_capacity(layers.len());
+        edge_offsets.push(0);
+        for layer in &layers {
+            let start = slots.len();
+            for id in layer {
                 let node = genome.node(*id).expect("node present");
                 if node.node_type == NodeType::Input {
-                    return None;
+                    continue;
                 }
-                Some(NodeEval {
-                    slot: slot_of[id],
-                    bias: node.bias,
-                    response: node.response,
-                    activation: node.activation,
-                    aggregation: node.aggregation,
-                    incoming: incoming.remove(id).unwrap_or_default(),
-                })
-            })
-            .collect();
+                slots.push(slot_of[id]);
+                biases.push(node.bias);
+                responses.push(node.response);
+                activations.push(node.activation);
+                aggregations.push(node.aggregation);
+                if let Some(inc) = incoming.remove(id) {
+                    edges.extend(inc);
+                }
+                edge_offsets.push(edges.len());
+            }
+            layer_ranges.push((start, slots.len()));
+        }
 
         let output_slots: Vec<usize> = (0..genome.num_outputs())
             .map(|o| slot_of[&NodeId((genome.num_inputs() + o) as u32)])
@@ -150,37 +221,117 @@ impl Network {
             num_inputs: genome.num_inputs(),
             num_outputs: genome.num_outputs(),
             total_slots: genome.num_nodes(),
-            evals,
+            slots,
+            biases,
+            responses,
+            activations,
+            aggregations,
+            edge_offsets,
+            edges,
+            layer_ranges,
             output_slots,
             layers,
             num_macs,
         })
     }
 
-    /// Evaluates the network on one observation, returning the output node
-    /// values in output-id order.
+    /// Evaluates the network on one observation, writing the output node
+    /// values (in output-id order) into `outputs`. This is the
+    /// zero-allocation hot path: `scratch` and `outputs` are reused by the
+    /// caller across steps, episodes and networks.
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from the genome's input count.
-    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+    /// Panics if `inputs.len()` differs from the genome's input count or
+    /// `outputs.len()` from its output count.
+    pub fn activate_into(&self, scratch: &mut Scratch, inputs: &[f64], outputs: &mut [f64]) {
         assert_eq!(
             inputs.len(),
             self.num_inputs,
             "observation size must match the genome interface"
         );
-        let mut values = vec![0.0f64; self.total_slots];
+        assert_eq!(
+            outputs.len(),
+            self.num_outputs,
+            "output buffer size must match the genome interface"
+        );
+        let Scratch { values, sorted } = scratch;
+        values.clear();
+        values.resize(self.total_slots, 0.0);
         // Input node ids are 0..num_inputs and BTreeMap iteration slots them
         // first, so slot i == input i.
         values[..self.num_inputs].copy_from_slice(inputs);
-        let mut weighted: Vec<f64> = Vec::with_capacity(16);
-        for eval in &self.evals {
-            weighted.clear();
-            weighted.extend(eval.incoming.iter().map(|&(slot, w)| w * values[slot]));
-            let agg = eval.aggregation.apply(&weighted);
-            values[eval.slot] = eval.activation.apply(eval.bias + eval.response * agg);
+        for i in 0..self.slots.len() {
+            let edges = &self.edges[self.edge_offsets[i]..self.edge_offsets[i + 1]];
+            // Aggregation folded into the edge walk; fold order and empty
+            // cases match `Aggregation::apply` bit for bit.
+            let agg = if edges.is_empty() {
+                match self.aggregations[i] {
+                    Aggregation::Product => 1.0,
+                    _ => 0.0,
+                }
+            } else {
+                match self.aggregations[i] {
+                    Aggregation::Sum => edges.iter().fold(0.0, |acc, &(s, w)| acc + w * values[s]),
+                    Aggregation::Product => {
+                        edges.iter().fold(1.0, |acc, &(s, w)| acc * (w * values[s]))
+                    }
+                    Aggregation::Max => edges.iter().fold(f64::NEG_INFINITY, |acc, &(s, w)| {
+                        f64::max(acc, w * values[s])
+                    }),
+                    Aggregation::Min => edges
+                        .iter()
+                        .fold(f64::INFINITY, |acc, &(s, w)| f64::min(acc, w * values[s])),
+                    Aggregation::Mean => {
+                        edges.iter().fold(0.0, |acc, &(s, w)| acc + w * values[s])
+                            / edges.len() as f64
+                    }
+                    Aggregation::MaxAbs => edges.iter().fold(0.0, |best: f64, &(s, w)| {
+                        let v = w * values[s];
+                        if v.abs() > best.abs() {
+                            v
+                        } else {
+                            best
+                        }
+                    }),
+                    Aggregation::Median => {
+                        sorted.clear();
+                        sorted.extend(edges.iter().map(|&(s, w)| w * values[s]));
+                        // Stable sort, like the reference: bit-identical on
+                        // ±0.0 ties (and allocation-free at typical fan-in).
+                        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN inputs"));
+                        let mid = sorted.len() / 2;
+                        if sorted.len() % 2 == 1 {
+                            sorted[mid]
+                        } else {
+                            0.5 * (sorted[mid - 1] + sorted[mid])
+                        }
+                    }
+                }
+            };
+            values[self.slots[i]] =
+                self.activations[i].apply(self.biases[i] + self.responses[i] * agg);
         }
-        self.output_slots.iter().map(|&s| values[s]).collect()
+        for (out, &slot) in outputs.iter_mut().zip(&self.output_slots) {
+            *out = values[slot];
+        }
+    }
+
+    /// Evaluates the network on one observation, returning the output node
+    /// values in output-id order.
+    ///
+    /// Compatibility wrapper over [`Network::activate_into`]: allocates a
+    /// fresh [`Scratch`] and output `Vec` per call. Hot loops should hold
+    /// their own buffers and call `activate_into` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the genome's input count.
+    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+        let mut scratch = Scratch::new();
+        let mut outputs = vec![0.0f64; self.num_outputs];
+        self.activate_into(&mut scratch, inputs, &mut outputs);
+        outputs
     }
 
     /// Number of input nodes.
@@ -199,6 +350,27 @@ impl Network {
         &self.layers
     }
 
+    /// Per-wavefront `(start, end)` index ranges over the compiled eval
+    /// arrays, parallel to [`Network::layers`]. Entry 0 covers only the
+    /// source-free **non-input** members of wavefront 0 (usually empty);
+    /// for `l ≥ 1` the range length equals `layers()[l].len()`. This is
+    /// the view `genesys-core`'s ADAM cycle model packs from.
+    pub fn layer_eval_ranges(&self) -> &[(usize, usize)] {
+        &self.layer_ranges
+    }
+
+    /// Number of compiled (non-input) nodes in the plan.
+    pub fn num_eval_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The `(source value slot, weight)` edges feeding compiled node
+    /// `eval` (an index into the ranges of
+    /// [`Network::layer_eval_ranges`]), in genome connection order.
+    pub fn incoming_edges(&self, eval: usize) -> &[(usize, f64)] {
+        &self.edges[self.edge_offsets[eval]..self.edge_offsets[eval + 1]]
+    }
+
     /// Multiply-accumulate operations per inference (one per enabled
     /// connection) — the op count used by Table II and the Fig 9 cost
     /// models.
@@ -209,6 +381,101 @@ impl Network {
     /// Total number of nodes (value slots).
     pub fn num_nodes(&self) -> usize {
         self.total_slots
+    }
+}
+
+pub mod reference {
+    //! Reference interpreter retained as the oracle for the compiled plan.
+    //!
+    //! Evaluates a genome the way the pre-compilation `Network` did: walk
+    //! the wavefronts, gather each node's weighted inputs into a temporary
+    //! and apply [`Aggregation::apply`]. Slow and allocating by design —
+    //! property tests assert the compiled SoA plan is bit-identical to
+    //! this on arbitrary evolved genomes.
+
+    use super::*;
+
+    /// Evaluates `genome` on `inputs` without compiling a plan, returning
+    /// the output node values in output-id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::Cycle`] if the enabled connection graph is
+    /// cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the genome's input count.
+    pub fn activate(genome: &Genome, inputs: &[f64]) -> Result<Vec<f64>, GenomeError> {
+        assert_eq!(
+            inputs.len(),
+            genome.num_inputs(),
+            "observation size must match the genome interface"
+        );
+        let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
+        for (slot, node) in genome.nodes().enumerate() {
+            slot_of.insert(node.id, slot);
+        }
+        let mut indegree: HashMap<NodeId, usize> = genome.nodes().map(|n| (n.id, 0)).collect();
+        let mut out_edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut incoming: HashMap<NodeId, Vec<(usize, f64)>> = HashMap::new();
+        for conn in genome.conns().filter(|c| c.enabled) {
+            *indegree.get_mut(&conn.key.dst).expect("validated genome") += 1;
+            out_edges
+                .entry(conn.key.src)
+                .or_default()
+                .push(conn.key.dst);
+            incoming
+                .entry(conn.key.dst)
+                .or_default()
+                .push((slot_of[&conn.key.src], conn.weight));
+        }
+        let mut frontier: Vec<NodeId> = genome
+            .nodes()
+            .filter(|n| indegree[&n.id] == 0)
+            .map(|n| n.id)
+            .collect();
+        frontier.sort_unstable();
+        let mut order: Vec<NodeId> = Vec::new();
+        while !frontier.is_empty() {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &id in &frontier {
+                order.push(id);
+                if let Some(dsts) = out_edges.get(&id) {
+                    for &dst in dsts {
+                        let d = indegree.get_mut(&dst).expect("node present");
+                        *d -= 1;
+                        if *d == 0 {
+                            next.push(dst);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            frontier = next;
+        }
+        if order.len() != genome.num_nodes() {
+            return Err(GenomeError::Cycle);
+        }
+
+        let mut values = vec![0.0f64; genome.num_nodes()];
+        values[..genome.num_inputs()].copy_from_slice(inputs);
+        let mut weighted: Vec<f64> = Vec::new();
+        for id in &order {
+            let node = genome.node(*id).expect("node present");
+            if node.node_type == NodeType::Input {
+                continue;
+            }
+            weighted.clear();
+            if let Some(inc) = incoming.get(id) {
+                weighted.extend(inc.iter().map(|&(slot, w)| w * values[slot]));
+            }
+            let agg = node.aggregation.apply(&weighted);
+            values[slot_of[id]] = node.activation.apply(node.bias + node.response * agg);
+        }
+        Ok((0..genome.num_outputs())
+            .map(|o| values[slot_of[&NodeId((genome.num_inputs() + o) as u32)]])
+            .collect())
     }
 }
 
@@ -272,6 +539,7 @@ mod tests {
         let g = Genome::from_parts(0, 1, 1, nodes, conns).unwrap();
         let net = Network::from_genome(&g).unwrap();
         assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.layer_eval_ranges(), &[(0, 0), (0, 1), (1, 2)]);
         let out = net.activate(&[1.5]);
         assert!((out[0] - 9.0).abs() < 1e-12, "1.5 * 3 * 2 = 9");
         assert_eq!(net.num_macs(), 2);
@@ -298,6 +566,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "output buffer size")]
+    fn wrong_output_arity_panics() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
+        let net = Network::from_genome(&g).unwrap();
+        net.activate_into(&mut Scratch::new(), &[1.0, 2.0], &mut [0.0, 0.0]);
+    }
+
+    #[test]
     fn evolved_genomes_compile_and_activate() {
         let mut c = cfg();
         c.initial_weights = InitialWeights::Uniform { lo: -1.0, hi: 1.0 };
@@ -315,11 +591,117 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_networks_matches_fresh_buffers() {
+        // One Scratch reused across many differently-sized networks and
+        // aggregations must give the same bits as fresh buffers each call.
+        let mut c = cfg();
+        c.initial_weights = InitialWeights::Uniform { lo: -1.0, hi: 1.0 };
+        c.activation_options = Activation::ALL.to_vec();
+        c.aggregation_options = Aggregation::ALL.to_vec();
+        c.activation_mutate_rate = 0.5;
+        c.aggregation_mutate_rate = 0.5;
+        let mut r = XorWow::seed_from_u64_value(77);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        let mut scratch = Scratch::new();
+        let mut out = [0.0f64];
+        let mut ops = OpCounters::new();
+        for _ in 0..120 {
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            let net = Network::from_genome(&g).unwrap();
+            net.activate_into(&mut scratch, &[0.3, -0.7], &mut out);
+            let fresh = net.activate(&[0.3, -0.7]);
+            assert_eq!(out[0].to_bits(), fresh[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_reference_interpreter() {
+        let mut c = cfg();
+        c.initial_weights = InitialWeights::Uniform { lo: -2.0, hi: 2.0 };
+        c.activation_options = Activation::ALL.to_vec();
+        c.aggregation_options = Aggregation::ALL.to_vec();
+        c.activation_mutate_rate = 0.4;
+        c.aggregation_mutate_rate = 0.4;
+        let mut r = XorWow::seed_from_u64_value(5);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        let mut ops = OpCounters::new();
+        for _ in 0..150 {
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            let net = Network::from_genome(&g).unwrap();
+            let compiled = net.activate(&[0.9, -1.3]);
+            let interpreted = reference::activate(&g, &[0.9, -1.3]).unwrap();
+            assert_eq!(compiled.len(), interpreted.len());
+            for (a, b) in compiled.iter().zip(interpreted.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "compiled vs reference");
+            }
+        }
+    }
+
+    #[test]
+    fn product_fold_is_bit_identical_to_weighted_products() {
+        // Regression: the fold must multiply by the *weighted input*
+        // (acc * (w * v)), not regroup as (acc * w) * v — the two round
+        // differently about half the time at fan-in >= 2.
+        let weights = [1.73, -0.481, 2.9];
+        let inputs = [1.8126, -0.4810, -1.7371];
+        let mut nodes = vec![
+            NodeGene::input(NodeId(0)),
+            NodeGene::input(NodeId(1)),
+            NodeGene::input(NodeId(2)),
+            NodeGene::output(NodeId(3)),
+        ];
+        nodes[3].activation = Activation::Identity;
+        nodes[3].aggregation = Aggregation::Product;
+        let conns = vec![
+            ConnGene::new(NodeId(0), NodeId(3), weights[0]),
+            ConnGene::new(NodeId(1), NodeId(3), weights[1]),
+            ConnGene::new(NodeId(2), NodeId(3), weights[2]),
+        ];
+        let g = Genome::from_parts(0, 3, 1, nodes, conns).unwrap();
+        let net = Network::from_genome(&g).unwrap();
+        let compiled = net.activate(&inputs)[0];
+        let interpreted = reference::activate(&g, &inputs).unwrap()[0];
+        let explicit = Activation::Identity.apply(
+            ((weights[0] * inputs[0]) * (weights[1] * inputs[1])) * (weights[2] * inputs[2]),
+        );
+        assert_eq!(compiled.to_bits(), interpreted.to_bits());
+        assert_eq!(compiled.to_bits(), explicit.to_bits());
+    }
+
+    #[test]
+    fn empty_aggregation_cases_match_apply_semantics() {
+        // A hidden node with no enabled incoming edges aggregates to 0.0
+        // (Product: 1.0), matching `Aggregation::apply` on an empty slice.
+        for (agg, want) in [(Aggregation::Product, 1.0), (Aggregation::Max, 0.0)] {
+            let mut nodes = vec![NodeGene::input(NodeId(0)), NodeGene::output(NodeId(1))];
+            nodes[1].activation = Activation::Identity;
+            nodes[1].aggregation = agg;
+            let g = Genome::from_parts(0, 1, 1, nodes, vec![]).unwrap();
+            let net = Network::from_genome(&g).unwrap();
+            assert_eq!(net.activate(&[2.0])[0], want, "{agg}");
+        }
+    }
+
+    #[test]
     fn layer_zero_contains_all_inputs() {
         let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(2));
         let net = Network::from_genome(&g).unwrap();
         assert!(net.layers()[0].contains(&NodeId(0)));
         assert!(net.layers()[0].contains(&NodeId(1)));
+        assert_eq!(net.layer_eval_ranges().len(), net.layers().len());
+        assert_eq!(net.layer_eval_ranges()[0], (0, 0), "inputs compile away");
+    }
+
+    #[test]
+    fn plan_edges_cover_every_enabled_conn() {
+        let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(3));
+        let net = Network::from_genome(&g).unwrap();
+        let total: usize = (0..net.num_eval_nodes())
+            .map(|e| net.incoming_edges(e).len())
+            .sum();
+        assert_eq!(total as u64, net.num_macs());
     }
 
     #[test]

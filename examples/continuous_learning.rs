@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example continuous_learning`
 
-use genesys::gym::{DriftingCartPole, Environment};
-use genesys::neat::{NeatConfig, Population};
+use genesys::gym::{episode_into, DriftingCartPole, RolloutScratch};
+use genesys::neat::{NeatConfig, Population, WorkerLocal};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
@@ -25,6 +25,8 @@ fn main() {
     const WORLD_SEED: u64 = 4242;
     const EPISODES_PER_REGIME: u64 = 300;
     let episode = AtomicU64::new(0);
+    // Per-worker rollout buffers: steady-state steps allocate nothing.
+    let scratch: WorkerLocal<RolloutScratch> = WorkerLocal::new(RolloutScratch::new);
 
     println!("gen | regime | pole len | force | best fit | mean fit");
     let mut last_regime = u64::MAX;
@@ -32,18 +34,7 @@ fn main() {
         let stats = population.evolve_once(|net| {
             let e = episode.fetch_add(1, Ordering::Relaxed);
             let mut env = DriftingCartPole::new(WORLD_SEED, EPISODES_PER_REGIME).with_episode(e);
-            let mut obs = env.reset();
-            let mut fitness = 0.0;
-            loop {
-                let action = net.activate(&obs);
-                let step = env.step(&action);
-                fitness += step.reward;
-                obs = step.observation;
-                if step.done {
-                    break;
-                }
-            }
-            fitness
+            scratch.with(|buffers| episode_into(net, &mut env, buffers).0)
         });
         let probe = DriftingCartPole::new(WORLD_SEED, EPISODES_PER_REGIME)
             .with_episode(episode.load(Ordering::Relaxed));
