@@ -10,8 +10,8 @@
 //! the parents currently in the SRAM" — the genome-level-reuse (GLR)
 //! optimization Fig 11(c) quantifies.
 
-use genesys_neat::reproduction::allocate_offspring;
-use genesys_neat::{Genome, NeatConfig, SpeciesSet, XorWow};
+use genesys_neat::reproduction::plan_offspring;
+use genesys_neat::{ChildKind, Genome, NeatConfig, SpeciesSet, XorWow};
 
 /// One planned mating: which parents produce which child.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +39,14 @@ impl MatingPlan {
 }
 
 /// Runs the three selector steps and returns the child list forwarded to
-/// Gene Split. Mirrors the software algorithm's selection exactly
-/// (speciation, fitness sharing, survival threshold, elitism) so that the
-/// hardware loop and `genesys-neat` see the same selection pressure.
+/// Gene Split.
+///
+/// The selection logic itself is the **shared planning pass** of the
+/// software pipeline — [`plan_offspring`] —
+/// so the hardware loop and `genesys-neat` see exactly the same selection
+/// pressure (speciation, fitness sharing, survival threshold, elitism,
+/// rounding top-up): each planned offspring slot maps 1:1 onto a PE mating
+/// plan, aligning the software path with the EvE PE round structure.
 pub fn select_parents(
     genomes: &[Genome],
     species: &mut SpeciesSet,
@@ -53,75 +58,18 @@ pub fn select_parents(
     species.remove_stagnant(genomes, config, generation);
     species.share_fitness(genomes);
 
-    let adjusted: Vec<f64> = species.iter().map(|s| s.adjusted_fitness).collect();
-    let floor = config.min_species_size.max(config.elitism);
-    let alloc = allocate_offspring(&adjusted, config.pop_size, floor);
-
-    let mut plans: Vec<MatingPlan> = Vec::with_capacity(config.pop_size);
-    for (s, &spawn) in species.iter().zip(alloc.iter()) {
-        if spawn == 0 {
-            continue;
-        }
-        let mut ranked: Vec<usize> = s.members.clone();
-        ranked.sort_by(|&a, &b| {
-            let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
-            let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
-            fb.partial_cmp(&fa).expect("finite fitness")
-        });
-        let elites = config.elitism.min(spawn);
-        for &e in ranked.iter().take(elites) {
-            plans.push(MatingPlan {
-                child_index: plans.len(),
-                fit_parent: e,
-                other_parent: e,
-                is_elite: true,
-            });
-        }
-        let pool_size = ((ranked.len() as f64 * config.survival_threshold).ceil() as usize)
-            .clamp(1, ranked.len());
-        let pool = &ranked[..pool_size.max(2.min(ranked.len()))];
-        for _ in elites..spawn {
-            let p1 = pool[rng.below(pool.len())];
-            let p2 = if pool.len() > 1 && rng.chance(config.crossover_prob) {
-                pool[rng.below(pool.len())]
-            } else {
-                p1
-            };
-            let (fit, other) = if genomes[p1].fitness() >= genomes[p2].fitness() {
-                (p1, p2)
-            } else {
-                (p2, p1)
-            };
-            plans.push(MatingPlan {
-                child_index: plans.len(),
-                fit_parent: fit,
-                other_parent: other,
-                is_elite: false,
-            });
-        }
-    }
-    // Top-up if rounding or extinction left the plan short.
-    if plans.len() < config.pop_size {
-        let best = (0..genomes.len())
-            .max_by(|&a, &b| {
-                genomes[a]
-                    .fitness()
-                    .unwrap_or(f64::NEG_INFINITY)
-                    .partial_cmp(&genomes[b].fitness().unwrap_or(f64::NEG_INFINITY))
-                    .expect("finite fitness")
-            })
-            .unwrap_or(0);
-        while plans.len() < config.pop_size {
-            plans.push(MatingPlan {
-                child_index: plans.len(),
-                fit_parent: best,
-                other_parent: best,
-                is_elite: false,
-            });
-        }
-    }
-    plans.truncate(config.pop_size);
-    plans
+    // Keys/seeds are assigned by the hardware PEs themselves; the planning
+    // pass's counters are discarded here.
+    let mut next_key = 0u64;
+    plan_offspring(genomes, species, config, rng, generation, &mut next_key, 0)
+        .into_iter()
+        .map(|p| MatingPlan {
+            child_index: p.child_index,
+            fit_parent: p.parent1,
+            other_parent: p.parent2,
+            is_elite: p.kind == ChildKind::Elite,
+        })
+        .collect()
 }
 
 /// PE assignment policy — an ablation axis (DESIGN.md §5).

@@ -8,6 +8,13 @@
 //! (10). The children are produced *functionally* by the PE pipeline —
 //! quantized, hardware-semantics evolution — while every phase is also
 //! accounted in cycles and energy.
+//!
+//! Step 7 runs the same serial planning pass
+//! (`genesys_neat::reproduction::plan_offspring`) as the software
+//! pipeline's staged reproduction, so the PE rounds scheduled here and the
+//! software executor's per-child jobs execute one identical offspring
+//! plan — the software path mirrors the EvE PE round structure one job
+//! per child.
 
 use crate::adam::{inference_timing, AdamReport};
 use crate::config::SocConfig;

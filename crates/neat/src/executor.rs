@@ -425,6 +425,63 @@ impl Executor {
             .map(|r| r.expect("executor ran every index"))
             .collect()
     }
+
+    /// Runs `f(i, &mut items[i])` for every index in parallel, collecting
+    /// the per-index results by index. Each job owns exactly one disjoint
+    /// slot of `items`, so index-keyed jobs can build results **in place**
+    /// (e.g. the reproduction pipeline writing each child genome into its
+    /// preallocated arena slot) without per-job allocation.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots = SliceSlots::new(&mut out);
+        let item_slots = SliceSlots::new(items);
+        self.run(n, |i| {
+            // SAFETY: each index is delivered to exactly one job (executor
+            // contract #1), so the item and result slots of distinct jobs
+            // never alias.
+            unsafe { *slots.get(i) = Some(f(i, &mut *item_slots.get(i))) };
+        });
+        out.into_iter()
+            .map(|r| r.expect("executor ran every index"))
+            .collect()
+    }
+
+    /// Runs `f(i, chunk_i)` over the disjoint fixed-size chunks of
+    /// `items`, in parallel, where chunk `i` is
+    /// `items[i * chunk_len..(i + 1) * chunk_len]`. This is the primitive
+    /// behind the speciation distance matrix: row `i` (one genome against
+    /// every representative) is one index-keyed job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` is not a multiple of `chunk_len`.
+    pub fn for_each_chunk<T, F>(&self, items: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        assert!(
+            chunk_len > 0 && items.len().is_multiple_of(chunk_len),
+            "items must split into whole chunks"
+        );
+        let n = items.len() / chunk_len;
+        let chunks = ChunkSlots::new(items, chunk_len);
+        self.run(n, |i| {
+            // SAFETY: chunks at distinct indices are disjoint, and each
+            // index is delivered to exactly one job.
+            f(i, unsafe { chunks.get(i) });
+        });
+    }
 }
 
 impl Drop for Executor {
@@ -542,6 +599,34 @@ impl<T> SliceSlots<T> {
     }
 }
 
+/// Shared mutable access to disjoint fixed-size chunks of a slice; the
+/// chunked sibling of [`SliceSlots`].
+struct ChunkSlots<T> {
+    ptr: *mut T,
+    chunk_len: usize,
+}
+
+unsafe impl<T: Send> Sync for ChunkSlots<T> {}
+unsafe impl<T: Send> Send for ChunkSlots<T> {}
+
+impl<T> ChunkSlots<T> {
+    fn new(slice: &mut [T], chunk_len: usize) -> Self {
+        ChunkSlots {
+            ptr: slice.as_mut_ptr(),
+            chunk_len,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must ensure chunk `i` is in bounds and that no two
+    /// threads access the same chunk concurrently.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr.add(i * self.chunk_len), self.chunk_len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +648,39 @@ mod tests {
         let pool = Executor::new(3);
         let out = pool.map(100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_mut_updates_slots_and_gathers_by_index() {
+        let pool = Executor::new(4);
+        let mut items: Vec<u64> = (0..100).collect();
+        let out = pool.map_mut(&mut items, |i, item| {
+            *item *= 2;
+            i as u64 + *item
+        });
+        assert_eq!(items, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(out, (0..100).map(|i| 3 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_chunk_covers_disjoint_rows() {
+        let pool = Executor::new(3);
+        let mut matrix = vec![0u32; 7 * 5];
+        pool.for_each_chunk(&mut matrix, 5, |row, chunk| {
+            for (col, cell) in chunk.iter_mut().enumerate() {
+                *cell = (row * 5 + col) as u32;
+            }
+        });
+        assert_eq!(matrix, (0..35).collect::<Vec<_>>());
+        // Empty input is a no-op regardless of chunk length.
+        pool.for_each_chunk(&mut [] as &mut [u32], 5, |_, _| panic!("no chunks"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole chunks")]
+    fn for_each_chunk_rejects_ragged_input() {
+        let pool = Executor::new(2);
+        pool.for_each_chunk(&mut [1u8, 2, 3], 2, |_, _| {});
     }
 
     #[test]

@@ -1,36 +1,71 @@
 //! Genomes: collections of genes describing one neural network.
 //!
-//! A genome stores its node and connection genes in ordered maps keyed by
-//! gene key, mirroring the hardware genome buffer layout: "the genes are
-//! stored in two logical clusters, one for each type; within each cluster,
-//! the genes are stored by sorting them in ascending order of IDs"
+//! A genome stores its node and connection genes as **flat vectors sorted
+//! by gene key**, mirroring the hardware genome buffer layout exactly: "the
+//! genes are stored in two logical clusters, one for each type; within each
+//! cluster, the genes are stored by sorting them in ascending order of IDs"
 //! (Section IV-C5). Iterating [`Genome::nodes`] then [`Genome::conns`]
 //! therefore reproduces the exact stream order the Gene Split block feeds
-//! to the EvE PEs.
+//! to the EvE PEs, and crossover/compatibility become sorted-merge walks
+//! over the two parent streams — the same dataflow the PE's alignment
+//! logic implements.
+//!
+//! The flat layout also enables the reproduction pipeline's allocation
+//! diet: [`Genome::clone_from`] and [`Genome::crossover_into`] write into
+//! an existing genome's buffers (capacity retained across generations by
+//! the arena in [`crate::population`]) instead of allocating fresh maps per
+//! child.
 
 use crate::activation::Activation;
 use crate::aggregation::Aggregation;
 use crate::config::{InitialWeights, NeatConfig};
 use crate::error::GenomeError;
 use crate::gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
-use crate::innovation::InnovationTracker;
+use crate::innovation::InnovationSource;
 use crate::rng::XorWow;
 use crate::trace::OpCounters;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Bytes per gene in the hardware encoding (64-bit gene word, Fig 6).
 pub const GENE_BYTES: usize = 8;
 
 /// One individual: a collection of node and connection genes plus the
 /// fitness it earned in the environment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Genome {
     key: u64,
-    nodes: BTreeMap<NodeId, NodeGene>,
-    conns: BTreeMap<ConnKey, ConnGene>,
+    /// Node genes in ascending id order (the genome-buffer node cluster).
+    nodes: Vec<NodeGene>,
+    /// Connection genes in ascending key order (the conn cluster).
+    conns: Vec<ConnGene>,
     num_inputs: usize,
     num_outputs: usize,
     fitness: Option<f64>,
+}
+
+impl Clone for Genome {
+    fn clone(&self) -> Genome {
+        Genome {
+            key: self.key,
+            nodes: self.nodes.clone(),
+            conns: self.conns.clone(),
+            num_inputs: self.num_inputs,
+            num_outputs: self.num_outputs,
+            fitness: self.fitness,
+        }
+    }
+
+    /// Copies `source` into `self` **reusing the existing gene buffers**
+    /// (no allocation once capacity has grown to the source size) — the
+    /// per-child fast path of the reproduction arena.
+    fn clone_from(&mut self, source: &Genome) {
+        self.key = source.key;
+        self.nodes.clone_from(&source.nodes);
+        self.conns.clone_from(&source.conns);
+        self.num_inputs = source.num_inputs;
+        self.num_outputs = source.num_outputs;
+        self.fitness = source.fitness;
+    }
 }
 
 impl Genome {
@@ -38,16 +73,16 @@ impl Genome {
     /// output, no hidden nodes, connection weights per
     /// [`NeatConfig::initial_weights`] (the paper uses zero).
     pub fn initial(key: u64, config: &NeatConfig, rng: &mut XorWow) -> Self {
-        let mut nodes = BTreeMap::new();
+        let mut nodes = Vec::with_capacity(config.num_inputs + config.num_outputs);
         for i in 0..config.num_inputs {
-            let id = NodeId(i as u32);
-            nodes.insert(id, NodeGene::input(id));
+            nodes.push(NodeGene::input(NodeId(i as u32)));
         }
         for o in 0..config.num_outputs {
-            let id = NodeId(config.first_output_id() + o as u32);
-            nodes.insert(id, NodeGene::output(id));
+            nodes.push(NodeGene::output(NodeId(
+                config.first_output_id() + o as u32,
+            )));
         }
-        let mut conns = BTreeMap::new();
+        let mut conns = Vec::with_capacity(config.num_inputs * config.num_outputs);
         for i in 0..config.num_inputs {
             for o in 0..config.num_outputs {
                 let src = NodeId(i as u32);
@@ -57,7 +92,7 @@ impl Genome {
                     InitialWeights::Uniform { lo, hi } => rng.uniform(lo, hi),
                     InitialWeights::Gaussian { stdev } => rng.next_gaussian() * stdev,
                 };
-                conns.insert(ConnKey::new(src, dst), ConnGene::new(src, dst, weight));
+                conns.push(ConnGene::new(src, dst, weight));
             }
         }
         Genome {
@@ -70,9 +105,24 @@ impl Genome {
         }
     }
 
+    /// An empty genome shell used as an arena slot: every field is
+    /// overwritten by [`Genome::clone_from`] or [`Genome::crossover_into`]
+    /// before the genome is observed.
+    pub(crate) fn shell() -> Genome {
+        Genome {
+            key: 0,
+            nodes: Vec::new(),
+            conns: Vec::new(),
+            num_inputs: 0,
+            num_outputs: 0,
+            fitness: None,
+        }
+    }
+
     /// Assembles a genome from raw parts, validating the structural
     /// invariants (used by the hardware Gene Merge block when a child
-    /// genome is written back to the genome buffer).
+    /// genome is written back to the genome buffer). A gene repeated with
+    /// the same key replaces the earlier occurrence.
     ///
     /// # Errors
     ///
@@ -85,16 +135,20 @@ impl Genome {
         nodes: impl IntoIterator<Item = NodeGene>,
         conns: impl IntoIterator<Item = ConnGene>,
     ) -> Result<Self, GenomeError> {
-        let nodes: BTreeMap<NodeId, NodeGene> = nodes.into_iter().map(|n| (n.id, n)).collect();
-        let conns: BTreeMap<ConnKey, ConnGene> = conns.into_iter().map(|c| (c.key, c)).collect();
-        let genome = Genome {
+        let mut genome = Genome {
             key,
-            nodes,
-            conns,
+            nodes: Vec::new(),
+            conns: Vec::new(),
             num_inputs,
             num_outputs,
             fitness: None,
         };
+        for n in nodes {
+            genome.insert_node(n);
+        }
+        for c in conns {
+            genome.insert_conn(c);
+        }
         genome.validate()?;
         Ok(genome)
     }
@@ -106,12 +160,12 @@ impl Genome {
     /// See [`Genome::from_parts`].
     pub fn validate(&self) -> Result<(), GenomeError> {
         for i in 0..(self.num_inputs + self.num_outputs) as u32 {
-            if !self.nodes.contains_key(&NodeId(i)) {
+            if self.node(NodeId(i)).is_none() {
                 return Err(GenomeError::MissingInterfaceNode { id: i });
             }
         }
-        for conn in self.conns.values() {
-            if !self.nodes.contains_key(&conn.key.src) || !self.nodes.contains_key(&conn.key.dst) {
+        for conn in &self.conns {
+            if self.node(conn.key.src).is_none() || self.node(conn.key.dst).is_none() {
                 return Err(GenomeError::DanglingConnection {
                     src: conn.key.src.0,
                     dst: conn.key.dst.0,
@@ -127,6 +181,71 @@ impl Genome {
             return Err(GenomeError::Cycle);
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------- sorted storage
+
+    /// Binary-searches the node cluster for `id`.
+    fn node_pos(&self, id: NodeId) -> Result<usize, usize> {
+        self.nodes.binary_search_by(|n| n.id.cmp(&id))
+    }
+
+    /// Binary-searches the connection cluster for `key`.
+    fn conn_pos(&self, key: ConnKey) -> Result<usize, usize> {
+        self.conns.binary_search_by(|c| c.key.cmp(&key))
+    }
+
+    /// Inserts (or replaces) a node gene, keeping the cluster sorted.
+    fn insert_node(&mut self, gene: NodeGene) {
+        match self.node_pos(gene.id) {
+            Ok(i) => self.nodes[i] = gene,
+            Err(i) => self.nodes.insert(i, gene),
+        }
+    }
+
+    /// Inserts (or replaces) a connection gene, keeping the cluster sorted.
+    fn insert_conn(&mut self, gene: ConnGene) {
+        match self.conn_pos(gene.key) {
+            Ok(i) => self.conns[i] = gene,
+            Err(i) => self.conns.insert(i, gene),
+        }
+    }
+
+    /// Rewrites provisional node ids (handed out by a
+    /// [`crate::innovation::SplitRecorder`] during a parallel child build)
+    /// to the real ids the serial innovation-assignment pass resolved, then
+    /// restores the sorted gene order. `map` holds `(provisional, real)`
+    /// pairs; ids absent from the map are left untouched.
+    pub fn remap_new_nodes(&mut self, map: &[(NodeId, NodeId)]) {
+        let lookup = |id: NodeId| {
+            map.iter()
+                .find(|&&(provisional, _)| provisional == id)
+                .map(|&(_, real)| real)
+        };
+        let mut nodes_touched = false;
+        for n in &mut self.nodes {
+            if let Some(real) = lookup(n.id) {
+                n.id = real;
+                nodes_touched = true;
+            }
+        }
+        if nodes_touched {
+            self.nodes.sort_by_key(|n| n.id);
+        }
+        let mut conns_touched = false;
+        for c in &mut self.conns {
+            let src = lookup(c.key.src);
+            let dst = lookup(c.key.dst);
+            if src.is_some() || dst.is_some() {
+                c.key = ConnKey::new(src.unwrap_or(c.key.src), dst.unwrap_or(c.key.dst));
+                conns_touched = true;
+            }
+        }
+        if conns_touched {
+            self.conns.sort_by_key(|c| c.key);
+        }
+        debug_assert!(self.nodes.windows(2).all(|w| w[0].id < w[1].id));
+        debug_assert!(self.conns.windows(2).all(|w| w[0].key < w[1].key));
     }
 
     // ---------------------------------------------------------------- access
@@ -163,27 +282,27 @@ impl Genome {
 
     /// Iterates node genes in ascending id order (the genome-buffer order).
     pub fn nodes(&self) -> impl Iterator<Item = &NodeGene> {
-        self.nodes.values()
+        self.nodes.iter()
     }
 
     /// Iterates connection genes in ascending key order.
     pub fn conns(&self) -> impl Iterator<Item = &ConnGene> {
-        self.conns.values()
+        self.conns.iter()
     }
 
     /// Looks up a node gene.
     pub fn node(&self, id: NodeId) -> Option<&NodeGene> {
-        self.nodes.get(&id)
+        self.node_pos(id).ok().map(|i| &self.nodes[i])
     }
 
     /// Looks up a connection gene.
     pub fn conn(&self, key: ConnKey) -> Option<&ConnGene> {
-        self.conns.get(&key)
+        self.conn_pos(key).ok().map(|i| &self.conns[i])
     }
 
     /// Structural role of a node, if present.
     pub fn node_type(&self, id: NodeId) -> Option<NodeType> {
-        self.nodes.get(&id).map(|n| n.node_type)
+        self.node(id).map(|n| n.node_type)
     }
 
     /// Number of node genes.
@@ -209,7 +328,7 @@ impl Genome {
     /// Ids of hidden nodes.
     pub fn hidden_node_ids(&self) -> Vec<NodeId> {
         self.nodes
-            .values()
+            .iter()
             .filter(|n| n.node_type == NodeType::Hidden)
             .map(|n| n.id)
             .collect()
@@ -217,7 +336,7 @@ impl Genome {
 
     /// Largest node id present (used by the PE's node-id registers).
     pub fn max_node_id(&self) -> u32 {
-        self.nodes.keys().next_back().map_or(0, |id| id.0)
+        self.nodes.last().map_or(0, |n| n.id.0)
     }
 
     // ------------------------------------------------------------- mutation
@@ -225,10 +344,15 @@ impl Genome {
     /// Applies the full NEAT mutation suite to this genome: attribute
     /// perturbations and the structural add/delete operators of Fig 3(d).
     /// Operation tallies are recorded into `ops`.
+    ///
+    /// `innovations` is any [`InnovationSource`]: the global
+    /// [`crate::InnovationTracker`] on the serial path, or a per-child
+    /// [`crate::innovation::SplitRecorder`] when children are built in
+    /// parallel and split ids are resolved by a later serial pass.
     pub fn mutate(
         &mut self,
         config: &NeatConfig,
-        innovations: &mut InnovationTracker,
+        innovations: &mut impl InnovationSource,
         rng: &mut XorWow,
         ops: &mut OpCounters,
     ) {
@@ -255,7 +379,7 @@ impl Genome {
         rng: &mut XorWow,
         ops: &mut OpCounters,
     ) {
-        for node in self.nodes.values_mut() {
+        for node in &mut self.nodes {
             if node.node_type == NodeType::Input {
                 continue;
             }
@@ -286,7 +410,7 @@ impl Genome {
                 ops.perturb += 1;
             }
         }
-        for conn in self.conns.values_mut() {
+        for conn in &mut self.conns {
             if rng.chance(config.weight_mutate_rate) {
                 conn.weight = if rng.chance(config.weight_replace_rate) {
                     rng.uniform(config.weight_min, config.weight_max)
@@ -307,39 +431,37 @@ impl Genome {
     /// `new->d`, disabling the original — the classic NEAT add-node.
     pub fn mutate_add_node(
         &mut self,
-        innovations: &mut InnovationTracker,
+        innovations: &mut impl InnovationSource,
         rng: &mut XorWow,
         ops: &mut OpCounters,
     ) {
-        let enabled: Vec<ConnKey> = self
-            .conns
-            .values()
-            .filter(|c| c.enabled)
-            .map(|c| c.key)
-            .collect();
-        if enabled.is_empty() {
+        let enabled = self.conns.iter().filter(|c| c.enabled).count();
+        if enabled == 0 {
             return;
         }
-        let key = enabled[rng.below(enabled.len())];
+        let pick = rng.below(enabled);
+        let key = self
+            .conns
+            .iter()
+            .filter(|c| c.enabled)
+            .nth(pick)
+            .expect("pick is below the enabled count")
+            .key;
         let new_id = innovations.node_for_split(key);
-        if self.nodes.contains_key(&new_id) {
+        if self.node(new_id).is_some() {
             // The same split already occurred in this genome (possible when
             // crossover merged a parent that had it); skip.
             return;
         }
-        let old_weight = self.conns[&key].weight;
-        self.conns
-            .get_mut(&key)
-            .expect("key from iteration")
-            .enabled = false;
-        self.nodes.insert(new_id, NodeGene::hidden(new_id));
+        let pos = self.conn_pos(key).expect("key from iteration");
+        let old_weight = self.conns[pos].weight;
+        self.conns[pos].enabled = false;
+        self.insert_node(NodeGene::hidden(new_id));
         // Per the paper's Add-Gene engine: "two new connection genes are
         // generated". Input-side weight 1 preserves the signal; output-side
         // inherits the old weight.
-        let up = ConnGene::new(key.src, new_id, 1.0);
-        let down = ConnGene::new(new_id, key.dst, old_weight);
-        self.conns.insert(up.key, up);
-        self.conns.insert(down.key, down);
+        self.insert_conn(ConnGene::new(key.src, new_id, 1.0));
+        self.insert_conn(ConnGene::new(new_id, key.dst, old_weight));
         ops.add_node += 1;
         ops.add_conn += 2;
     }
@@ -348,39 +470,48 @@ impl Genome {
     /// keeping the graph acyclic (inference must remain "processing an
     /// acyclic directed graph").
     pub fn mutate_add_conn(&mut self, rng: &mut XorWow, ops: &mut OpCounters) {
-        let sources: Vec<NodeId> = self.nodes.keys().copied().collect();
-        let sinks: Vec<NodeId> = self
+        let num_sources = self.nodes.len();
+        let num_sinks = self
             .nodes
-            .values()
+            .iter()
             .filter(|n| n.node_type != NodeType::Input)
-            .map(|n| n.id)
-            .collect();
-        if sources.is_empty() || sinks.is_empty() {
+            .count();
+        if num_sources == 0 || num_sinks == 0 {
             return;
         }
         // Bounded retry: candidate pairs may be duplicates or create cycles.
         for _ in 0..16 {
-            let src = sources[rng.below(sources.len())];
-            let dst = sinks[rng.below(sinks.len())];
+            let src = self.nodes[rng.below(num_sources)].id;
+            let sink_pick = rng.below(num_sinks);
+            let dst = self
+                .nodes
+                .iter()
+                .filter(|n| n.node_type != NodeType::Input)
+                .nth(sink_pick)
+                .expect("pick is below the sink count")
+                .id;
             if src == dst {
                 continue;
             }
             let key = ConnKey::new(src, dst);
-            if let Some(existing) = self.conns.get_mut(&key) {
-                if !existing.enabled {
-                    existing.enabled = true;
-                    ops.perturb += 1;
+            match self.conn_pos(key) {
+                Ok(i) => {
+                    if !self.conns[i].enabled {
+                        self.conns[i].enabled = true;
+                        ops.perturb += 1;
+                        return;
+                    }
+                }
+                Err(i) => {
+                    if self.would_create_cycle(src, dst) {
+                        continue;
+                    }
+                    let weight = rng.uniform(-1.0, 1.0);
+                    self.conns.insert(i, ConnGene::new(src, dst, weight));
+                    ops.add_conn += 1;
                     return;
                 }
-                continue;
             }
-            if self.would_create_cycle(src, dst) {
-                continue;
-            }
-            let weight = rng.uniform(-1.0, 1.0);
-            self.conns.insert(key, ConnGene::new(src, dst, weight));
-            ops.add_conn += 1;
-            return;
         }
     }
 
@@ -397,25 +528,31 @@ impl Genome {
         if ops.delete_node as usize >= config.node_delete_limit {
             return;
         }
-        let hidden = self.hidden_node_ids();
-        if hidden.is_empty() {
+        let hidden = self
+            .nodes
+            .iter()
+            .filter(|n| n.node_type == NodeType::Hidden)
+            .count();
+        if hidden == 0 {
             return;
         }
-        let victim = hidden[rng.below(hidden.len())];
-        self.nodes.remove(&victim);
-        let stale: Vec<ConnKey> = self
-            .conns
-            .keys()
-            .filter(|k| k.src == victim || k.dst == victim)
-            .copied()
-            .collect();
+        let pick = rng.below(hidden);
+        let (pos, victim) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.node_type == NodeType::Hidden)
+            .nth(pick)
+            .map(|(i, n)| (i, n.id))
+            .expect("pick is below the hidden count");
+        self.nodes.remove(pos);
         // Pruning "dangling connections" is exactly what the hardware does
         // by comparing stored deleted-node IDs against the conn stream.
-        for key in &stale {
-            self.conns.remove(key);
-        }
+        let before = self.conns.len();
+        self.conns
+            .retain(|c| c.key.src != victim && c.key.dst != victim);
         ops.delete_node += 1;
-        ops.delete_conn += stale.len() as u64;
+        ops.delete_conn += (before - self.conns.len()) as u64;
     }
 
     /// Deletes a random connection gene.
@@ -423,9 +560,8 @@ impl Genome {
         if self.conns.is_empty() {
             return;
         }
-        let keys: Vec<ConnKey> = self.conns.keys().copied().collect();
-        let key = keys[rng.below(keys.len())];
-        self.conns.remove(&key);
+        let pick = rng.below(self.conns.len());
+        self.conns.remove(pick);
         ops.delete_conn += 1;
     }
 
@@ -436,8 +572,11 @@ impl Genome {
             return true;
         }
         let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for key in self.conns.keys() {
-            adjacency.entry(key.src).or_default().push(key.dst);
+        for conn in &self.conns {
+            adjacency
+                .entry(conn.key.src)
+                .or_default()
+                .push(conn.key.dst);
         }
         let mut stack = vec![dst];
         let mut seen = HashSet::new();
@@ -455,29 +594,36 @@ impl Genome {
     }
 
     fn has_cycle(&self) -> bool {
-        // Kahn's algorithm: if topological elimination leaves nodes with
-        // in-degree > 0, a cycle exists.
-        let mut indegree: BTreeMap<NodeId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
-        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for key in self.conns.keys() {
-            *indegree.entry(key.dst).or_insert(0) += 1;
-            adjacency.entry(key.src).or_default().push(key.dst);
-        }
-        let mut queue: Vec<NodeId> = indegree
+        // Kahn's algorithm over slot indices: if topological elimination
+        // leaves nodes with in-degree > 0, a cycle exists.
+        let idx_of: HashMap<NodeId, usize> = self
+            .nodes
             .iter()
-            .filter(|(_, &d)| d == 0)
-            .map(|(&id, _)| id)
+            .enumerate()
+            .map(|(i, n)| (n.id, i))
+            .collect();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for conn in &self.conns {
+            // Dangling endpoints are caught by `validate` before the cycle
+            // check; skip them here so the walk stays in bounds.
+            let (Some(&s), Some(&d)) = (idx_of.get(&conn.key.src), idx_of.get(&conn.key.dst))
+            else {
+                continue;
+            };
+            indegree[d] += 1;
+            adjacency[s].push(d);
+        }
+        let mut queue: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
             .collect();
         let mut visited = 0usize;
         while let Some(n) = queue.pop() {
             visited += 1;
-            if let Some(next) = adjacency.get(&n) {
-                for &m in next {
-                    let d = indegree.get_mut(&m).expect("node in map");
-                    *d -= 1;
-                    if *d == 0 {
-                        queue.push(m);
-                    }
+            for &m in &adjacency[n] {
+                indegree[m] -= 1;
+                if indegree[m] == 0 {
+                    queue.push(m);
                 }
             }
         }
@@ -500,61 +646,88 @@ impl Genome {
         rng: &mut XorWow,
         ops: &mut OpCounters,
     ) -> Genome {
+        let mut child = Genome::shell();
+        Genome::crossover_into(&mut child, key, parent1, parent2, bias, rng, ops);
+        child
+    }
+
+    /// [`Genome::crossover`] writing the child into an existing genome's
+    /// buffers (cleared, capacity retained) — the arena fast path. The two
+    /// sorted parent gene streams are merge-joined exactly as the hardware
+    /// Gene Split block aligns them, so the per-gene PRNG draw order is
+    /// identical to the map-based implementation this replaced.
+    pub fn crossover_into(
+        child: &mut Genome,
+        key: u64,
+        parent1: &Genome,
+        parent2: &Genome,
+        bias: f64,
+        rng: &mut XorWow,
+        ops: &mut OpCounters,
+    ) {
         debug_assert_eq!(parent1.num_inputs, parent2.num_inputs);
         debug_assert_eq!(parent1.num_outputs, parent2.num_outputs);
-        let mut nodes = BTreeMap::new();
-        for n1 in parent1.nodes.values() {
-            let child = match parent2.nodes.get(&n1.id) {
-                Some(n2) => {
-                    // Per-attribute cherry-pick, one PRNG draw per attribute
-                    // (the four comparators of the Crossover Engine).
-                    let mut c = *n1;
-                    if !rng.chance(bias) {
-                        c.bias = n2.bias;
-                    }
-                    if !rng.chance(bias) {
-                        c.response = n2.response;
-                    }
-                    if !rng.chance(bias) {
-                        c.activation = n2.activation;
-                    }
-                    if !rng.chance(bias) {
-                        c.aggregation = n2.aggregation;
-                    }
-                    c
+        child.key = key;
+        child.num_inputs = parent1.num_inputs;
+        child.num_outputs = parent1.num_outputs;
+        child.fitness = None;
+        child.nodes.clear();
+        child.conns.clear();
+        child.nodes.reserve(parent1.nodes.len());
+        child.conns.reserve(parent1.conns.len());
+
+        let mut j = 0usize;
+        for n1 in &parent1.nodes {
+            while j < parent2.nodes.len() && parent2.nodes[j].id < n1.id {
+                j += 1;
+            }
+            let gene = if j < parent2.nodes.len() && parent2.nodes[j].id == n1.id {
+                // Per-attribute cherry-pick, one PRNG draw per attribute
+                // (the four comparators of the Crossover Engine).
+                let n2 = &parent2.nodes[j];
+                let mut c = *n1;
+                if !rng.chance(bias) {
+                    c.bias = n2.bias;
                 }
-                None => *n1, // disjoint/excess: fitter parent wins
+                if !rng.chance(bias) {
+                    c.response = n2.response;
+                }
+                if !rng.chance(bias) {
+                    c.activation = n2.activation;
+                }
+                if !rng.chance(bias) {
+                    c.aggregation = n2.aggregation;
+                }
+                c
+            } else {
+                *n1 // disjoint/excess: fitter parent wins
             };
-            nodes.insert(child.id, child);
+            child.nodes.push(gene);
             ops.crossover += 1;
         }
-        let mut conns = BTreeMap::new();
-        for c1 in parent1.conns.values() {
-            let child = match parent2.conns.get(&c1.key) {
-                Some(c2) => {
-                    let mut c = *c1;
-                    if !rng.chance(bias) {
-                        c.weight = c2.weight;
-                    }
-                    if !rng.chance(bias) {
-                        c.enabled = c2.enabled;
-                    }
-                    c
+
+        let mut j = 0usize;
+        for c1 in &parent1.conns {
+            while j < parent2.conns.len() && parent2.conns[j].key < c1.key {
+                j += 1;
+            }
+            let gene = if j < parent2.conns.len() && parent2.conns[j].key == c1.key {
+                let c2 = &parent2.conns[j];
+                let mut c = *c1;
+                if !rng.chance(bias) {
+                    c.weight = c2.weight;
                 }
-                None => *c1,
+                if !rng.chance(bias) {
+                    c.enabled = c2.enabled;
+                }
+                c
+            } else {
+                *c1
             };
-            // Guard: a gene inherited from parent2's attribute mix always has
+            // A gene inherited from parent2's attribute mix always has
             // parent1's key, and parent1 contains both endpoints.
-            conns.insert(child.key, child);
+            child.conns.push(gene);
             ops.crossover += 1;
-        }
-        Genome {
-            key,
-            nodes,
-            conns,
-            num_inputs: parent1.num_inputs,
-            num_outputs: parent1.num_outputs,
-            fitness: None,
         }
     }
 
@@ -564,39 +737,49 @@ impl Genome {
     /// the `neat-python` formulation: node distance plus connection
     /// distance, each `(weight_coeff * Σ attribute distance of matching
     /// genes + disjoint_coeff * #non-matching) / max gene count`.
+    ///
+    /// Implemented as a merge-join over the two sorted gene streams; the
+    /// accumulation order (ascending key order of `other`) is identical to
+    /// the map-based implementation, so distances are bit-identical.
     pub fn distance(&self, other: &Genome, config: &NeatConfig) -> f64 {
         let cd = config.compatibility_disjoint_coefficient;
         let cw = config.compatibility_weight_coefficient;
 
         let mut node_dist = 0.0;
         let mut disjoint_nodes = 0usize;
-        for n2 in other.nodes.values() {
-            match self.nodes.get(&n2.id) {
-                Some(n1) => node_dist += n1.attribute_distance(n2) * cw,
-                None => disjoint_nodes += 1,
+        let mut matched = 0usize;
+        let mut i = 0usize;
+        for n2 in &other.nodes {
+            while i < self.nodes.len() && self.nodes[i].id < n2.id {
+                i += 1;
+            }
+            if i < self.nodes.len() && self.nodes[i].id == n2.id {
+                node_dist += self.nodes[i].attribute_distance(n2) * cw;
+                matched += 1;
+            } else {
+                disjoint_nodes += 1;
             }
         }
-        disjoint_nodes += self
-            .nodes
-            .keys()
-            .filter(|id| !other.nodes.contains_key(id))
-            .count();
+        disjoint_nodes += self.nodes.len() - matched;
         let max_nodes = self.nodes.len().max(other.nodes.len()).max(1);
         node_dist = (node_dist + cd * disjoint_nodes as f64) / max_nodes as f64;
 
         let mut conn_dist = 0.0;
         let mut disjoint_conns = 0usize;
-        for c2 in other.conns.values() {
-            match self.conns.get(&c2.key) {
-                Some(c1) => conn_dist += c1.attribute_distance(c2) * cw,
-                None => disjoint_conns += 1,
+        let mut matched = 0usize;
+        let mut i = 0usize;
+        for c2 in &other.conns {
+            while i < self.conns.len() && self.conns[i].key < c2.key {
+                i += 1;
+            }
+            if i < self.conns.len() && self.conns[i].key == c2.key {
+                conn_dist += self.conns[i].attribute_distance(c2) * cw;
+                matched += 1;
+            } else {
+                disjoint_conns += 1;
             }
         }
-        disjoint_conns += self
-            .conns
-            .keys()
-            .filter(|key| !other.conns.contains_key(key))
-            .count();
+        disjoint_conns += self.conns.len() - matched;
         let max_conns = self.conns.len().max(other.conns.len()).max(1);
         conn_dist = (conn_dist + cd * disjoint_conns as f64) / max_conns as f64;
 
@@ -607,6 +790,7 @@ impl Genome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::innovation::InnovationTracker;
 
     fn cfg() -> NeatConfig {
         NeatConfig::builder(3, 2).build().unwrap()
@@ -638,6 +822,37 @@ mod tests {
     fn memory_footprint_is_eight_bytes_per_gene() {
         let g = Genome::initial(0, &cfg(), &mut rng());
         assert_eq!(g.memory_bytes(), g.num_genes() * 8);
+    }
+
+    #[test]
+    fn genes_iterate_in_ascending_key_order() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        let mut ops = OpCounters::new();
+        for _ in 0..30 {
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+        }
+        let ids: Vec<NodeId> = g.nodes().map(|n| n.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "node cluster sorted");
+        let keys: Vec<ConnKey> = g.conns().map(|c| c.key).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "conn cluster sorted");
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers_and_matches_clone() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(7, &c, &mut r);
+        let mut ops = OpCounters::new();
+        g.mutate_add_node(&mut innov, &mut r, &mut ops);
+        g.set_fitness(4.5);
+        let mut target = Genome::shell();
+        target.clone_from(&g);
+        assert_eq!(target, g);
+        assert_eq!(target.fitness(), Some(4.5));
     }
 
     #[test]
@@ -756,6 +971,50 @@ mod tests {
     }
 
     #[test]
+    fn crossover_into_reused_buffers_matches_fresh_child() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut ops = OpCounters::new();
+        let mut p1 = Genome::initial(0, &c, &mut r);
+        let mut p2 = Genome::initial(1, &c, &mut r);
+        p1.mutate_add_node(&mut innov, &mut r, &mut ops);
+        p2.mutate_attributes(&c, &mut r, &mut ops);
+        // Same draws, one into a dirty reused buffer, one fresh.
+        let mut ra = XorWow::seed_from_u64_value(9);
+        let mut rb = XorWow::seed_from_u64_value(9);
+        let fresh = Genome::crossover(5, &p1, &p2, 0.5, &mut ra, &mut ops);
+        let mut reused = Genome::initial(99, &c, &mut r); // dirty buffers
+        Genome::crossover_into(&mut reused, 5, &p1, &p2, 0.5, &mut rb, &mut ops);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn remap_new_nodes_restores_sorted_order() {
+        use crate::innovation::{SplitRecorder, PROVISIONAL_NODE_BASE};
+        let c = cfg();
+        let mut r = rng();
+        let mut ops = OpCounters::new();
+        let mut recorder = SplitRecorder::new();
+        let mut g = Genome::initial(0, &c, &mut r);
+        g.mutate_add_node(&mut recorder, &mut r, &mut ops);
+        g.mutate_add_node(&mut recorder, &mut r, &mut ops);
+        assert!(g.max_node_id() >= PROVISIONAL_NODE_BASE);
+        // Resolve through a real tracker, as the serial pass would.
+        let mut tracker = InnovationTracker::new(c.first_hidden_id());
+        let map: Vec<(NodeId, NodeId)> = recorder
+            .requests()
+            .iter()
+            .map(|&(key, provisional)| (provisional, tracker.node_for_split(key)))
+            .collect();
+        g.remap_new_nodes(&map);
+        assert!(g.max_node_id() < PROVISIONAL_NODE_BASE);
+        assert!(g.validate().is_ok());
+        let ids: Vec<NodeId> = g.nodes().map(|n| n.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn distance_zero_for_identical_and_positive_for_diverged() {
         let c = cfg();
         let mut r = rng();
@@ -820,6 +1079,20 @@ mod tests {
         let nodes: Vec<NodeGene> = g.nodes().skip(1).copied().collect();
         let err = Genome::from_parts(1, 3, 2, nodes, Vec::new()).unwrap_err();
         assert_eq!(err, GenomeError::MissingInterfaceNode { id: 0 });
+    }
+
+    #[test]
+    fn from_parts_last_duplicate_wins() {
+        let c = cfg();
+        let g = Genome::initial(0, &c, &mut rng());
+        let nodes: Vec<NodeGene> = g.nodes().copied().collect();
+        let mut conns: Vec<ConnGene> = g.conns().copied().collect();
+        let mut dup = conns[0];
+        dup.weight = 42.0;
+        conns.push(dup);
+        let rebuilt = Genome::from_parts(1, 3, 2, nodes, conns).unwrap();
+        assert_eq!(rebuilt.num_conns(), g.num_conns());
+        assert_eq!(rebuilt.conn(dup.key).unwrap().weight, 42.0);
     }
 
     #[test]

@@ -7,9 +7,93 @@
 //! connection `s->d`" so that two genomes splitting the same connection in
 //! the same generation receive the same hidden-node id — keeping them
 //! compatible for speciation and crossover, exactly as `neat-python` does.
+//!
+//! # Two-pass assignment for parallel reproduction
+//!
+//! The global tracker is inherently serial: the id a split receives depends
+//! on every split that came before it. To build children in parallel (the
+//! executor-driven reproduction pipeline of [`crate::reproduction`]), each
+//! child instead mutates against a private [`SplitRecorder`], which hands
+//! out **provisional** ids (from [`PROVISIONAL_NODE_BASE`] upward, far above
+//! any real id) and records the requested splits in allocation order. A
+//! second, serial pass then walks the children in canonical child order and
+//! resolves every request through the real [`InnovationTracker`] — so the
+//! global memo ("same split, same generation, same id") is applied in an
+//! order independent of which worker built which child. Both id sources
+//! implement [`InnovationSource`], which is what
+//! [`Genome::mutate`](crate::Genome::mutate) is generic over.
 
 use crate::gene::{ConnKey, NodeId};
 use std::collections::HashMap;
+
+/// Hands out node ids for structural innovations (add-node splits) during
+/// mutation. Implemented by the global [`InnovationTracker`] (serial path)
+/// and by the per-child [`SplitRecorder`] (parallel plan/execute path).
+pub trait InnovationSource {
+    /// Returns the node id for splitting connection `key`; the same key
+    /// must yield the same id when asked twice by the same source.
+    fn node_for_split(&mut self, key: ConnKey) -> NodeId;
+}
+
+/// First provisional node id handed out by a [`SplitRecorder`]. Real ids
+/// stay far below this (the tracker counts up from the interface size), so
+/// provisional ids always sort after every real id — which keeps the
+/// in-genome gene order during a parallel child build consistent with the
+/// order after the serial assignment pass remaps them.
+pub const PROVISIONAL_NODE_BASE: u32 = 1 << 31;
+
+/// Per-child innovation recorder for the parallel reproduction path.
+///
+/// Hands out provisional node ids (base + allocation index) and records the
+/// `(split key, provisional id)` pairs in allocation order. Requests with
+/// the same key reuse the same provisional id, mirroring the tracker's
+/// per-generation memo at child scope. After the child is built, the serial
+/// assignment pass maps each provisional id to the real id via
+/// [`InnovationTracker::node_for_split`] in canonical child order.
+#[derive(Debug, Clone, Default)]
+pub struct SplitRecorder {
+    requests: Vec<(ConnKey, NodeId)>,
+}
+
+impl SplitRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        SplitRecorder::default()
+    }
+
+    /// The recorded `(split key, provisional id)` pairs, in allocation
+    /// order — the order the serial pass must resolve them in.
+    pub fn requests(&self) -> &[(ConnKey, NodeId)] {
+        &self.requests
+    }
+
+    /// True when no split was requested.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Consumes the recorder, returning the request list (allocation
+    /// order preserved).
+    pub fn into_requests(self) -> Vec<(ConnKey, NodeId)> {
+        self.requests
+    }
+
+    /// Forgets all requests so the recorder can serve another child.
+    pub fn clear(&mut self) {
+        self.requests.clear();
+    }
+}
+
+impl InnovationSource for SplitRecorder {
+    fn node_for_split(&mut self, key: ConnKey) -> NodeId {
+        if let Some(&(_, id)) = self.requests.iter().find(|&&(k, _)| k == key) {
+            return id;
+        }
+        let id = NodeId(PROVISIONAL_NODE_BASE + self.requests.len() as u32);
+        self.requests.push((key, id));
+        id
+    }
+}
 
 /// Hands out node ids and memoizes per-generation structural innovations.
 #[derive(Debug, Clone)]
@@ -66,6 +150,12 @@ impl InnovationTracker {
     }
 }
 
+impl InnovationSource for InnovationTracker {
+    fn node_for_split(&mut self, key: ConnKey) -> NodeId {
+        InnovationTracker::node_for_split(self, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +185,28 @@ mod tests {
         t.begin_generation();
         let b = t.node_for_split(key);
         assert_ne!(a, b, "memo must clear at the generation boundary");
+    }
+
+    #[test]
+    fn recorder_hands_out_provisional_ids_in_order() {
+        let mut r = SplitRecorder::new();
+        let a = r.node_for_split(ConnKey::new(NodeId(0), NodeId(3)));
+        let b = r.node_for_split(ConnKey::new(NodeId(1), NodeId(3)));
+        assert_eq!(a, NodeId(PROVISIONAL_NODE_BASE));
+        assert_eq!(b, NodeId(PROVISIONAL_NODE_BASE + 1));
+        assert_eq!(r.requests().len(), 2);
+    }
+
+    #[test]
+    fn recorder_memoizes_same_key_like_the_tracker() {
+        let mut r = SplitRecorder::new();
+        let key = ConnKey::new(NodeId(0), NodeId(4));
+        let a = r.node_for_split(key);
+        let b = r.node_for_split(key);
+        assert_eq!(a, b);
+        assert_eq!(r.requests().len(), 1, "memo hits record nothing new");
+        r.clear();
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -13,15 +13,18 @@
 //!   graph in topological wavefronts (the same wavefronts ADAM packs into
 //!   matrix–vector products).
 //! * [`species`] — speciation and fitness sharing (Section II-D).
-//! * [`reproduction`] — parent selection, elitism, offspring allocation, and
-//!   the **reproduction trace** the paper uses to drive its hardware
-//!   evaluation (Section VI-A).
+//! * [`reproduction`] — the staged plan/execute/assign reproduction
+//!   pipeline (serial planning, executor-parallel child construction,
+//!   serial innovation assignment) and the **reproduction trace** the
+//!   paper uses to drive its hardware evaluation (Section VI-A).
 //! * [`population`] — the outer evolutionary loop with optional
-//!   population-level parallelism (PLP) over evaluation.
+//!   population-level parallelism (PLP) over evaluation, speciation and
+//!   reproduction.
 //! * [`executor`] — the persistent work-stealing worker pool that backs
 //!   PLP: threads are spawned once and reused across generations, and
-//!   genome jobs are balanced through work-stealing deques instead of
-//!   static chunks.
+//!   index-keyed jobs (genome evaluations, distance-matrix rows, child
+//!   builds) are balanced through work-stealing deques instead of static
+//!   chunks.
 //!
 //! # Quickstart
 //!
@@ -75,11 +78,11 @@ pub use executor::{Executor, WorkerLocal};
 pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
 pub use genome::Genome;
 pub use hyperneat::{HyperNeat, Substrate};
-pub use innovation::InnovationTracker;
+pub use innovation::{InnovationSource, InnovationTracker, SplitRecorder};
 pub use layers::{LayerConfig, LayerGene, LayerGenome};
 pub use network::{Network, Scratch};
 pub use population::{Population, RunOutcome, RunResult};
-pub use reproduction::ReproductionReport;
+pub use reproduction::{ChildKind, ChildPlan, ReproductionReport};
 pub use rng::XorWow;
 pub use species::{SpeciesId, SpeciesSet};
 pub use stats::GenerationStats;

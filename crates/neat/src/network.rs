@@ -27,9 +27,9 @@
 //! [`Network::activate_into`] performs **no heap allocation in steady
 //! state**: all mutable state lives in a caller-owned [`Scratch`] whose
 //! buffers grow to the largest network evaluated through them and are then
-//! reused (the one exception: a [`Aggregation::Median`] node with more
-//! incoming edges than fit the standard library's on-stack sort buffer may
-//! allocate inside the sort). The numerics are **bit-identical** to the
+//! reused — including [`Aggregation::Median`] nodes, whose sort runs
+//! in place inside the scratch buffer at any fan-in. The numerics are
+//! **bit-identical** to the
 //! retained reference interpreter ([`reference::activate`]) and to the
 //! pre-compilation implementation: edges are walked in the same order the
 //! genome stores them, and every aggregation fold uses the same operation
@@ -258,8 +258,8 @@ impl Network {
         let Scratch { values, sorted } = scratch;
         values.clear();
         values.resize(self.total_slots, 0.0);
-        // Input node ids are 0..num_inputs and BTreeMap iteration slots them
-        // first, so slot i == input i.
+        // Input node ids are 0..num_inputs and the sorted gene cluster
+        // slots them first, so slot i == input i.
         values[..self.num_inputs].copy_from_slice(inputs);
         for i in 0..self.slots.len() {
             let edges = &self.edges[self.edge_offsets[i]..self.edge_offsets[i + 1]];
@@ -297,9 +297,20 @@ impl Network {
                     Aggregation::Median => {
                         sorted.clear();
                         sorted.extend(edges.iter().map(|&(s, w)| w * values[s]));
-                        // Stable sort, like the reference: bit-identical on
-                        // ±0.0 ties (and allocation-free at typical fan-in).
-                        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN inputs"));
+                        // Stable in-place insertion sort in the Scratch
+                        // buffer: allocation-free at ANY fan-in (stdlib
+                        // `sort_by` allocates beyond its on-stack merge
+                        // threshold) and bit-identical to the reference's
+                        // stable sort — `>` never reorders ±0.0 ties or
+                        // NaN, so even poisoned inputs degrade
+                        // deterministically instead of panicking.
+                        for i in 1..sorted.len() {
+                            let mut j = i;
+                            while j > 0 && sorted[j - 1] > sorted[j] {
+                                sorted.swap(j - 1, j);
+                                j -= 1;
+                            }
+                        }
                         let mid = sorted.len() / 2;
                         if sorted.len() % 2 == 1 {
                             sorted[mid]
@@ -668,6 +679,42 @@ mod tests {
         );
         assert_eq!(compiled.to_bits(), interpreted.to_bits());
         assert_eq!(compiled.to_bits(), explicit.to_bits());
+    }
+
+    #[test]
+    fn median_insertion_sort_matches_reference_at_high_fan_in() {
+        // Fan-ins above the stdlib sort's on-stack threshold (~20) used to
+        // allocate; the in-place insertion sort must stay bit-identical to
+        // the reference interpreter's stable `sort_by` at every size.
+        for fan_in in [1usize, 2, 5, 21, 64] {
+            let mut nodes: Vec<NodeGene> = (0..fan_in)
+                .map(|i| NodeGene::input(NodeId(i as u32)))
+                .collect();
+            let mut out = NodeGene::output(NodeId(fan_in as u32));
+            out.activation = Activation::Identity;
+            out.aggregation = Aggregation::Median;
+            nodes.push(out);
+            let conns: Vec<ConnGene> = (0..fan_in)
+                .map(|i| {
+                    // Deterministic weights with repeats, negatives and
+                    // signed zeros to exercise tie handling.
+                    let w = match i % 5 {
+                        0 => 0.0,
+                        1 => -0.0,
+                        2 => 1.25,
+                        3 => -2.5,
+                        _ => 1.25,
+                    };
+                    ConnGene::new(NodeId(i as u32), NodeId(fan_in as u32), w)
+                })
+                .collect();
+            let g = Genome::from_parts(0, fan_in, 1, nodes, conns).unwrap();
+            let net = Network::from_genome(&g).unwrap();
+            let inputs: Vec<f64> = (0..fan_in).map(|i| (i as f64) - 7.5).collect();
+            let compiled = net.activate(&inputs)[0];
+            let interpreted = reference::activate(&g, &inputs).unwrap()[0];
+            assert_eq!(compiled.to_bits(), interpreted.to_bits(), "fan_in={fan_in}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::executor::Executor;
 use crate::genome::Genome;
 use crate::innovation::InnovationTracker;
 use crate::network::Network;
-use crate::reproduction::{reproduce, ReproductionReport};
+use crate::reproduction::reproduce_into;
 use crate::rng::XorWow;
 use crate::species::SpeciesSet;
 use crate::stats::GenerationStats;
@@ -57,11 +57,18 @@ pub struct Population {
     species: SpeciesSet,
     innovations: InnovationTracker,
     rng: XorWow,
+    /// Construction seed; base of the per-child reproduction seeds
+    /// (`crate::reproduction::child_seed`).
+    seed: u64,
     generation: usize,
     next_key: u64,
     executor: Option<Arc<Executor>>,
     last_trace: Option<GenerationTrace>,
     best_ever: Option<Genome>,
+    /// Generation-scoped child arena: the *outgoing* generation's genome
+    /// shells, recycled as the next generation's child buffers so
+    /// reproduction reuses gene storage instead of allocating per child.
+    arena: Vec<Genome>,
 }
 
 impl Population {
@@ -86,10 +93,12 @@ impl Population {
             species: SpeciesSet::new(),
             innovations,
             rng,
+            seed,
             generation: 0,
             executor: None,
             last_trace: None,
             best_ever: None,
+            arena: Vec::new(),
         }
     }
 
@@ -152,10 +161,12 @@ impl Population {
             species: SpeciesSet::new(),
             innovations,
             rng: XorWow::seed_from_u64_value(seed),
+            seed,
             generation: 0,
             executor: None,
             last_trace: None,
             best_ever: None,
+            arena: Vec::new(),
         }
     }
 
@@ -230,10 +241,8 @@ impl Population {
         for (g, f) in self.genomes.iter_mut().zip(fitness.iter()) {
             g.set_fitness(*f);
         }
-        // Track the best-ever genome.
-        if let Some(best_idx) =
-            (0..n).max_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite fitness"))
-        {
+        // Track the best-ever genome (NaN-tolerant total order).
+        if let Some(best_idx) = (0..n).max_by(|&a, &b| fitness[a].total_cmp(&fitness[b])) {
             let better = self
                 .best_ever
                 .as_ref()
@@ -258,18 +267,28 @@ impl Population {
 
     /// Index-aware variant of [`Population::evolve_once`]; see
     /// [`Population::evaluate_indexed`] for when the index matters.
+    ///
+    /// The whole generation — evaluation, speciation's distance matrix and
+    /// child construction — runs on the persistent executor when one is
+    /// set, with results bit-identical to the serial path at any worker
+    /// count (see [`crate::executor`] and [`crate::reproduction`] for the
+    /// determinism contracts). The outgoing generation's genomes are
+    /// recycled as the next generation's child buffers, so steady-state
+    /// reproduction reuses gene storage instead of cloning per child.
     pub fn evolve_once_indexed<F>(&mut self, fitness_fn: F) -> GenerationStats
     where
         F: Fn(usize, &Network) -> f64 + Sync,
     {
         let macs = self.evaluate_indexed(fitness_fn);
+        let pool = self.executor.clone();
+        let pool = pool.as_deref();
         self.species
-            .speciate(&self.genomes, &self.config, self.generation);
+            .speciate_on(&self.genomes, &self.config, self.generation, pool);
         self.species
             .remove_stagnant(&self.genomes, &self.config, self.generation);
         self.species.share_fitness(&self.genomes);
 
-        let ReproductionReport { offspring, trace } = reproduce(
+        let trace = reproduce_into(
             &self.genomes,
             &self.species,
             &self.config,
@@ -277,6 +296,9 @@ impl Population {
             &mut self.rng,
             self.generation,
             &mut self.next_key,
+            self.seed,
+            pool,
+            &mut self.arena,
         );
         let stats = GenerationStats::collect(
             self.generation,
@@ -286,7 +308,9 @@ impl Population {
             macs,
         );
         self.last_trace = Some(trace);
-        self.genomes = offspring;
+        // The arena now holds the new generation; the old generation's
+        // shells become the next reproduction's child buffers.
+        std::mem::swap(&mut self.genomes, &mut self.arena);
         self.generation += 1;
         stats
     }

@@ -7,8 +7,21 @@
 //! compatibility distance against a per-species representative; fitness
 //! sharing normalizes member fitness within each species before offspring
 //! are allocated.
+//!
+//! # Parallel clustering
+//!
+//! The expensive part of speciation is the genome × representative
+//! compatibility-distance matrix — `O(population × species)` gene-stream
+//! merges. [`SpeciesSet::speciate_on`] computes that matrix as index-keyed
+//! jobs on the persistent [`Executor`] (one row per genome), then performs
+//! the actual cluster **assignment as a deterministic serial fold** over
+//! the precomputed rows. Distances are pure functions of
+//! `(genome, representative)`, so the matrix — and therefore the final
+//! clustering — is bit-identical at any worker count, including the serial
+//! path ([`SpeciesSet::speciate`]).
 
 use crate::config::NeatConfig;
+use crate::executor::Executor;
 use crate::genome::Genome;
 use std::fmt;
 
@@ -56,11 +69,14 @@ impl Species {
     }
 
     /// Best member index (by raw fitness) in the current generation.
+    /// NaN fitness sorts above every finite value under [`f64::total_cmp`],
+    /// so a poisoned evaluation degrades deterministically instead of
+    /// aborting.
     pub fn champion(&self, genomes: &[Genome]) -> Option<usize> {
         self.members.iter().copied().max_by(|&a, &b| {
             let fa = genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
             let fb = genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
-            fa.partial_cmp(&fb).expect("finite fitness")
+            fa.total_cmp(&fb)
         })
     }
 }
@@ -70,6 +86,9 @@ impl Species {
 pub struct SpeciesSet {
     species: Vec<Species>,
     next_id: u32,
+    /// Distance-matrix buffer reused across generations (row per genome,
+    /// column per species that existed when `speciate` began).
+    dist_scratch: Vec<f64>,
 }
 
 impl SpeciesSet {
@@ -93,22 +112,67 @@ impl SpeciesSet {
         self.species.is_empty()
     }
 
-    /// Clusters `genomes` into species by compatibility distance.
+    /// Clusters `genomes` into species by compatibility distance, serially.
+    /// Equivalent to [`SpeciesSet::speciate_on`] with no pool.
+    pub fn speciate(&mut self, genomes: &[Genome], config: &NeatConfig, generation: usize) {
+        self.speciate_on(genomes, config, generation, None);
+    }
+
+    /// Clusters `genomes` into species by compatibility distance, with the
+    /// distance matrix computed on `pool` when given (see the module docs
+    /// for the determinism argument).
     ///
     /// Each genome joins the first existing species whose representative is
     /// within [`NeatConfig::compatibility_threshold`]; otherwise it founds a
     /// new species. Afterwards each non-empty species re-elects the member
     /// closest to the old representative as its new representative
     /// (`neat-python` behaviour); empty species are dropped.
-    pub fn speciate(&mut self, genomes: &[Genome], config: &NeatConfig, generation: usize) {
+    pub fn speciate_on(
+        &mut self,
+        genomes: &[Genome],
+        config: &NeatConfig,
+        generation: usize,
+        pool: Option<&Executor>,
+    ) {
         for s in &mut self.species {
             s.members.clear();
         }
+        let existing = self.species.len();
+
+        // Phase 1 (parallel): the genome × representative distance matrix,
+        // one index-keyed job per genome row. Distances to species founded
+        // *during* the fold below cannot be precomputed; they are filled in
+        // serially on demand (new species are rare after the first
+        // generations). Without a pool the matrix is skipped entirely —
+        // the serial fold keeps the lazy first-match early exit, which
+        // does far fewer distance computations than a full matrix; the
+        // clustering is identical either way because distances are pure.
+        let use_matrix = existing > 0 && pool.is_some();
+        self.dist_scratch.clear();
+        if use_matrix {
+            self.dist_scratch.resize(genomes.len() * existing, 0.0);
+            let species = &self.species;
+            let pool = pool.expect("use_matrix implies a pool");
+            pool.for_each_chunk(&mut self.dist_scratch, existing, |g, row| {
+                for (s, sp) in species.iter().enumerate() {
+                    row[s] = genomes[g].distance(&sp.representative, config);
+                }
+            });
+        }
+
+        // Phase 2 (serial fold): deterministic assignment in genome order —
+        // first species (in creation order) under the threshold wins,
+        // exactly as the lazy serial scan this replaced.
         for (idx, genome) in genomes.iter().enumerate() {
             let mut placed = false;
-            for s in &mut self.species {
-                if genome.distance(&s.representative, config) < config.compatibility_threshold {
-                    s.members.push(idx);
+            for (s, sp) in self.species.iter_mut().enumerate() {
+                let d = if s < existing && use_matrix {
+                    self.dist_scratch[idx * existing + s]
+                } else {
+                    genome.distance(&sp.representative, config)
+                };
+                if d < config.compatibility_threshold {
+                    sp.members.push(idx);
                     placed = true;
                     break;
                 }
@@ -127,20 +191,33 @@ impl SpeciesSet {
                 });
             }
         }
-        self.species.retain(|s| !s.members.is_empty());
-        for s in &mut self.species {
-            let closest = s
+
+        // Phase 3: re-elect representatives (matrix rows double as the
+        // member→old-representative distances for pre-existing species).
+        // Ties and NaN break deterministically via total_cmp.
+        for (s, sp) in self.species.iter_mut().enumerate() {
+            if sp.members.is_empty() {
+                continue; // dropped below
+            }
+            let closest = sp
                 .members
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
-                    let da = genomes[a].distance(&s.representative, config);
-                    let db = genomes[b].distance(&s.representative, config);
-                    da.partial_cmp(&db).expect("finite distance")
+                    let dist = |g: usize| {
+                        if s < existing && use_matrix {
+                            self.dist_scratch[g * existing + s]
+                        } else {
+                            genomes[g].distance(&sp.representative, config)
+                        }
+                    };
+                    dist(a).total_cmp(&dist(b))
                 })
                 .expect("non-empty species");
-            s.representative = genomes[closest].clone();
+            // clone_from reuses the old representative's gene buffers.
+            sp.representative.clone_from(&genomes[closest]);
         }
+        self.species.retain(|s| !s.members.is_empty());
     }
 
     /// Applies fitness sharing: every species' `adjusted_fitness` becomes
@@ -192,7 +269,7 @@ impl SpeciesSet {
             .iter()
             .map(|s| (s.best_fitness, s.id))
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let protected: Vec<SpeciesId> = ranked
             .iter()
             .take(config.species_elitism)
@@ -303,6 +380,58 @@ mod tests {
         }
         assert!(removed_total >= 1, "stagnant species should be removed");
         assert!(!set.is_empty(), "species elitism keeps at least one alive");
+    }
+
+    #[test]
+    fn parallel_speciation_matches_serial_exactly() {
+        let (genomes, c) = diverged_population(24);
+        let mut serial = SpeciesSet::new();
+        serial.speciate(&genomes, &c, 0);
+        for workers in [1usize, 4, 8] {
+            let pool = Executor::new(workers);
+            let mut parallel = SpeciesSet::new();
+            parallel.speciate_on(&genomes, &c, 0, Some(&pool));
+            assert_eq!(serial.len(), parallel.len(), "workers={workers}");
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.representative, b.representative);
+            }
+        }
+    }
+
+    #[test]
+    fn respeciation_reuses_the_distance_matrix_path() {
+        // Second call exercises `existing > 0` (matrix rows) on both paths.
+        let (genomes, c) = diverged_population(16);
+        let pool = Executor::new(4);
+        let mut serial = SpeciesSet::new();
+        let mut parallel = SpeciesSet::new();
+        for generation in 0..3 {
+            serial.speciate(&genomes, &c, generation);
+            parallel.speciate_on(&genomes, &c, generation, Some(&pool));
+        }
+        let a: Vec<_> = serial.iter().map(|s| (s.id, s.members.clone())).collect();
+        let b: Vec<_> = parallel.iter().map(|s| (s.id, s.members.clone())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nan_fitness_degrades_deterministically() {
+        let (mut genomes, c) = diverged_population(8);
+        genomes[3].set_fitness(f64::NAN);
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        // total_cmp ordering: no panic, and the champion is well defined
+        // (NaN sorts above every finite fitness).
+        for s in set.iter() {
+            let champ = s.champion(&genomes).expect("non-empty species");
+            if s.members.contains(&3) {
+                assert_eq!(champ, 3, "NaN sorts greatest under total_cmp");
+            }
+        }
+        // Stagnation ranking must not panic either.
+        set.remove_stagnant(&genomes, &c, 1);
     }
 
     #[test]

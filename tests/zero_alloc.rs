@@ -8,7 +8,10 @@
 
 use genesys::gym::{episode_into, EnvKind, RolloutScratch};
 use genesys::neat::trace::OpCounters;
-use genesys::neat::{Genome, InnovationTracker, Network, Scratch, XorWow};
+use genesys::neat::{
+    Activation, Aggregation, ConnGene, Genome, InnovationTracker, Network, NodeGene, NodeId,
+    Scratch, XorWow,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -130,5 +133,50 @@ fn steady_state_rollout_does_not_allocate() {
         after - before,
         0,
         "whole warmed episode ({steps} steps) must not allocate"
+    );
+
+    // ---- median-heavy plan at high fan-in -------------------------------
+    // A Median node with more incoming edges than the stdlib sort's
+    // on-stack threshold used to allocate inside `sort_by` every step; the
+    // in-place Scratch-backed sort must not. 48-wide fan-in is well past
+    // the threshold (~20).
+    const FAN_IN: usize = 48;
+    let mut nodes: Vec<NodeGene> = (0..FAN_IN)
+        .map(|i| NodeGene::input(NodeId(i as u32)))
+        .collect();
+    let mut out_node = NodeGene::output(NodeId(FAN_IN as u32));
+    out_node.activation = Activation::Identity;
+    out_node.aggregation = Aggregation::Median;
+    nodes.push(out_node);
+    let conns: Vec<ConnGene> = (0..FAN_IN)
+        .map(|i| {
+            ConnGene::new(
+                NodeId(i as u32),
+                NodeId(FAN_IN as u32),
+                if i % 2 == 0 { 1.0 } else { -1.5 },
+            )
+        })
+        .collect();
+    let median_genome =
+        Genome::from_parts(0, FAN_IN, 1, nodes, conns).expect("median genome is valid");
+    let median_net = Network::from_genome(&median_genome).expect("compiles");
+    let mut scratch = Scratch::new();
+    let mut action = [0.0f64];
+    let mut obs = vec![0.0f64; FAN_IN];
+    // Warm the value/sort buffers, then demand zero steady-state traffic.
+    median_net.activate_into(&mut scratch, &obs, &mut action);
+    let before = allocations();
+    for step in 0..200 {
+        for (i, o) in obs.iter_mut().enumerate() {
+            *o = ((step * 31 + i * 7) % 17) as f64 - 8.0;
+        }
+        median_net.activate_into(&mut scratch, &obs, &mut action);
+        assert!(action[0].is_finite());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "median fold at fan-in {FAN_IN} must not allocate in steady state"
     );
 }

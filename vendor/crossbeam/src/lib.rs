@@ -9,12 +9,15 @@
 //! * [`deque`] — the work-stealing deque primitives of `crossbeam-deque`
 //!   ([`deque::Injector`], [`deque::Worker`], [`deque::Stealer`],
 //!   [`deque::Steal`]) that back the persistent evaluation executor in
-//!   `genesys_neat::executor`. The shim trades the lock-free Chase–Lev
-//!   algorithm for straightforward mutex-guarded ring buffers — identical
-//!   semantics (LIFO owner pops, FIFO steals, batched injector steals),
-//!   adequate throughput for the coarse-grained jobs GeneSys schedules
-//!   (whole gym episodes), and the same call sites when swapped for the
-//!   crates.io implementation.
+//!   `genesys_neat::executor`. [`deque::Worker`]/[`deque::Stealer`] are a
+//!   **lock-free Chase–Lev deque** (atomic top/bottom indices over a
+//!   growable circular buffer), so fine-grained jobs — per-child
+//!   reproduction work, not just whole gym episodes — pop and steal
+//!   without a lock on the hot path. The [`deque::Injector`] remains a
+//!   mutex-guarded FIFO: the executor seeds it while the pool is quiescent
+//!   and drains it in amortized batches, so it is not contended per job
+//!   (crates.io crossbeam uses a block-linked queue there; the call sites
+//!   are identical when swapped).
 
 #![deny(missing_docs)]
 
@@ -26,8 +29,28 @@ pub mod deque {
     //! take work from the opposite end. An [`Injector`] is a shared FIFO
     //! queue that batches of new work are pushed into and that workers pull
     //! from when their local deque runs dry.
+    //!
+    //! # Algorithm
+    //!
+    //! [`Worker`]/[`Stealer`] implement the **Chase–Lev** lock-free deque
+    //! (Chase & Lev, SPAA 2005; memory orderings after Lê et al., PPoPP
+    //! 2013): `top` and `bottom` are atomic indices into a growable
+    //! power-of-two circular buffer. The owner pushes/pops at `bottom`
+    //! without synchronization in the common case; thieves race a CAS on
+    //! `top` for the oldest task. When the buffer fills, the owner
+    //! allocates a doubled buffer, copies the live logical range, and
+    //! **retires** the old allocation until the deque drops — a stale
+    //! thief may still read a retired buffer, but its `top` CAS then fails
+    //! and the bitwise copy is forgotten, so retired memory only needs to
+    //! stay *valid*, not current (retired space is bounded by the
+    //! geometric growth at ~1× the live buffer).
 
+    use std::cell::UnsafeCell;
     use std::collections::VecDeque;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
     use std::sync::{Arc, Mutex};
 
     /// The result of a steal attempt.
@@ -75,106 +98,325 @@ pub mod deque {
         Lifo,
     }
 
-    /// Owner-side handle of a work-stealing deque.
-    #[derive(Debug)]
+    /// Smallest buffer allocated for a fresh deque (power of two).
+    const MIN_CAP: usize = 32;
+    /// Cap on the extra tasks a batch steal moves (mirrors crossbeam).
+    const MAX_BATCH: usize = 32;
+
+    /// Growable power-of-two circular buffer of task slots. Logical index
+    /// `i` lives in slot `i & (cap - 1)`; growth copies the live logical
+    /// range into a doubled buffer at the same logical indices.
+    struct Buffer<T> {
+        cap: usize,
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    }
+
+    impl<T> Buffer<T> {
+        fn alloc(cap: usize) -> *mut Buffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let slots = (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect();
+            Box::into_raw(Box::new(Buffer { cap, slots }))
+        }
+
+        /// # Safety
+        /// The slot for `index` must not be concurrently written.
+        unsafe fn write(&self, index: isize, task: MaybeUninit<T>) {
+            let slot = self.slots[index as usize & (self.cap - 1)].get();
+            *slot = task;
+        }
+
+        /// Bitwise copy of the slot at `index`, still wrapped in
+        /// `MaybeUninit`: a racing thief may copy a slot the owner never
+        /// wrote in this buffer (e.g. a post-growth buffer whose copy
+        /// excluded an already-stolen range), so the value must not be
+        /// assumed initialized until the caller's `top` CAS proves
+        /// ownership — only then is `assume_init` sound.
+        ///
+        /// # Safety
+        /// `index` must be in the buffer's logical window (the copy itself
+        /// never dereferences uninitialized *contents*).
+        unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+            let slot = self.slots[index as usize & (self.cap - 1)].get();
+            std::ptr::read(slot)
+        }
+    }
+
+    /// State shared by a [`Worker`] and its [`Stealer`]s.
+    struct Inner<T> {
+        /// Steal end: next logical index a thief takes.
+        top: AtomicIsize,
+        /// Owner end: next logical index the owner pushes at.
+        bottom: AtomicIsize,
+        /// Current buffer (owner-swapped on growth).
+        buf: AtomicPtr<Buffer<T>>,
+        /// Buffers replaced by growth, freed when the deque drops: a stale
+        /// thief may still read one until its `top` CAS fails.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    unsafe impl<T: Send> Send for Inner<T> {}
+    unsafe impl<T: Send> Sync for Inner<T> {}
+
+    impl<T> Inner<T> {
+        fn new() -> Self {
+            Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buf: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+                retired: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// The thief path: race a CAS on `top` for the oldest task.
+        fn steal(&self) -> Steal<T> {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return Steal::Empty;
+            }
+            let buf = self.buf.load(Ordering::Acquire);
+            // Speculative bitwise copy, still `MaybeUninit`; ownership —
+            // and initialized-ness — is only established by the CAS.
+            let task = unsafe { (*buf).read(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(unsafe { task.assume_init() })
+            } else {
+                // Losing copy: maybe stale, maybe uninitialized — dropped
+                // as `MaybeUninit`, i.e. forgotten.
+                Steal::Retry
+            }
+        }
+
+        fn len(&self) -> usize {
+            let b = self.bottom.load(Ordering::Acquire);
+            let t = self.top.load(Ordering::Acquire);
+            (b - t).max(0) as usize
+        }
+    }
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf = *self.buf.get_mut();
+            unsafe {
+                // Live elements all reside in the current buffer.
+                for i in t..b {
+                    drop((*buf).read(i).assume_init());
+                }
+                drop(Box::from_raw(buf));
+            }
+            let mut retired = self
+                .retired
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for ptr in retired.drain(..) {
+                // Retired buffers hold only bitwise copies of moved-out
+                // slots; freeing the allocation drops no elements.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+
+    /// Owner-side handle of a lock-free Chase–Lev work-stealing deque.
+    ///
+    /// `Send` but deliberately **not `Sync`** (like crossbeam's): only the
+    /// owning thread may push/pop; everyone else goes through a
+    /// [`Stealer`].
     pub struct Worker<T> {
-        queue: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
         flavor: Flavor,
+        /// Makes the owner handle `!Sync` (single-owner protocol).
+        _not_sync: PhantomData<std::cell::Cell<()>>,
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Worker")
+                .field("flavor", &self.flavor)
+                .field("len", &self.inner.len())
+                .finish()
+        }
     }
 
     impl<T> Worker<T> {
+        fn with_flavor(flavor: Flavor) -> Self {
+            Worker {
+                inner: Arc::new(Inner::new()),
+                flavor,
+                _not_sync: PhantomData,
+            }
+        }
+
         /// Creates a deque whose owner pops the most recently pushed task
         /// first (depth-first; the executor's default).
         pub fn new_lifo() -> Self {
-            Worker {
-                queue: Arc::new(Mutex::new(VecDeque::new())),
-                flavor: Flavor::Lifo,
-            }
+            Worker::with_flavor(Flavor::Lifo)
         }
 
         /// Creates a deque whose owner pops the oldest task first.
         pub fn new_fifo() -> Self {
-            Worker {
-                queue: Arc::new(Mutex::new(VecDeque::new())),
-                flavor: Flavor::Fifo,
-            }
+            Worker::with_flavor(Flavor::Fifo)
         }
 
-        /// Pushes a task onto the owner end.
+        /// Doubles the buffer, copying the live logical range `t..b`; the
+        /// old buffer is retired (not freed) because a stale thief may
+        /// still be reading it.
+        fn grow(&self, b: isize, t: isize) -> *mut Buffer<T> {
+            let old = self.inner.buf.load(Ordering::Relaxed);
+            let new = Buffer::alloc(unsafe { (*old).cap } * 2);
+            unsafe {
+                // Bitwise copy of the live logical range; no assume_init
+                // needed, the elements just move buffers.
+                for i in t..b {
+                    let task = (*old).read(i);
+                    (*new).write(i, task);
+                }
+            }
+            self.inner.buf.store(new, Ordering::Release);
+            self.inner
+                .retired
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(old);
+            new
+        }
+
+        /// Pushes a task onto the owner end. Lock-free; allocates only
+        /// when the buffer must grow.
         pub fn push(&self, task: T) {
-            self.queue.lock().expect("deque poisoned").push_back(task);
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            let t = self.inner.top.load(Ordering::Acquire);
+            let mut buf = self.inner.buf.load(Ordering::Relaxed);
+            if b - t >= unsafe { (*buf).cap } as isize {
+                buf = self.grow(b, t);
+            }
+            unsafe { (*buf).write(b, MaybeUninit::new(task)) };
+            self.inner.bottom.store(b + 1, Ordering::Release);
         }
 
-        /// Pops a task from the owner end.
+        /// Pops a task from the owner end (newest first for LIFO deques,
+        /// oldest first for FIFO ones). Lock-free.
         pub fn pop(&self) -> Option<T> {
-            let mut q = self.queue.lock().expect("deque poisoned");
             match self.flavor {
-                Flavor::Lifo => q.pop_back(),
-                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => self.pop_lifo(),
+                // FIFO owners pop from the steal end, racing thieves.
+                Flavor::Fifo => loop {
+                    match self.inner.steal() {
+                        Steal::Success(task) => return Some(task),
+                        Steal::Empty => return None,
+                        Steal::Retry => continue,
+                    }
+                },
             }
+        }
+
+        fn pop_lifo(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed) - 1;
+            let buf = inner.buf.load(Ordering::Relaxed);
+            inner.bottom.store(b, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::Relaxed);
+            if t > b {
+                // Empty: restore bottom.
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                return None;
+            }
+            if t == b {
+                // Last task: race the thieves for it via `top`.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                // The owner wrote slot `b` itself, so it is initialized.
+                return won.then(|| unsafe { (*buf).read(b).assume_init() });
+            }
+            Some(unsafe { (*buf).read(b).assume_init() })
         }
 
         /// Creates a new stealer handle for this deque.
         pub fn stealer(&self) -> Stealer<T> {
             Stealer {
-                queue: Arc::clone(&self.queue),
+                inner: Arc::clone(&self.inner),
             }
         }
 
         /// True when the deque holds no tasks.
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().expect("deque poisoned").is_empty()
+            self.len() == 0
         }
 
         /// Number of queued tasks.
         pub fn len(&self) -> usize {
-            self.queue.lock().expect("deque poisoned").len()
+            self.inner.len()
         }
     }
 
-    /// Thief-side handle of a work-stealing deque. Cloneable; steals from
-    /// the end opposite the owner's LIFO end.
-    #[derive(Debug)]
+    /// Thief-side handle of a work-stealing deque. Cloneable; steals the
+    /// oldest task (the end opposite the owner's LIFO end) with a
+    /// lock-free CAS.
     pub struct Stealer<T> {
-        queue: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Stealer")
+                .field("len", &self.inner.len())
+                .finish()
+        }
     }
 
     impl<T> Clone for Stealer<T> {
         fn clone(&self) -> Self {
             Stealer {
-                queue: Arc::clone(&self.queue),
+                inner: Arc::clone(&self.inner),
             }
         }
     }
 
     impl<T> Stealer<T> {
-        /// Steals one task from the front (the oldest task).
+        /// Steals one task from the front (the oldest task). Returns
+        /// [`Steal::Retry`] when the CAS loses a race with the owner or
+        /// another thief.
         pub fn steal(&self) -> Steal<T> {
-            match self.queue.lock().expect("deque poisoned").pop_front() {
-                Some(task) => Steal::Success(task),
-                None => Steal::Empty,
-            }
+            self.inner.steal()
         }
 
-        /// Steals roughly half the queue into `dest`, returning one of the
-        /// stolen tasks directly.
+        /// Steals a task to return, moving up to half the visible
+        /// remainder (capped) into `dest` along the way.
         pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-            let batch = {
-                let mut q = self.queue.lock().expect("deque poisoned");
-                let take = q.len().div_ceil(2);
-                q.drain(..take).collect::<Vec<T>>()
+            let first = match self.steal() {
+                Steal::Success(task) => task,
+                other => return other,
             };
-            push_batch_and_pop(batch, dest)
+            let extra = (self.len() / 2).min(MAX_BATCH);
+            for _ in 0..extra {
+                match self.steal() {
+                    Steal::Success(task) => dest.push(task),
+                    _ => break,
+                }
+            }
+            Steal::Success(first)
         }
 
         /// True when the deque holds no tasks.
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().expect("deque poisoned").is_empty()
+            self.len() == 0
         }
 
-        /// Number of queued tasks.
+        /// Number of queued tasks (a racy snapshot).
         pub fn len(&self) -> usize {
-            self.queue.lock().expect("deque poisoned").len()
+            self.inner.len()
         }
     }
 
@@ -316,7 +558,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod deque_tests {
-    use crate::deque::{Injector, Steal, Worker};
+    use crate::deque::{Injector, Steal, Stealer, Worker};
     use std::collections::HashSet;
 
     #[test]
@@ -403,6 +645,127 @@ mod deque_tests {
         assert_eq!(all.len(), N, "no task lost or duplicated");
         let unique: HashSet<usize> = all.into_iter().collect();
         assert_eq!(unique.len(), N);
+    }
+
+    #[test]
+    fn buffer_growth_preserves_every_task() {
+        // Push far past MIN_CAP to force several growth/retire cycles,
+        // then drain LIFO and check exact contents.
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 1000);
+        let mut drained = Vec::new();
+        while let Some(task) = w.pop() {
+            drained.push(task);
+        }
+        let expected: Vec<i32> = (0..1000).rev().collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn fifo_owner_races_thieves_without_loss() {
+        let w = Worker::new_fifo();
+        for i in 0..500usize {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let mut all = Vec::new();
+        crate::thread::scope(|scope| {
+            let thief = scope.spawn(|_| {
+                let mut seen = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(t) => seen.push(t),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+                seen
+            });
+            let mut owned = Vec::new();
+            while let Some(t) = w.pop() {
+                owned.push(t);
+            }
+            all.extend(owned);
+            all.extend(thief.join().expect("thief panicked"));
+        })
+        .expect("scope failed");
+        let unique: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), 500, "no task lost or duplicated");
+        assert_eq!(unique.len(), 500);
+    }
+
+    #[test]
+    fn concurrent_growth_and_stealing_conserves_tasks() {
+        // The owner keeps pushing (forcing buffer growth mid-flight) and
+        // popping while three thieves steal: every task must be delivered
+        // exactly once across all participants.
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+        let w = Worker::new_lifo();
+        let stealers: Vec<Stealer<usize>> = (0..THIEVES).map(|_| w.stealer()).collect();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let mut all: Vec<usize> = Vec::new();
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for s in &stealers {
+                let done = &done;
+                handles.push(scope.spawn(move |_| {
+                    let mut seen = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(t) => seen.push(t),
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                if done.load(std::sync::atomic::Ordering::Acquire) && s.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    seen
+                }));
+            }
+            let mut owned = Vec::new();
+            for i in 0..N {
+                w.push(i);
+                // Interleave owner pops to exercise the t == b race.
+                if i % 3 == 0 {
+                    if let Some(t) = w.pop() {
+                        owned.push(t);
+                    }
+                }
+            }
+            while let Some(t) = w.pop() {
+                owned.push(t);
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+            all.extend(owned);
+            for h in handles {
+                all.extend(h.join().expect("thief panicked"));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(all.len(), N, "no task lost or duplicated");
+        let unique: HashSet<usize> = all.into_iter().collect();
+        assert_eq!(unique.len(), N);
+    }
+
+    #[test]
+    fn stealer_batch_moves_tasks_into_dest() {
+        let w = Worker::new_lifo();
+        for i in 0..20 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let dest = Worker::new_lifo();
+        let first = s.steal_batch_and_pop(&dest);
+        assert_eq!(first, Steal::Success(0), "oldest task returned");
+        assert!(!dest.is_empty(), "a batch moved over");
+        assert_eq!(dest.len() + s.len() + 1, 20, "nothing lost");
     }
 
     #[test]
