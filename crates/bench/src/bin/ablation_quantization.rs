@@ -3,46 +3,55 @@
 //! hardware loop (which round-trips every attribute through the codec)
 //! on CartPole, across seeds.
 //!
-//! Usage: `ablation_quantization [--runs N] [--generations N] [--pop N]`
+//! Both loops run through the session API — one driver, two backends —
+//! with episode seeds derived from `(seed, generation, index)`, so each
+//! column is reproducible and worker-count-invariant.
+//!
+//! Usage: `ablation_quantization [--runs N] [--generations N] [--pop N] [--seed N]`
 
-use genesys_bench::print_table;
+use genesys_bench::{print_table, ExperimentArgs};
 use genesys_core::{GenesysSoc, SocConfig};
-use genesys_gym::{rollout, CartPole, Environment};
-use genesys_neat::{NeatConfig, Population};
-use std::sync::atomic::{AtomicU64, Ordering};
+use genesys_gym::{EnvKind, EpisodeEvaluator};
+use genesys_neat::{NeatConfig, Session};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let runs = genesys_bench::arg_usize(&args, "--runs", 3);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 12);
-    let pop = genesys_bench::arg_usize(&args, "--pop", 48);
+    let args = ExperimentArgs::parse();
+    let runs = args.runs_or(3);
+    let generations = args.generations_or(12);
+    let pop = args.pop_or(48);
+    let seed0 = args.base_seed(0);
 
     let mut rows = Vec::new();
     let mut float_total = 0.0;
     let mut quant_total = 0.0;
-    for seed in 0..runs as u64 {
-        // Float software evolution.
+    for run in 0..runs as u64 {
+        let seed = seed0 + run;
         let config = NeatConfig::builder(4, 1).pop_size(pop).build().unwrap();
-        let mut sw = Population::new(config.clone(), seed);
-        let counter = AtomicU64::new(seed * 10_000);
-        let mut best_float = f64::MIN;
-        for _ in 0..generations {
-            let stats = sw.evolve_once(|net| {
-                let s = counter.fetch_add(1, Ordering::Relaxed);
-                let mut env = CartPole::new(s);
-                rollout(net, &mut env, 1)
-            });
-            best_float = best_float.max(stats.max_fitness);
-        }
 
-        // Quantized hardware evolution (same config, same seed).
-        let mut soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(64), config, seed);
-        let mut factory =
-            |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(seed * 1000 + i as u64)) };
-        let mut best_quant = f64::MIN;
-        for _ in 0..generations {
-            best_quant = best_quant.max(soc.run_generation(&mut factory).max_fitness);
-        }
+        // Float software evolution.
+        let mut sw = Session::builder(config.clone(), seed)
+            .expect("valid config")
+            .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+            .build();
+        let best_float = sw
+            .run(generations)
+            .history
+            .iter()
+            .map(|s| s.max_fitness)
+            .fold(f64::MIN, f64::max);
+
+        // Quantized hardware evolution (same config, same seeds, same
+        // driver loop — only the backend differs).
+        let soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(64), config, seed);
+        let mut hw = Session::on(soc, seed)
+            .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+            .build();
+        let best_quant = hw
+            .run(generations)
+            .history
+            .iter()
+            .map(|s| s.max_fitness)
+            .fold(f64::MIN, f64::max);
 
         float_total += best_float;
         quant_total += best_quant;

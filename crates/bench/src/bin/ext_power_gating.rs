@@ -5,23 +5,28 @@
 //! respond at tens of Hz. The shorter GeneSys's compute window, the longer
 //! the gated idle window, and the lower the average power.
 //!
-//! Usage: `ext_power_gating [--pop N] [--generations N]`
+//! Usage: `ext_power_gating [--pop N] [--generations N] [--seed N]`
 
-use genesys_bench::{genesys_cost, print_table, run_workload};
+use genesys_bench::{genesys_cost, print_table, run_workload, ExperimentArgs};
 use genesys_core::{GatingModel, SocConfig};
 use genesys_gym::EnvKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 6);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(64);
+    let generations = args.generations_or(6);
 
     let soc = SocConfig::default();
     let gating = GatingModel::default();
     let active_mw = soc.roofline_power_mw();
 
     eprintln!("profiling LunarLander for the compute window...");
-    let run = run_workload(EnvKind::LunarLander, generations, 5, Some(pop));
+    let run = run_workload(
+        EnvKind::LunarLander,
+        generations,
+        args.base_seed(5),
+        Some(pop),
+    );
     let cost = genesys_cost(&run, &soc);
     let busy_s = cost.inference_s + cost.evolution_s;
 

@@ -3,16 +3,17 @@
 //! (a) normalized fitness, (b) total gene count, (c) fittest-parent reuse
 //! — all measured from real `genesys-neat` runs on the Table I suite.
 //!
-//! Usage: `fig04_evolution [--pop N] [--generations N] [--threads N]`
+//! Usage: `fig04_evolution [--pop N] [--generations N] [--threads N] [--seed N]`
 
-use genesys_bench::{pool_from_args, print_table, run_workload_on};
+use genesys_bench::{print_table, run_workload_on, ExperimentArgs};
 use genesys_gym::EnvKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 12);
-    let pool = pool_from_args(&args);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(64);
+    let generations = args.generations_or(12);
+    let seed = args.base_seed(100);
+    let pool = args.pool();
 
     // Fig 4(a)/(b) use these four workloads in the paper.
     let curve_envs = [
@@ -31,7 +32,7 @@ fn main() {
         runs.push(run_workload_on(
             *kind,
             generations,
-            100 + i as u64,
+            seed + i as u64,
             Some(pop),
             pool.as_ref(),
         ));
@@ -90,7 +91,7 @@ fn main() {
         reuse_runs.push(run_workload_on(
             *kind,
             generations.min(8),
-            200 + i as u64,
+            seed + 100 + i as u64,
             Some(pop),
             pool.as_ref(),
         ));

@@ -1,9 +1,9 @@
 //! Fig 5: distributions of (a) crossover+mutation operations and (b)
 //! memory footprint per generation, across generations and runs.
 //!
-//! Usage: `fig05_ops_memory [--pop N] [--generations N] [--runs N]`
+//! Usage: `fig05_ops_memory [--pop N] [--generations N] [--runs N] [--seed N]`
 
-use genesys_bench::{default_suite_params, print_table, run_workload};
+use genesys_bench::{print_table, run_workload, ExperimentArgs};
 use genesys_gym::EnvKind;
 
 fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64, f64) {
@@ -13,8 +13,9 @@ fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64, f64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (pop, generations, runs) = default_suite_params(&args);
+    let args = ExperimentArgs::parse();
+    let (pop, generations, runs) = (args.pop_or(64), args.generations_or(8), args.runs_or(3));
+    let seed = args.base_seed(0);
 
     let mut ops_rows = Vec::new();
     let mut mem_rows = Vec::new();
@@ -26,7 +27,7 @@ fn main() {
         let mut ops_samples: Vec<f64> = Vec::new();
         let mut mem_samples: Vec<f64> = Vec::new();
         for r in 0..runs {
-            let run = run_workload(*kind, generations, (1000 * i + r) as u64, Some(pop));
+            let run = run_workload(*kind, generations, seed + (1000 * i + r) as u64, Some(pop));
             for s in &run.history {
                 ops_samples.push(s.ops.total() as f64);
                 mem_samples.push(s.memory_bytes as f64);

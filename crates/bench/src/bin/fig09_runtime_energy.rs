@@ -8,18 +8,19 @@
 //! Every column is driven by the same measured workload profile (Table
 //! III legend printed first).
 //!
-//! Usage: `fig09_runtime_energy [--pop N] [--generations N] [--threads N]`
+//! Usage: `fig09_runtime_energy [--pop N] [--generations N] [--threads N] [--seed N]`
 
-use genesys_bench::{genesys_cost, pool_from_args, print_table, run_workload_on, sci};
+use genesys_bench::{genesys_cost, print_table, run_workload_on, sci, ExperimentArgs};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::{CpuModel, GpuModel, TABLE_III};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
-    let pool = pool_from_args(&args);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(64);
+    let generations = args.generations_or(8);
+    let seed = args.base_seed(40);
+    let pool = args.pool();
 
     // ---- Table III legend -------------------------------------------------
     let rows: Vec<Vec<String>> = TABLE_III
@@ -56,7 +57,13 @@ fn main() {
             "profiling {} ({generations} generations, pop {pop})...",
             kind.label()
         );
-        let run = run_workload_on(*kind, generations, 40 + i as u64, Some(pop), pool.as_ref());
+        let run = run_workload_on(
+            *kind,
+            generations,
+            seed + i as u64,
+            Some(pop),
+            pool.as_ref(),
+        );
         let w = run.profile();
         let gcost = genesys_cost(&run, &soc);
 

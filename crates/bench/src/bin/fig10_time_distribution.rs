@@ -5,18 +5,19 @@
 //! (c) GENESYS split (buffer traffic vs compute),
 //! (d) memory footprint: GPU_a vs GPU_b vs GENESYS.
 //!
-//! Usage: `fig10_time_distribution [--pop N] [--generations N] [--threads N]`
+//! Usage: `fig10_time_distribution [--pop N] [--generations N] [--threads N] [--seed N]`
 
-use genesys_bench::{genesys_cost, pool_from_args, print_table, run_workload_on, sci};
+use genesys_bench::{genesys_cost, print_table, run_workload_on, sci, ExperimentArgs};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::GpuModel;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
-    let pool = pool_from_args(&args);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(64);
+    let generations = args.generations_or(8);
+    let seed = args.base_seed(60);
+    let pool = args.pool();
 
     let gtx = GpuModel::gtx_1080();
     let soc = SocConfig::default();
@@ -28,7 +29,13 @@ fn main() {
 
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
         eprintln!("profiling {}...", kind.label());
-        let run = run_workload_on(*kind, generations, 60 + i as u64, Some(pop), pool.as_ref());
+        let run = run_workload_on(
+            *kind,
+            generations,
+            seed + i as u64,
+            Some(pop),
+            pool.as_ref(),
+        );
         let w = run.profile();
         let g = genesys_cost(&run, &soc);
 

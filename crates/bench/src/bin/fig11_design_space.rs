@@ -4,16 +4,17 @@
 //! (b) SRAM reads per cycle: point-to-point vs multicast tree vs #PEs,
 //! (c) SRAM energy and generation runtime vs #EvE PEs (Atari average).
 //!
-//! Usage: `fig11_design_space [--pop N] [--generations N]`
+//! Usage: `fig11_design_space [--pop N] [--generations N] [--seed N]`
 
-use genesys_bench::{print_table, run_workload, WorkloadRun};
+use genesys_bench::{print_table, run_workload, ExperimentArgs, WorkloadRun};
 use genesys_core::{replay_trace, GenomeBuffer, NocKind, SocConfig};
 use genesys_gym::EnvKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 64);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 8);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(64);
+    let generations = args.generations_or(8);
+    let seed = args.base_seed(80);
     let soc = SocConfig::default();
 
     // ---- Fig 11(a): gene composition --------------------------------------
@@ -21,7 +22,7 @@ fn main() {
     let mut atari_runs: Vec<WorkloadRun> = Vec::new();
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
         eprintln!("profiling {}...", kind.label());
-        let run = run_workload(*kind, generations, 80 + i as u64, Some(pop));
+        let run = run_workload(*kind, generations, seed + i as u64, Some(pop));
         let last = run.history.last().expect("at least one generation");
         rows.push(vec![
             kind.label().to_string(),

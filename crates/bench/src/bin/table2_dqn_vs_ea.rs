@@ -3,19 +3,19 @@
 //! The EA column is *measured* from a `genesys-neat` run on the Alien RAM
 //! machine; the DQN column carries the paper's published characterization.
 //!
-//! Usage: `table2_dqn_vs_ea [--pop N] [--generations N]`
+//! Usage: `table2_dqn_vs_ea [--pop N] [--generations N] [--seed N]`
 
-use genesys_bench::{print_table, run_workload};
+use genesys_bench::{print_table, run_workload, ExperimentArgs};
 use genesys_gym::EnvKind;
 use genesys_platforms::{table2, DqnSpec};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let pop = genesys_bench::arg_usize(&args, "--pop", 150);
-    let generations = genesys_bench::arg_usize(&args, "--generations", 5);
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(150);
+    let generations = args.generations_or(5);
 
     eprintln!("profiling Alien-ram ({generations} generations, pop {pop})...");
-    let run = run_workload(EnvKind::Alien, generations, 7, Some(pop));
+    let run = run_workload(EnvKind::Alien, generations, args.base_seed(7), Some(pop));
     let profile = run.profile();
     let rows: Vec<Vec<String>> = table2(&DqnSpec::atari(), &profile)
         .into_iter()

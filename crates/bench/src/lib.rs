@@ -13,11 +13,10 @@
 use genesys_core::{
     inference_timing, replay_trace, AdamConfig, GenomeBuffer, ReplayReport, SocConfig, TechModel,
 };
-use genesys_gym::{episode_rollout_with, episode_seed, EnvKind, RolloutScratch};
+use genesys_gym::{EnvKind, EpisodeEvaluator};
 use genesys_neat::trace::GenerationTrace;
-use genesys_neat::{Executor, GenerationStats, Genome, Network, Population, WorkerLocal};
+use genesys_neat::{Executor, GenerationStats, Genome, Network, Session};
 use genesys_platforms::WorkloadProfile;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One profiled evolution run on a workload.
@@ -94,6 +93,11 @@ pub fn run_workload(
 /// [`genesys_gym::episode_seed`], never from evaluation order, so thread
 /// scheduling cannot leak into the results (the executor's determinism
 /// contract).
+///
+/// Since the session refactor this is a thin profiling loop over a
+/// `genesys_neat::Session` driving an [`EpisodeEvaluator`]; seeds, the
+/// evolution path and the per-worker rollout buffers are exactly the ones
+/// the pre-session harness used, so recorded figures are unchanged.
 pub fn run_workload_on(
     kind: EnvKind,
     generations: usize,
@@ -105,44 +109,31 @@ pub fn run_workload_on(
     if let Some(p) = pop_size {
         config.pop_size = p;
     }
-    let mut pop = Population::new(config, seed);
-    if let Some(pool) = pool {
-        pop.set_executor(Arc::clone(pool));
-    }
+    let builder = Session::builder(config, seed).expect("workload presets are valid");
+    let builder = match pool {
+        Some(pool) => builder.executor(Arc::clone(pool)),
+        None => builder,
+    };
+    let mut session = builder.workload(EpisodeEvaluator::new(kind)).build();
+
     let mut history = Vec::with_capacity(generations);
-    let step_counter = AtomicU64::new(0);
     let mut total_steps = 0u64;
     let mut total_macs = 0u64;
     let mut parents: Vec<Genome> = Vec::new();
     let mut parent_sizes: Vec<usize> = Vec::new();
-    // One rollout buffer set per worker (and one for the serial path),
-    // reused across every episode and generation: with the compiled plan
-    // and `step_into`, the evaluation hot loop allocates nothing per step.
-    let scratch: WorkerLocal<RolloutScratch> = WorkerLocal::new(RolloutScratch::new);
-
-    for generation in 0..generations {
-        parents = pop.genomes().to_vec();
+    for _ in 0..generations {
+        parents = session.genomes().to_vec();
         parent_sizes = parents.iter().map(Genome::num_genes).collect();
-        step_counter.store(0, Ordering::Relaxed);
-        let stats = pop.evolve_once_indexed(|index, net: &Network| {
-            let env_seed = episode_seed(seed, generation as u64, index as u64);
-            let (fitness, steps) =
-                scratch.with(|buffers| episode_rollout_with(kind, net, env_seed, buffers));
-            // Order-insensitive aggregate: summation commutes, unlike the
-            // seed counter this replaced.
-            step_counter.fetch_add(steps, Ordering::Relaxed);
-            fitness
-        });
-        let steps = step_counter.load(Ordering::Relaxed);
-        total_steps += steps;
-        total_macs += stats.inference_macs * steps / parents.len().max(1) as u64;
+        let stats = session.step();
+        total_steps += stats.env_steps;
+        total_macs += stats.inference_macs * stats.env_steps / parents.len().max(1) as u64;
         history.push(stats);
     }
-    let child_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
+    let child_sizes: Vec<usize> = session.genomes().iter().map(Genome::num_genes).collect();
     let gens = generations.max(1) as f64;
     WorkloadRun {
         kind,
-        final_trace: pop.last_trace().cloned().unwrap_or_default(),
+        final_trace: session.backend().last_trace().cloned().unwrap_or_default(),
         parent_sizes,
         child_sizes,
         parents,
@@ -291,7 +282,104 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The one CLI surface shared by every experiment binary:
+/// `--pop N --generations N --runs N --threads N --seed N`, plus an
+/// escape hatch ([`ExperimentArgs::get_usize`]) for bin-specific flags.
+///
+/// Every flag is optional; each binary supplies its own defaults through
+/// the `*_or` accessors (full paper scale is reachable everywhere with
+/// `--pop 150 --generations 100 --runs 100`). `--seed` shifts the base of
+/// every workload seed, so any figure can be regenerated under a fresh
+/// random universe without editing code.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// `--pop`: population size.
+    pub pop: Option<usize>,
+    /// `--generations`: generations per run.
+    pub generations: Option<usize>,
+    /// `--runs`: independent runs per configuration.
+    pub runs: Option<usize>,
+    /// `--threads`: evaluation pool width (1 = serial).
+    pub threads: Option<usize>,
+    /// `--seed`: base seed override.
+    pub seed: Option<u64>,
+    raw: Vec<String>,
+}
+
+impl ExperimentArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        ExperimentArgs::from_args(std::env::args().collect())
+    }
+
+    /// Parses an explicit argument vector (tests).
+    pub fn from_args(raw: Vec<String>) -> Self {
+        let lookup = |key: &str| {
+            raw.iter()
+                .position(|a| a == key)
+                .and_then(|i| raw.get(i + 1))
+        };
+        ExperimentArgs {
+            pop: lookup("--pop").and_then(|v| v.parse().ok()),
+            generations: lookup("--generations").and_then(|v| v.parse().ok()),
+            runs: lookup("--runs").and_then(|v| v.parse().ok()),
+            threads: lookup("--threads").and_then(|v| v.parse().ok()),
+            seed: lookup("--seed").and_then(|v| v.parse().ok()),
+            raw,
+        }
+    }
+
+    /// Population size, with the binary's default.
+    pub fn pop_or(&self, default: usize) -> usize {
+        self.pop.unwrap_or(default)
+    }
+
+    /// Generation budget, with the binary's default.
+    pub fn generations_or(&self, default: usize) -> usize {
+        self.generations.unwrap_or(default)
+    }
+
+    /// Run count, with the binary's default.
+    pub fn runs_or(&self, default: usize) -> usize {
+        self.runs.unwrap_or(default)
+    }
+
+    /// Base seed: `--seed` when given, otherwise the binary's historical
+    /// default (so default outputs stay reproducible across releases).
+    pub fn base_seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Worker count, with the binary's default. An explicit `--threads 1`
+    /// really means serial — it is never overridden by the default.
+    pub fn threads_or(&self, default: usize) -> usize {
+        self.threads.unwrap_or(default)
+    }
+
+    /// Builds the shared evaluation pool requested by `--threads N`.
+    /// `None` (N ≤ 1, the default) means serial evaluation; the pool is
+    /// created once per binary and shared across every workload run, and
+    /// results are identical either way by the determinism contract.
+    pub fn pool(&self) -> Option<Arc<Executor>> {
+        let threads = self.threads_or(1);
+        if threads > 1 {
+            eprintln!("evaluating on a persistent {threads}-worker pool");
+            Some(Arc::new(Executor::new(threads)))
+        } else {
+            None
+        }
+    }
+
+    /// Reads a bin-specific `--key value` flag.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        arg_usize(&self.raw, key, default)
+    }
+}
+
 /// Parses `--key value` style arguments with a default.
+///
+/// Legacy helper kept for callers predating [`ExperimentArgs`]; new
+/// binaries should parse through [`ExperimentArgs::parse`].
 pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == key)
@@ -300,28 +388,25 @@ pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// The fast defaults used by the experiment binaries (full paper scale is
-/// reachable with `--pop 150 --generations 100 --runs 100`).
+/// The fast defaults used by the experiment binaries.
+///
+/// Legacy helper kept for callers predating [`ExperimentArgs`]: returns
+/// `(pop, generations, runs)` with the old suite defaults (64, 8, 3).
 pub fn default_suite_params(args: &[String]) -> (usize, usize, usize) {
-    let pop = arg_usize(args, "--pop", 64);
-    let generations = arg_usize(args, "--generations", 8);
-    let runs = arg_usize(args, "--runs", 3);
-    (pop, generations, runs)
+    let parsed = ExperimentArgs::from_args(args.to_vec());
+    (
+        parsed.pop_or(64),
+        parsed.generations_or(8),
+        parsed.runs_or(3),
+    )
 }
 
-/// Builds the shared evaluation pool requested by `--threads N`. `None`
-/// (N ≤ 1, the default) means serial evaluation. The pool is created once
-/// per binary and shared across every workload run, so its worker threads
-/// persist for the whole experiment — results are identical either way by
-/// the determinism contract.
+/// Builds the shared evaluation pool requested by `--threads N`.
+///
+/// Legacy helper kept for callers predating [`ExperimentArgs`]; new
+/// binaries should use [`ExperimentArgs::pool`].
 pub fn pool_from_args(args: &[String]) -> Option<Arc<Executor>> {
-    let threads = arg_usize(args, "--threads", 1);
-    if threads > 1 {
-        eprintln!("evaluating on a persistent {threads}-worker pool");
-        Some(Arc::new(Executor::new(threads)))
-    } else {
-        None
-    }
+    ExperimentArgs::from_args(args.to_vec()).pool()
 }
 
 #[cfg(test)]
@@ -392,6 +477,40 @@ mod tests {
         assert!(pool_from_args(&[]).is_none());
         let pool = pool_from_args(&to_args(&["--threads", "3"])).expect("pool requested");
         assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn experiment_args_parse_all_flags() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = ExperimentArgs::from_args(to_args(&[
+            "bin",
+            "--pop",
+            "32",
+            "--generations",
+            "5",
+            "--runs",
+            "2",
+            "--threads",
+            "4",
+            "--seed",
+            "1234",
+            "--extra",
+            "9",
+        ]));
+        assert_eq!(args.pop_or(64), 32);
+        assert_eq!(args.generations_or(8), 5);
+        assert_eq!(args.runs_or(3), 2);
+        assert_eq!(args.threads_or(1), 4);
+        assert_eq!(args.base_seed(0), 1234);
+        assert_eq!(args.get_usize("--extra", 0), 9);
+
+        let empty = ExperimentArgs::from_args(to_args(&["bin"]));
+        assert_eq!(empty.pop_or(64), 64);
+        assert_eq!(empty.base_seed(100), 100, "defaults keep historic seeds");
+        assert!(empty.pool().is_none());
+        assert_eq!(empty.threads_or(4), 4, "absent flag takes the default");
+        let serial = ExperimentArgs::from_args(to_args(&["bin", "--threads", "1"]));
+        assert_eq!(serial.threads_or(4), 1, "explicit --threads 1 wins");
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //! * [`noc`] — point-to-point buses vs. the multicast tree (Fig 11(b)).
 //! * [`sram`] — the 48-bank genome buffer with energy counters.
 //! * [`energy`] — 15 nm area/power/energy models calibrated to Fig 8.
-//! * [`soc`] — the ten-step generation walkthrough of Section IV-B.
+//! * [`soc`] — the ten-step generation walkthrough of Section IV-B; the
+//!   [`GenesysSoc`] also implements the session `Backend`, so hardware
+//!   runs are driven by the same `genesys_neat::Session` loop as software.
+//! * [`snapshot`] — the versioned binary checkpoint format (the gene-word
+//!   encoding extended to the full evolution state) behind bit-identical
+//!   save/resume.
 //!
 //! # Quickstart: hardware-evolve CartPole
 //!
@@ -46,6 +51,7 @@ pub mod eve;
 pub mod noc;
 pub mod pe;
 pub mod selector;
+pub mod snapshot;
 pub mod soc;
 pub mod sram;
 pub mod stream;
@@ -61,6 +67,10 @@ pub use eve::{replay_trace, replay_trace_with_policy, EveEngine, EveReport, Repl
 pub use noc::{Noc, NocKind, NocStats};
 pub use pe::{EvePe, PeConfig, PeCycles};
 pub use selector::{allocate_pes, select_parents, AllocPolicy, MatingPlan, PeSchedule};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, snapshot_from_bytes, snapshot_to_bytes, SnapshotError,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use soc::{GenerationReport, GenesysSoc};
 pub use sram::{GenomeBuffer, SramConfig, SramStats};
 pub use stream::{align_parents, merge_child, AlignedPair, MergeReport};

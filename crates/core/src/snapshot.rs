@@ -1,0 +1,845 @@
+//! Versioned binary checkpoints — the genome-buffer wire format, extended
+//! to the **full evolution state**.
+//!
+//! [`crate::codec`] defines the 64-bit gene word the SoC stores in SRAM
+//! (Fig 6). A [`codec::encode_population`] image captures genomes alone;
+//! continuous learning needs more: the species bookkeeping, the innovation
+//! counter, the PRNG stream and the seed/generation/key counters, so that
+//! a run restored after a power cycle continues **bit-identically** (see
+//! `genesys_neat::session`). This module serializes a complete
+//! [`EvolutionState`] into a self-describing image of 64-bit words:
+//!
+//! ```text
+//! [0] magic  [1] version  [2] payload length
+//! [3..]      config · counters · RNG · genomes · species · best genome
+//! [last]     FNV-1a checksum over everything before it
+//! ```
+//!
+//! Genes reuse the hardware gene word for every discrete field and append
+//! the exact `f64` bit patterns of the continuous attributes (bias,
+//! response, weight) — the hardware image alone is fixed-point quantized,
+//! which would break bit-identical resume of a *software* run. A node gene
+//! is `[gene word, bias bits, response bits]`; a connection gene is
+//! `[gene word, weight bits]`.
+//!
+//! # Version policy
+//!
+//! [`SNAPSHOT_VERSION`] is bumped on any layout change; decoders reject
+//! images from other versions with [`SnapshotError::UnsupportedVersion`]
+//! rather than guessing. Corrupt input of any shape — truncation, bit
+//! flips (caught by the checksum), garbage — returns a typed
+//! [`SnapshotError`] and never panics.
+//!
+//! # Save / resume round trip
+//!
+//! ```
+//! use genesys_core::snapshot::{snapshot_from_bytes, snapshot_to_bytes};
+//! use genesys_neat::{EvalContext, NeatConfig, Network, Session};
+//!
+//! let config = NeatConfig::builder(2, 1).pop_size(12).build()?;
+//! let fitness = |ctx: EvalContext, net: &Network| {
+//!     net.activate(&[(ctx.seed() % 11) as f64 / 11.0, 0.5])[0]
+//! };
+//! let mut session = Session::builder(config, 99)?.workload(fitness).build();
+//! session.run(2);
+//!
+//! // Checkpoint to bytes (write these to disk), then restore.
+//! let bytes = snapshot_to_bytes(&session.export_state())?;
+//! let restored = snapshot_from_bytes(&bytes)?;
+//! let mut resumed = Session::resume(restored)?.workload(fitness).build();
+//!
+//! session.run(2);
+//! resumed.run(2);
+//! assert_eq!(session.genomes(), resumed.genomes()); // bit-identical
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::codec::{self, DecodeError, Gene, MAX_NODE_ID};
+use genesys_neat::gene::{ConnGene, NodeGene};
+use genesys_neat::{
+    Activation, Aggregation, EvolutionState, Genome, InitialWeights, NeatConfig, SessionError,
+    Species, SpeciesId,
+};
+use std::error::Error;
+use std::fmt;
+
+/// First word of every snapshot image: `"GENESNAP"` in ASCII.
+pub const SNAPSHOT_MAGIC: u64 = 0x4745_4E45_534E_4150;
+/// Current wire-format version. Bumped on any layout change; see the
+/// module docs for the compatibility policy.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Typed decoding/encoding failure. Corrupt input always lands here —
+/// never in a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The image does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The image's version word is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u64),
+    /// The image ended before the structure it declares.
+    Truncated {
+        /// Word offset at which more data was expected.
+        offset: usize,
+    },
+    /// The payload does not hash to the trailing checksum word (bit flips,
+    /// torn writes).
+    ChecksumMismatch,
+    /// A declared length is inconsistent with the image size.
+    LengthMismatch,
+    /// A gene word failed to decode.
+    Gene(DecodeError),
+    /// A structurally well-formed record produced an invalid value.
+    Malformed(&'static str),
+    /// A decoded genome failed structural validation.
+    InvalidGenome(String),
+    /// The decoded state failed cross-field validation.
+    InvalidState(String),
+    /// A node id does not fit the wire format's 14-bit id field.
+    NodeIdOverflow {
+        /// The offending id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a GeneSys snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { offset } => {
+                write!(f, "snapshot truncated at word {offset}")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::LengthMismatch => write!(f, "snapshot length field mismatch"),
+            SnapshotError::Gene(e) => write!(f, "gene word: {e}"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::InvalidGenome(e) => write!(f, "invalid genome: {e}"),
+            SnapshotError::InvalidState(e) => write!(f, "invalid state: {e}"),
+            SnapshotError::NodeIdOverflow { id } => {
+                write!(
+                    f,
+                    "node id {id} exceeds the {MAX_NODE_ID} wire-format limit"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Gene(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum: FNV-1a over the little-endian bytes of every preceding word.
+// Not cryptographic — it detects the accidental corruption class (bit
+// flips, truncated/torn writes), which is the failure mode of a checkpoint
+// file.
+
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+fn push_f64(words: &mut Vec<u64>, v: f64) {
+    words.push(v.to_bits());
+}
+
+fn encode_config(words: &mut Vec<u64>, c: &NeatConfig) {
+    words.push(c.num_inputs as u64);
+    words.push(c.num_outputs as u64);
+    words.push(c.pop_size as u64);
+    match c.initial_weights {
+        InitialWeights::Zero => {
+            words.push(0);
+            words.push(0);
+            words.push(0);
+        }
+        InitialWeights::Uniform { lo, hi } => {
+            words.push(1);
+            push_f64(words, lo);
+            push_f64(words, hi);
+        }
+        InitialWeights::Gaussian { stdev } => {
+            words.push(2);
+            push_f64(words, stdev);
+            words.push(0);
+        }
+    }
+    for v in [
+        c.weight_mutate_rate,
+        c.weight_replace_rate,
+        c.weight_perturb_power,
+        c.weight_min,
+        c.weight_max,
+        c.bias_mutate_rate,
+        c.bias_replace_rate,
+        c.bias_perturb_power,
+        c.bias_min,
+        c.bias_max,
+        c.response_mutate_rate,
+        c.response_replace_rate,
+        c.response_perturb_power,
+        c.response_min,
+        c.response_max,
+        c.activation_mutate_rate,
+        c.aggregation_mutate_rate,
+        c.enabled_mutate_rate,
+        c.conn_add_prob,
+        c.conn_delete_prob,
+        c.node_add_prob,
+        c.node_delete_prob,
+        c.compatibility_threshold,
+        c.compatibility_disjoint_coefficient,
+        c.compatibility_weight_coefficient,
+        c.survival_threshold,
+        c.crossover_prob,
+    ] {
+        push_f64(words, v);
+    }
+    for v in [
+        c.node_delete_limit,
+        c.max_stagnation,
+        c.species_elitism,
+        c.elitism,
+        c.min_species_size,
+    ] {
+        words.push(v as u64);
+    }
+    words.push(c.activation_options.len() as u64);
+    for a in &c.activation_options {
+        words.push(u64::from(a.to_code()));
+    }
+    words.push(c.aggregation_options.len() as u64);
+    for a in &c.aggregation_options {
+        words.push(u64::from(a.to_code()));
+    }
+    match c.target_fitness {
+        Some(t) => {
+            words.push(1);
+            push_f64(words, t);
+        }
+        None => {
+            words.push(0);
+            words.push(0);
+        }
+    }
+}
+
+fn encode_genome_record(words: &mut Vec<u64>, g: &Genome) -> Result<(), SnapshotError> {
+    words.push(g.key());
+    words.push(((g.num_nodes() as u64) << 32) | g.num_conns() as u64);
+    match g.fitness() {
+        Some(f) => {
+            words.push(1);
+            push_f64(words, f);
+        }
+        None => {
+            words.push(0);
+            words.push(0);
+        }
+    }
+    for node in g.nodes() {
+        if node.id.0 > MAX_NODE_ID {
+            return Err(SnapshotError::NodeIdOverflow { id: node.id.0 });
+        }
+        words.push(codec::encode_node(node));
+        push_f64(words, node.bias);
+        push_f64(words, node.response);
+    }
+    for conn in g.conns() {
+        if conn.key.src.0 > MAX_NODE_ID || conn.key.dst.0 > MAX_NODE_ID {
+            return Err(SnapshotError::NodeIdOverflow {
+                id: conn.key.src.0.max(conn.key.dst.0),
+            });
+        }
+        words.push(codec::encode_conn(conn));
+        push_f64(words, conn.weight);
+    }
+    Ok(())
+}
+
+fn encode_species_record(words: &mut Vec<u64>, s: &Species) -> Result<(), SnapshotError> {
+    words.push(u64::from(s.id.0));
+    words.push(s.created_at as u64);
+    words.push(s.last_improved as u64);
+    push_f64(words, s.best_fitness);
+    push_f64(words, s.adjusted_fitness);
+    words.push(s.members.len() as u64);
+    for &m in &s.members {
+        words.push(m as u64);
+    }
+    encode_genome_record(words, &s.representative)
+}
+
+/// Serializes a complete evolution state into the versioned word image.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::NodeIdOverflow`] if a genome exceeds the
+/// hardware gene word's 14-bit node-id space (the same limit the SoC's
+/// genome buffer has).
+pub fn encode_snapshot(state: &EvolutionState) -> Result<Vec<u64>, SnapshotError> {
+    let mut words = vec![SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0];
+    encode_config(&mut words, &state.config);
+    words.push(state.seed);
+    words.push(state.generation);
+    words.push(state.next_key);
+    words.push(u64::from(state.innovation_next_node));
+    words.push(u64::from(state.species_next_id));
+    words.push(state.workload_state);
+    let (x, counter) = state.rng_state;
+    for w in x {
+        words.push(u64::from(w));
+    }
+    words.push(u64::from(counter));
+    words.push(state.genomes.len() as u64);
+    for g in &state.genomes {
+        encode_genome_record(&mut words, g)?;
+    }
+    words.push(state.species.len() as u64);
+    for s in &state.species {
+        encode_species_record(&mut words, s)?;
+    }
+    match &state.best_ever {
+        Some(g) => {
+            words.push(1);
+            encode_genome_record(&mut words, g)?;
+        }
+        None => words.push(0),
+    }
+    // Fix up the length field (words after it, checksum excluded), then
+    // seal with the checksum.
+    words[2] = (words.len() - 3) as u64;
+    words.push(fnv1a(&words));
+    Ok(words)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Cursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self) -> Result<u64, SnapshotError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(SnapshotError::Truncated { offset: self.pos })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take()?))
+    }
+
+    fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take()?).map_err(|_| SnapshotError::Malformed("usize overflow"))
+    }
+
+    /// Reads a count that is about to drive `per_item`-word reads,
+    /// rejecting counts the remaining image cannot possibly hold (so a
+    /// corrupted count cannot trigger an absurd allocation).
+    fn take_count(&mut self, per_item: usize) -> Result<usize, SnapshotError> {
+        let count = self.take_usize()?;
+        let remaining = self.words.len().saturating_sub(self.pos);
+        if count > remaining / per_item.max(1) {
+            return Err(SnapshotError::Truncated { offset: self.pos });
+        }
+        Ok(count)
+    }
+}
+
+fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
+    let num_inputs = c.take_usize()?;
+    let num_outputs = c.take_usize()?;
+    let pop_size = c.take_usize()?;
+    let initial_weights = match c.take()? {
+        0 => {
+            c.take()?;
+            c.take()?;
+            InitialWeights::Zero
+        }
+        1 => InitialWeights::Uniform {
+            lo: c.take_f64()?,
+            hi: c.take_f64()?,
+        },
+        2 => {
+            let stdev = c.take_f64()?;
+            c.take()?;
+            InitialWeights::Gaussian { stdev }
+        }
+        _ => return Err(SnapshotError::Malformed("initial-weights tag")),
+    };
+    let mut f = [0.0f64; 27];
+    for slot in &mut f {
+        *slot = c.take_f64()?;
+    }
+    let node_delete_limit = c.take_usize()?;
+    let max_stagnation = c.take_usize()?;
+    let species_elitism = c.take_usize()?;
+    let elitism = c.take_usize()?;
+    let min_species_size = c.take_usize()?;
+    let n_act = c.take_count(1)?;
+    let mut activation_options = Vec::with_capacity(n_act);
+    for _ in 0..n_act {
+        let code = c.take()?;
+        if code > u64::from(u8::MAX) {
+            return Err(SnapshotError::Malformed("activation code"));
+        }
+        activation_options.push(Activation::from_code(code as u8));
+    }
+    let n_agg = c.take_count(1)?;
+    let mut aggregation_options = Vec::with_capacity(n_agg);
+    for _ in 0..n_agg {
+        let code = c.take()?;
+        if code > u64::from(u8::MAX) {
+            return Err(SnapshotError::Malformed("aggregation code"));
+        }
+        aggregation_options.push(Aggregation::from_code(code as u8));
+    }
+    let target_fitness = match c.take()? {
+        0 => {
+            c.take()?;
+            None
+        }
+        1 => Some(c.take_f64()?),
+        _ => return Err(SnapshotError::Malformed("target-fitness flag")),
+    };
+    Ok(NeatConfig {
+        num_inputs,
+        num_outputs,
+        pop_size,
+        initial_weights,
+        weight_mutate_rate: f[0],
+        weight_replace_rate: f[1],
+        weight_perturb_power: f[2],
+        weight_min: f[3],
+        weight_max: f[4],
+        bias_mutate_rate: f[5],
+        bias_replace_rate: f[6],
+        bias_perturb_power: f[7],
+        bias_min: f[8],
+        bias_max: f[9],
+        response_mutate_rate: f[10],
+        response_replace_rate: f[11],
+        response_perturb_power: f[12],
+        response_min: f[13],
+        response_max: f[14],
+        activation_mutate_rate: f[15],
+        aggregation_mutate_rate: f[16],
+        enabled_mutate_rate: f[17],
+        conn_add_prob: f[18],
+        conn_delete_prob: f[19],
+        node_add_prob: f[20],
+        node_delete_prob: f[21],
+        compatibility_threshold: f[22],
+        compatibility_disjoint_coefficient: f[23],
+        compatibility_weight_coefficient: f[24],
+        survival_threshold: f[25],
+        crossover_prob: f[26],
+        node_delete_limit,
+        max_stagnation,
+        species_elitism,
+        elitism,
+        min_species_size,
+        activation_options,
+        aggregation_options,
+        target_fitness,
+    })
+}
+
+fn decode_genome_record(
+    c: &mut Cursor<'_>,
+    num_inputs: usize,
+    num_outputs: usize,
+) -> Result<Genome, SnapshotError> {
+    let key = c.take()?;
+    let shape = c.take()?;
+    let num_nodes = (shape >> 32) as usize;
+    let num_conns = (shape & 0xFFFF_FFFF) as usize;
+    let fitness = match c.take()? {
+        0 => {
+            c.take()?;
+            None
+        }
+        1 => Some(c.take_f64()?),
+        _ => return Err(SnapshotError::Malformed("fitness flag")),
+    };
+    // 3 words per node, 2 per conn: reject shapes the image cannot hold.
+    let remaining = c.words.len().saturating_sub(c.pos);
+    if num_nodes
+        .checked_mul(3)
+        .and_then(|n| num_conns.checked_mul(2).map(|m| n + m))
+        .is_none_or(|needed| needed > remaining)
+    {
+        return Err(SnapshotError::Truncated { offset: c.pos });
+    }
+    let mut nodes: Vec<NodeGene> = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let word = c.take()?;
+        let mut node = match codec::decode(word)? {
+            Gene::Node(n) => n,
+            Gene::Conn(_) => return Err(SnapshotError::Malformed("expected a node gene word")),
+        };
+        // The hardware word carries the quantized attributes; the exact
+        // f64 bit patterns follow it.
+        node.bias = c.take_f64()?;
+        node.response = c.take_f64()?;
+        nodes.push(node);
+    }
+    let mut conns: Vec<ConnGene> = Vec::with_capacity(num_conns);
+    for _ in 0..num_conns {
+        let word = c.take()?;
+        let mut conn = match codec::decode(word)? {
+            Gene::Conn(cg) => cg,
+            Gene::Node(_) => return Err(SnapshotError::Malformed("expected a conn gene word")),
+        };
+        conn.weight = c.take_f64()?;
+        conns.push(conn);
+    }
+    let mut genome = Genome::from_parts(key, num_inputs, num_outputs, nodes, conns)
+        .map_err(|e| SnapshotError::InvalidGenome(e.to_string()))?;
+    if let Some(f) = fitness {
+        genome.set_fitness(f);
+    }
+    Ok(genome)
+}
+
+fn decode_species_record(
+    c: &mut Cursor<'_>,
+    num_inputs: usize,
+    num_outputs: usize,
+) -> Result<Species, SnapshotError> {
+    let id = c.take()?;
+    if id > u64::from(u32::MAX) {
+        return Err(SnapshotError::Malformed("species id"));
+    }
+    let created_at = c.take_usize()?;
+    let last_improved = c.take_usize()?;
+    let best_fitness = c.take_f64()?;
+    let adjusted_fitness = c.take_f64()?;
+    let n_members = c.take_count(1)?;
+    let mut members = Vec::with_capacity(n_members);
+    for _ in 0..n_members {
+        members.push(c.take_usize()?);
+    }
+    let representative = decode_genome_record(c, num_inputs, num_outputs)?;
+    Ok(Species {
+        id: SpeciesId(id as u32),
+        representative,
+        members,
+        created_at,
+        last_improved,
+        best_fitness,
+        adjusted_fitness,
+    })
+}
+
+/// Deserializes a snapshot image produced by [`encode_snapshot`],
+/// verifying magic, version, declared length and checksum, and
+/// re-validating the decoded state's cross-field invariants.
+///
+/// # Errors
+///
+/// Any malformed, truncated or corrupted input returns a typed
+/// [`SnapshotError`]; this function never panics on adversarial bytes.
+pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
+    let mut c = Cursor { words, pos: 0 };
+    if c.take()? != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = c.take()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let payload_len = c.take_usize()?;
+    // Total image = 3 header words + payload + 1 checksum word.
+    let expected_len = payload_len
+        .checked_add(4)
+        .ok_or(SnapshotError::LengthMismatch)?;
+    if words.len() != expected_len {
+        return Err(if words.len() < expected_len {
+            SnapshotError::Truncated {
+                offset: words.len(),
+            }
+        } else {
+            SnapshotError::LengthMismatch
+        });
+    }
+    let (payload, checksum) = words.split_at(words.len() - 1);
+    if fnv1a(payload) != checksum[0] {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let config = decode_config(&mut c)?;
+    let seed = c.take()?;
+    let generation = c.take()?;
+    let next_key = c.take()?;
+    let innovation_next_node = c.take()?;
+    let species_next_id = c.take()?;
+    if innovation_next_node > u64::from(u32::MAX) || species_next_id > u64::from(u32::MAX) {
+        return Err(SnapshotError::Malformed("id counter"));
+    }
+    let workload_state = c.take()?;
+    let mut x = [0u32; 5];
+    for slot in &mut x {
+        let w = c.take()?;
+        if w > u64::from(u32::MAX) {
+            return Err(SnapshotError::Malformed("rng word"));
+        }
+        *slot = w as u32;
+    }
+    let counter = c.take()?;
+    if counter > u64::from(u32::MAX) {
+        return Err(SnapshotError::Malformed("rng counter"));
+    }
+
+    // Minimum genome record: key + shape + fitness flag/bits = 4 words.
+    let n_genomes = c.take_count(4)?;
+    let mut genomes = Vec::with_capacity(n_genomes);
+    for _ in 0..n_genomes {
+        genomes.push(decode_genome_record(
+            &mut c,
+            config.num_inputs,
+            config.num_outputs,
+        )?);
+    }
+    // Minimum species record: 6 fixed words + a 4-word representative.
+    let n_species = c.take_count(10)?;
+    let mut species = Vec::with_capacity(n_species);
+    for _ in 0..n_species {
+        species.push(decode_species_record(
+            &mut c,
+            config.num_inputs,
+            config.num_outputs,
+        )?);
+    }
+    let best_ever = match c.take()? {
+        0 => None,
+        1 => Some(decode_genome_record(
+            &mut c,
+            config.num_inputs,
+            config.num_outputs,
+        )?),
+        _ => return Err(SnapshotError::Malformed("best-genome flag")),
+    };
+    if c.pos != words.len() - 1 {
+        return Err(SnapshotError::LengthMismatch);
+    }
+
+    let state = EvolutionState {
+        config,
+        genomes,
+        species,
+        species_next_id: species_next_id as u32,
+        innovation_next_node: innovation_next_node as u32,
+        rng_state: (x, counter as u32),
+        seed,
+        generation,
+        next_key,
+        best_ever,
+        workload_state,
+    };
+    state
+        .validate()
+        .map_err(|e: SessionError| SnapshotError::InvalidState(e.to_string()))?;
+    Ok(state)
+}
+
+/// Serializes a state to bytes (the word image, little-endian) — what a
+/// checkpoint file holds.
+///
+/// # Errors
+///
+/// See [`encode_snapshot`].
+pub fn snapshot_to_bytes(state: &EvolutionState) -> Result<Vec<u8>, SnapshotError> {
+    let words = encode_snapshot(state)?;
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    Ok(bytes)
+}
+
+/// Deserializes a checkpoint file's bytes.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Truncated`] if the length is not a whole
+/// number of words; otherwise see [`decode_snapshot`].
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<EvolutionState, SnapshotError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapshotError::Truncated {
+            offset: bytes.len() / 8,
+        });
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+        .collect();
+    decode_snapshot(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesys_neat::{EvalContext, Network, Session};
+
+    fn evolved_state(seed: u64, generations: usize) -> EvolutionState {
+        let config = NeatConfig::builder(3, 2)
+            .pop_size(14)
+            .node_add_prob(0.6)
+            .conn_add_prob(0.6)
+            .target_fitness(Some(1e9))
+            .build()
+            .unwrap();
+        let fitness = |ctx: EvalContext, net: &Network| {
+            let x = (ctx.seed() % 13) as f64 / 13.0;
+            net.activate(&[x, 0.5, 1.0 - x]).iter().sum()
+        };
+        let mut s = Session::builder(config, seed)
+            .unwrap()
+            .workload(fitness)
+            .build();
+        s.run(generations);
+        s.export_state()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let state = evolved_state(7, 5);
+        let words = encode_snapshot(&state).unwrap();
+        let back = decode_snapshot(&words).unwrap();
+        assert_eq!(state, back);
+        // And a fixed point: re-encoding the decoded state yields the
+        // same bytes.
+        assert_eq!(words, encode_snapshot(&back).unwrap());
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_exact() {
+        let state = evolved_state(21, 4);
+        let bytes = snapshot_to_bytes(&state).unwrap();
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn every_truncation_errors_and_never_panics() {
+        let state = evolved_state(3, 3);
+        let words = encode_snapshot(&state).unwrap();
+        for len in 0..words.len() {
+            assert!(
+                decode_snapshot(&words[..len]).is_err(),
+                "prefix of {len} words must not decode"
+            );
+        }
+        let bytes = snapshot_to_bytes(&state).unwrap();
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(snapshot_from_bytes(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let state = evolved_state(9, 3);
+        let words = encode_snapshot(&state).unwrap();
+        // Every word, one flipped bit each (cycling bit positions keeps
+        // the test fast while touching every region of the image).
+        for (i, bit) in (0..words.len()).map(|i| (i, (i * 13) % 64)) {
+            let mut corrupt = words.clone();
+            corrupt[i] ^= 1u64 << bit;
+            assert!(
+                decode_snapshot(&corrupt).is_err(),
+                "flip of bit {bit} in word {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_input_errors() {
+        assert_eq!(
+            decode_snapshot(&[]).unwrap_err(),
+            SnapshotError::Truncated { offset: 0 }
+        );
+        assert_eq!(
+            decode_snapshot(&[1, 2, 3]).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut rng = genesys_neat::XorWow::seed_from_u64_value(5);
+        for _ in 0..50 {
+            let words: Vec<u64> = (0..64)
+                .map(|_| (u64::from(rng.next_u32_value()) << 32) | u64::from(rng.next_u32_value()))
+                .collect();
+            assert!(decode_snapshot(&words).is_err());
+        }
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let state = evolved_state(11, 2);
+        let mut words = encode_snapshot(&state).unwrap();
+        words[1] = SNAPSHOT_VERSION + 1;
+        // Recompute the checksum so the version check itself is what trips.
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn node_id_overflow_is_a_typed_error() {
+        let mut state = evolved_state(2, 1);
+        // Forge a genome with an id beyond the 14-bit wire limit.
+        let config = &state.config;
+        let huge = Genome::from_parts(
+            999,
+            config.num_inputs,
+            config.num_outputs,
+            state.genomes[0].nodes().copied().chain(std::iter::once(
+                genesys_neat::NodeGene::hidden(genesys_neat::NodeId(MAX_NODE_ID + 1)),
+            )),
+            state.genomes[0].conns().copied(),
+        )
+        .unwrap();
+        state.best_ever = Some(huge);
+        assert!(matches!(
+            encode_snapshot(&state),
+            Err(SnapshotError::NodeIdOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let state = evolved_state(4, 2);
+        let mut words = encode_snapshot(&state).unwrap();
+        words.push(0xDEAD_BEEF);
+        assert!(decode_snapshot(&words).is_err());
+    }
+}

@@ -25,7 +25,10 @@ use crate::selector::{allocate_pes, select_parents};
 use crate::sram::{GenomeBuffer, SramStats};
 use genesys_gym::{episode_into, Environment, RolloutScratch};
 use genesys_neat::trace::OpCounters;
-use genesys_neat::{Genome, NeatConfig, Network, SpeciesSet, XorWow};
+use genesys_neat::{
+    Backend, EvalContext, Evaluator, EvolutionState, GenerationStats, Genome, NeatConfig, Network,
+    SessionError, SpeciesSet, XorWow,
+};
 
 /// Inference-phase accounting (walkthrough steps 1–6).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -94,9 +97,11 @@ pub struct GenesysSoc {
     genomes: Vec<Genome>,
     species: SpeciesSet,
     rng: XorWow,
+    seed: u64,
     generation: usize,
     next_key: u64,
     best_ever: Option<Genome>,
+    last_report: Option<GenerationReport>,
 }
 
 impl GenesysSoc {
@@ -118,9 +123,37 @@ impl GenesysSoc {
             genomes,
             species: SpeciesSet::new(),
             rng,
+            seed,
             generation: 0,
             best_ever: None,
+            last_report: None,
         }
+    }
+
+    /// Boots the SoC from a checkpointed [`EvolutionState`] (e.g. decoded
+    /// by [`crate::snapshot`]) instead of generation 0 — the power-cycle
+    /// half of the continuous-learning story: the genome buffer contents,
+    /// species state and PRNG stream continue exactly where they stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the state fails validation.
+    pub fn from_state(soc: SocConfig, state: EvolutionState) -> Result<Self, SessionError> {
+        let neat = NeatConfig::builder(1, 1).build().expect("placeholder");
+        let mut booted = GenesysSoc {
+            soc,
+            neat,
+            genomes: Vec::new(),
+            species: SpeciesSet::new(),
+            rng: XorWow::seed_from_u64_value(0),
+            seed: 0,
+            generation: 0,
+            next_key: 0,
+            best_ever: None,
+            last_report: None,
+        };
+        Backend::import_state(&mut booted, state)?;
+        Ok(booted)
     }
 
     /// Current generation index.
@@ -148,12 +181,50 @@ impl GenesysSoc {
         self.best_ever.as_ref()
     }
 
+    /// Trace of the most recent generation's full SoC accounting (cycles,
+    /// energy, NoC traffic), however the generation was driven — directly
+    /// or through the session [`Backend`] interface.
+    pub fn last_report(&self) -> Option<&GenerationReport> {
+        self.last_report.as_ref()
+    }
+
     /// Runs one generation against environments produced by `env_factory`
     /// (one instance per genome — the paper's "n Environment Instances").
+    ///
+    /// Compatibility shim over the evaluator-driven generation loop; the
+    /// session path ([`Backend::step`]) drives the same ten steps through
+    /// a `genesys_neat::Session` workload instead.
     pub fn run_generation(
         &mut self,
         env_factory: &mut dyn FnMut(usize) -> Box<dyn Environment>,
     ) -> GenerationReport {
+        // One buffer set for the whole generation: the rollout hot loop
+        // allocates nothing per step (the software mirror of ADAM running
+        // out of fixed SRAM buffers).
+        let mut scratch = RolloutScratch::new();
+        let episodes = self.soc.episodes_per_eval.max(1);
+        let (report, _stats) = self.run_generation_inner(&mut |idx, net| {
+            let mut env = env_factory(idx);
+            let mut fitness = 0.0;
+            let mut steps = 0u64;
+            for _ in 0..episodes {
+                let (episode_fitness, episode_steps) =
+                    episode_into(net, env.as_mut(), &mut scratch);
+                fitness += episode_fitness;
+                steps += episode_steps;
+            }
+            (fitness / episodes as f64, steps)
+        });
+        report
+    }
+
+    /// The ten-step generation walkthrough, driven by any per-genome
+    /// evaluation returning `(fitness, env_steps)`. Returns the full SoC
+    /// accounting plus the software-comparable generation statistics.
+    fn run_generation_inner(
+        &mut self,
+        eval: &mut dyn FnMut(usize, &Network) -> (f64, u64),
+    ) -> (GenerationReport, GenerationStats) {
         let tech = self.soc.tech;
         let mut buffer = GenomeBuffer::new(self.soc.sram);
         let total_genes: usize = self.genomes.iter().map(Genome::num_genes).sum();
@@ -165,27 +236,16 @@ impl GenesysSoc {
         let mut best_idx = 0usize;
         let mut best_fit = f64::NEG_INFINITY;
         let mut fitness_sum = 0.0;
-        // One buffer set for the whole generation: the rollout hot loop
-        // allocates nothing per step (the software mirror of ADAM running
-        // out of fixed SRAM buffers).
-        let mut scratch = RolloutScratch::new();
+        let mut one_pass_macs = 0u64;
         for idx in 0..self.genomes.len() {
             let genome = &self.genomes[idx];
             let net = Network::from_genome(genome).expect("resident genomes are valid");
             let timing = inference_timing(&net, &self.soc.adam);
+            one_pass_macs += net.num_macs();
             // Step 1: map the genome over the MAC units (one pass of its
             // genes from the buffer).
             buffer.read_genes(genome.num_genes() as u64);
-            let mut env = env_factory(idx);
-            let mut fitness = 0.0;
-            let mut steps = 0u64;
-            for _ in 0..self.soc.episodes_per_eval.max(1) {
-                let (episode_fitness, episode_steps) =
-                    episode_into(&net, env.as_mut(), &mut scratch);
-                fitness += episode_fitness;
-                steps += episode_steps;
-            }
-            fitness /= self.soc.episodes_per_eval.max(1) as f64;
+            let (fitness, steps) = eval(idx, &net);
             // Steps 2–5: every environment step is one packed inference.
             inference.env_steps += steps;
             inference.cycles += steps * timing.total_cycles();
@@ -284,9 +344,34 @@ impl GenesysSoc {
             inference_runtime_s: inference.cycles as f64 * tech.cycle_time_s(),
             evolution_runtime_s: report.cycles as f64 * tech.cycle_time_s(),
         };
+        // Software-comparable statistics of the *evaluated* generation
+        // (gathered before the children overwrite the genome buffer).
+        let mut stats = GenerationStats::collect(
+            self.generation,
+            &self.genomes,
+            num_species,
+            None,
+            one_pass_macs,
+        );
+        stats.ops = result.evolution.ops;
+        stats.env_steps = result.inference.env_steps;
+        stats.fittest_parent_reuse = {
+            // Same statistic GenerationTrace::fittest_parent_reuse reports
+            // for the software path, computed from the mating plans.
+            let mut uses: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for plan in plans.iter().filter(|p| !p.is_elite) {
+                *uses.entry(plan.fit_parent).or_insert(0) += 1;
+                if plan.other_parent != plan.fit_parent {
+                    *uses.entry(plan.other_parent).or_insert(0) += 1;
+                }
+            }
+            uses.values().copied().max().unwrap_or(0)
+        };
         self.genomes = report.children;
         self.generation += 1;
-        result
+        self.last_report = Some(result.clone());
+        (result, stats)
     }
 
     /// Runs generations until the NEAT target fitness is reached or
@@ -310,6 +395,101 @@ impl GenesysSoc {
             }
         }
         (reports, false)
+    }
+}
+
+/// The hardware half of the session API: a `genesys_neat::Session` can
+/// drive the SoC model through the same loop as a software
+/// [`genesys_neat::Population`] — `Session::on(GenesysSoc::new(..), seed)`.
+///
+/// Evaluation is serial (the SoC's environment instances are physical, not
+/// worker threads), so [`Backend::set_executor`] is a no-op.
+///
+/// On this path the **workload owns evaluation**, including the episode
+/// count: configure repeats through the evaluator (e.g.
+/// `EpisodeEvaluator::episodes(n)`), not through
+/// [`SocConfig::episodes_per_eval`] — that knob applies only to the
+/// env-factory shim [`GenesysSoc::run_generation`], whose per-genome
+/// environments the session workload replaces.
+impl Backend for GenesysSoc {
+    fn step(&mut self, workload: &dyn Evaluator, base_seed: u64) -> GenerationStats {
+        let generation = self.generation as u64;
+        let (_report, stats) = self.run_generation_inner(&mut |index, net| {
+            let evaluation = workload.evaluate(
+                EvalContext {
+                    base_seed,
+                    generation,
+                    index: index as u64,
+                },
+                net,
+            );
+            (evaluation.fitness, evaluation.env_steps)
+        });
+        stats
+    }
+
+    fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn genomes(&self) -> &[Genome] {
+        &self.genomes
+    }
+
+    fn best_genome(&self) -> Option<&Genome> {
+        self.best_ever.as_ref()
+    }
+
+    fn neat_config(&self) -> &NeatConfig {
+        &self.neat
+    }
+
+    fn export_state(&self) -> EvolutionState {
+        // The SoC has no global innovation tracker — the EvE PEs assign
+        // node ids from the gene words themselves — so the persisted
+        // counter is the witness of every id in the state: the resident
+        // genomes, but also the species representatives and the best-ever
+        // genome, which are past-generation individuals that may retain
+        // ids deletion has since removed from the living population. A
+        // software resume would otherwise re-issue those ids for new
+        // structural innovations and alias distinct genes.
+        let innovation_next_node = self
+            .genomes
+            .iter()
+            .chain(self.species.iter().map(|s| &s.representative))
+            .chain(self.best_ever.as_ref())
+            .map(Genome::max_node_id)
+            .max()
+            .map_or(self.neat.first_hidden_id(), |id| {
+                (id + 1).max(self.neat.first_hidden_id())
+            });
+        EvolutionState {
+            config: self.neat.clone(),
+            genomes: self.genomes.clone(),
+            species: self.species.iter().cloned().collect(),
+            species_next_id: self.species.next_species_id(),
+            innovation_next_node,
+            rng_state: self.rng.state(),
+            seed: self.seed,
+            generation: self.generation as u64,
+            next_key: self.next_key,
+            best_ever: self.best_ever.clone(),
+            workload_state: 0,
+        }
+    }
+
+    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError> {
+        state.validate()?;
+        self.neat = state.config;
+        self.genomes = state.genomes;
+        self.species = SpeciesSet::from_parts(state.species, state.species_next_id);
+        self.rng = XorWow::from_state(state.rng_state.0, state.rng_state.1);
+        self.seed = state.seed;
+        self.generation = state.generation as usize;
+        self.next_key = state.next_key;
+        self.best_ever = state.best_ever;
+        self.last_report = None;
+        Ok(())
     }
 }
 
@@ -411,6 +591,50 @@ mod tests {
                 assert_eq!(a.weight, b.weight);
             }
         }
+    }
+
+    #[test]
+    fn session_drives_the_soc_backend() {
+        use genesys_gym::EpisodeEvaluator;
+        use genesys_neat::Session;
+        let neat = NeatConfig::builder(4, 1).pop_size(12).build().unwrap();
+        let soc = GenesysSoc::new(SocConfig::default().with_num_eve_pes(8), neat, 5);
+        let mut session = Session::on(soc, 5)
+            .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+            .build();
+        let report = session.run(3);
+        assert_eq!(report.history.len(), 3);
+        assert!(report.history[0].env_steps > 0);
+        assert!(report.history[0].ops.total() > 0, "EvE ops accounted");
+        assert!(session.backend().last_report().is_some());
+        assert_eq!(session.generation(), 3);
+    }
+
+    #[test]
+    fn soc_session_resume_is_bit_identical() {
+        use genesys_gym::EpisodeEvaluator;
+        use genesys_neat::Session;
+        let neat = || NeatConfig::builder(4, 1).pop_size(10).build().unwrap();
+        let soc_config = || SocConfig::default().with_num_eve_pes(8);
+        let workload = || EpisodeEvaluator::new(EnvKind::CartPole);
+
+        let mut full = Session::on(GenesysSoc::new(soc_config(), neat(), 13), 13)
+            .workload(workload())
+            .build();
+        let full_report = full.run(4);
+
+        let mut head = Session::on(GenesysSoc::new(soc_config(), neat(), 13), 13)
+            .workload(workload())
+            .build();
+        head.run(2);
+        let state = head.export_state();
+        let seed = state.seed;
+        let restored = GenesysSoc::from_state(soc_config(), state).expect("valid state");
+        let mut tail = Session::on(restored, seed).workload(workload()).build();
+        let tail_report = tail.run(2);
+
+        assert_eq!(&full_report.history[2..], &tail_report.history[..]);
+        assert_eq!(full.genomes(), tail.genomes());
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! step** (proved by the workspace's counting-allocator test), with
 //! fitness bit-identical to the allocating wrappers.
 //!
+//! The [`evaluator`] module packages the suite as session workloads:
+//! [`EpisodeEvaluator`] (one seeded episode per genome) and
+//! [`DriftingEvaluator`] (the nonstationary continuous-learning scenario,
+//! drift phase serialized across checkpoints) plug into
+//! `genesys_neat::Session`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -46,6 +52,7 @@ pub mod atari_ram;
 pub mod bipedal;
 pub mod cartpole;
 pub mod env;
+pub mod evaluator;
 pub mod lunar_lander;
 pub mod mountain_car;
 pub mod nonstationary;
@@ -55,6 +62,7 @@ pub use atari_ram::{AirRaidRam, AlienRam, AmidarRam, AsterixRam, RamEnv, RamGame
 pub use bipedal::Bipedal;
 pub use cartpole::CartPole;
 pub use env::{binary_action, quantize_action, ActionKind, Environment, Step};
+pub use evaluator::{DriftingEvaluator, EpisodeEvaluator};
 pub use lunar_lander::LunarLander;
 pub use mountain_car::MountainCar;
 pub use nonstationary::DriftingCartPole;
@@ -131,12 +139,14 @@ pub fn episode_into(
 /// episode evaluation produces bit-identical fitness whether the population
 /// is evaluated serially or spread over any number of work-stealing workers.
 pub fn episode_seed(base: u64, generation: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    // Delegates to the session API's seed mix: the formulas are one and
+    // the same, so episode seeds predating `Session` remain bit-valid.
+    genesys_neat::EvalContext {
+        base_seed: base,
+        generation,
+        index,
+    }
+    .seed()
 }
 
 /// Runs one episode of `kind` seeded with `env_seed` under the policy

@@ -58,6 +58,16 @@ impl DriftingCartPole {
         self
     }
 
+    /// The global episode index currently in force — the drift **phase**.
+    /// This is the state a checkpoint must carry for the continuous-
+    /// learning loop to survive a power cycle: resuming with the same
+    /// `(seed, period, episode)` triple reproduces the regime schedule
+    /// bit-exactly (see `genesys_gym::DriftingEvaluator`, which derives it
+    /// purely from the session's generation counter and serialized offset).
+    pub fn episode(&self) -> u64 {
+        self.episode
+    }
+
     /// The regime index currently in force.
     pub fn regime(&self) -> u64 {
         self.episode / self.period

@@ -25,27 +25,34 @@
 //!   index-keyed jobs (genome evaluations, distance-matrix rows, child
 //!   builds) are balanced through work-stealing deques instead of static
 //!   chunks.
+//! * [`session`] — **the run surface**: one [`Session`] drives any
+//!   workload ([`Evaluator`]) on any backend ([`Backend`]: this crate's
+//!   [`Population`] or `genesys_core`'s SoC model), with streaming
+//!   observers, stop conditions, and bit-identical checkpoint/resume
+//!   through [`EvolutionState`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use genesys_neat::{NeatConfig, Population};
+//! use genesys_neat::{EvalContext, NeatConfig, Network, Session};
 //!
 //! // XOR as a fitness function: 2 inputs, 1 output.
-//! let config = NeatConfig::builder(2, 1).pop_size(64).build().unwrap();
-//! let mut pop = Population::new(config, 1234);
+//! let config = NeatConfig::builder(2, 1).pop_size(64).build()?;
 //! let cases = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
-//! for _ in 0..3 {
-//!     pop.evolve_once(|net| {
+//! let mut session = Session::builder(config, 1234)?
+//!     .workload(move |_ctx: EvalContext, net: &Network| {
 //!         let mut err = 0.0;
 //!         for (input, want) in &cases {
 //!             let out = net.activate(input)[0];
 //!             err += (out - want) * (out - want);
 //!         }
 //!         4.0 - err
-//!     });
-//! }
-//! assert_eq!(pop.generation(), 3);
+//!     })
+//!     .build();
+//! let report = session.run(3);
+//! assert_eq!(session.generation(), 3);
+//! assert_eq!(report.history.len(), 3);
+//! # Ok::<(), genesys_neat::SessionError>(())
 //! ```
 
 #![deny(missing_docs)]
@@ -65,6 +72,7 @@ pub mod network;
 pub mod population;
 pub mod reproduction;
 pub mod rng;
+pub mod session;
 pub mod species;
 pub mod stats;
 pub mod trace;
@@ -84,7 +92,11 @@ pub use network::{Network, Scratch};
 pub use population::{Population, RunOutcome, RunResult};
 pub use reproduction::{ChildKind, ChildPlan, ReproductionReport};
 pub use rng::XorWow;
-pub use species::{SpeciesId, SpeciesSet};
+pub use session::{
+    Backend, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent, Session,
+    SessionBuilder, SessionError, SessionReport,
+};
+pub use species::{Species, SpeciesId, SpeciesSet};
 pub use stats::GenerationStats;
 pub use trace::{GenerationTrace, OpKind, ReproductionOp};
 pub use tuning::{tune_weights, TuningConfig, TuningResult};

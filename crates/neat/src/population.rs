@@ -13,6 +13,7 @@ use crate::innovation::InnovationTracker;
 use crate::network::Network;
 use crate::reproduction::reproduce_into;
 use crate::rng::XorWow;
+use crate::session::{EvolutionState, SessionError};
 use crate::species::SpeciesSet;
 use crate::stats::GenerationStats;
 use crate::trace::GenerationTrace;
@@ -168,6 +169,67 @@ impl Population {
             best_ever: None,
             arena: Vec::new(),
         }
+    }
+
+    /// Captures the complete evolution state at the current generation
+    /// boundary — the [`EvolutionState`] a [`crate::session::Session`]
+    /// checkpoints. Restoring it via [`Population::from_state`] and
+    /// evolving N more generations is bit-identical to never stopping
+    /// (the reproduction arena and distance scratch are warm-start caches
+    /// with no influence on results, so they are not captured).
+    pub fn export_state(&self) -> EvolutionState {
+        EvolutionState {
+            config: self.config.clone(),
+            genomes: self.genomes.clone(),
+            species: self.species.iter().cloned().collect(),
+            species_next_id: self.species.next_species_id(),
+            innovation_next_node: self.innovations.next_node_id(),
+            rng_state: self.rng.state(),
+            seed: self.seed,
+            generation: self.generation as u64,
+            next_key: self.next_key,
+            best_ever: self.best_ever.clone(),
+            workload_state: 0,
+        }
+    }
+
+    /// Rebuilds a population from an exported state; the exact inverse of
+    /// [`Population::export_state`]. (The innovation tracker's split memo
+    /// is empty at every generation boundary, so its counter is its entire
+    /// persistent state.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the state fails validation.
+    pub fn from_state(state: EvolutionState) -> Result<Self, SessionError> {
+        state.validate()?;
+        let EvolutionState {
+            config,
+            genomes,
+            species,
+            species_next_id,
+            innovation_next_node,
+            rng_state,
+            seed,
+            generation,
+            next_key,
+            best_ever,
+            workload_state: _,
+        } = state;
+        Ok(Population {
+            config,
+            genomes,
+            species: SpeciesSet::from_parts(species, species_next_id),
+            innovations: InnovationTracker::new(innovation_next_node),
+            rng: XorWow::from_state(rng_state.0, rng_state.1),
+            seed,
+            generation: generation as usize,
+            next_key,
+            executor: None,
+            last_trace: None,
+            best_ever,
+            arena: Vec::new(),
+        })
     }
 
     /// Current generation index (0 before the first [`Population::evolve_once`]).

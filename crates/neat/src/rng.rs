@@ -66,6 +66,14 @@ impl XorWow {
         )
     }
 
+    /// Returns the generator's complete state: the five xorshift words and
+    /// the Weyl counter. Feeding these back through [`XorWow::from_state`]
+    /// reproduces the stream exactly — the RNG half of the session
+    /// checkpoint format (`genesys_neat::session::EvolutionState`).
+    pub fn state(&self) -> ([u32; 5], u32) {
+        (self.x, self.counter)
+    }
+
     /// Advances the generator and returns the next 32-bit word.
     pub fn next_u32_value(&mut self) -> u32 {
         // XORWOW per Marsaglia, "Xorshift RNGs", with a Weyl sequence added.

@@ -1,0 +1,942 @@
+//! `Session` — the single run surface for continuous evolution.
+//!
+//! The paper's headline claim is *continuous* learning: evolution that
+//! keeps adapting across power cycles. This module is the API for that
+//! loop. A [`Session`] ties together
+//!
+//! * a **workload** — anything implementing [`Evaluator`] (a gym episode
+//!   rollout, the SoC's environment instances, or a plain closure), called
+//!   once per genome per generation under the index-keyed determinism
+//!   contract below;
+//! * a **backend** — anything implementing [`Backend`]: the software
+//!   [`Population`] or the cycle-accurate `GenesysSoc` hardware model
+//!   (`genesys_core`), both driven by the same generation loop;
+//! * an optional shared [`Executor`] for population-level parallelism;
+//! * streaming [`GenerationEvent`] observers replacing ad-hoc history
+//!   vectors;
+//! * stop conditions (the config's target fitness plus a generation
+//!   budget).
+//!
+//! # Determinism contract
+//!
+//! Every evaluation receives an [`EvalContext`] identifying the genome by
+//! `(base_seed, generation, index)`. An [`Evaluator`] must derive **all**
+//! of its randomness from that context (e.g. via [`EvalContext::seed`]) —
+//! never from evaluation order, worker ids, or shared counters. Under that
+//! contract a session's trajectory is bit-identical at any worker count,
+//! and — combined with [`Session::export_state`] — a run that is
+//! checkpointed, restored and resumed is bit-identical to one that never
+//! stopped.
+//!
+//! # Save and resume
+//!
+//! [`Session::export_state`] captures the complete evolution state (the
+//! [`EvolutionState`]: genomes, species, innovation counter, RNG, seed
+//! bookkeeping, generation counter, workload phase) and
+//! [`Session::resume`] rebuilds a process-equivalent session from it.
+//! `genesys_core::snapshot` serializes an [`EvolutionState`] to a
+//! versioned binary image for on-disk checkpoints.
+//!
+//! ```
+//! use genesys_neat::{EvalContext, NeatConfig, Network, Session};
+//!
+//! let config = NeatConfig::builder(2, 1).pop_size(16).build()?;
+//! // A deterministic workload: a pure function of (context, network).
+//! let fitness = |ctx: EvalContext, net: &Network| {
+//!     let x = (ctx.seed() % 97) as f64 / 97.0;
+//!     net.activate(&[x, 0.5])[0]
+//! };
+//!
+//! // Uninterrupted reference: four generations.
+//! let mut full = Session::builder(config.clone(), 7)?.workload(fitness).build();
+//! let full_report = full.run(4);
+//!
+//! // Same run, interrupted: two generations, checkpoint, restore, resume.
+//! let mut first = Session::builder(config, 7)?.workload(fitness).build();
+//! first.run(2);
+//! let state = first.export_state();
+//! drop(first); // "power cycle"
+//! let mut resumed = Session::resume(state)?.workload(fitness).build();
+//! let tail = resumed.run(2);
+//!
+//! // Bit-identical continuation.
+//! assert_eq!(&full_report.history[2..], &tail.history[..]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::config::NeatConfig;
+use crate::error::ConfigError;
+use crate::executor::Executor;
+use crate::genome::Genome;
+use crate::network::Network;
+use crate::population::{Population, RunOutcome};
+use crate::species::Species;
+use crate::stats::GenerationStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies one genome evaluation: the triple every deterministic
+/// workload derives its randomness from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalContext {
+    /// The session's base seed (fixed for the whole run).
+    pub base_seed: u64,
+    /// Generation index of the evaluation.
+    pub generation: u64,
+    /// Index of the genome within its generation.
+    pub index: u64,
+}
+
+impl EvalContext {
+    /// Derives this evaluation's private seed: a SplitMix64-style mix of
+    /// `(base_seed, generation, index)`. Pure in its inputs — never a
+    /// function of scheduling order — so results are independent of which
+    /// worker runs the evaluation. `genesys_gym::episode_seed` is this
+    /// exact mix (episode seeds predating the session API stay valid).
+    pub fn seed(&self) -> u64 {
+        let mut z = self
+            .base_seed
+            .wrapping_add(self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Result of one genome evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// The fitness assigned to the genome.
+    pub fitness: f64,
+    /// Environment steps consumed (0 for synthetic fitness functions).
+    /// Summed order-insensitively into [`GenerationStats::env_steps`].
+    pub env_steps: u64,
+}
+
+/// A workload: how one genome earns its fitness.
+///
+/// Implementations must honour the determinism contract (module docs):
+/// every random choice derives from the [`EvalContext`], so evaluation is
+/// a pure function of `(context, network)`. Plain closures
+/// `Fn(EvalContext, &Network) -> f64 + Sync` implement this trait
+/// directly (with `env_steps = 0`).
+pub trait Evaluator: Sync {
+    /// Evaluates one genome's phenotype.
+    fn evaluate(&self, ctx: EvalContext, net: &Network) -> Evaluation;
+
+    /// Serializable workload state, stored in checkpoints (e.g. the
+    /// nonstationary drift phase). Defaults to 0 for stateless workloads.
+    fn state(&self) -> u64 {
+        0
+    }
+
+    /// Restores the value returned by [`Evaluator::state`] when a session
+    /// is resumed from a checkpoint.
+    fn restore_state(&mut self, _state: u64) {}
+}
+
+impl<F> Evaluator for F
+where
+    F: Fn(EvalContext, &Network) -> f64 + Sync,
+{
+    fn evaluate(&self, ctx: EvalContext, net: &Network) -> Evaluation {
+        Evaluation {
+            fitness: self(ctx, net),
+            env_steps: 0,
+        }
+    }
+}
+
+/// The complete, self-contained state of an evolution run at a generation
+/// boundary — everything needed to resume **bit-identically**: restoring
+/// this state and running N more generations produces exactly the bytes an
+/// uninterrupted run would have, at any worker count.
+///
+/// Produced by [`Session::export_state`] / [`Backend::export_state`];
+/// consumed by [`Session::resume`] / [`Backend::import_state`].
+/// `genesys_core::snapshot` defines the versioned binary wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionState {
+    /// The full hyper-parameter set of the run.
+    pub config: NeatConfig,
+    /// Genomes of the current generation (fitness included if evaluated).
+    pub genomes: Vec<Genome>,
+    /// Living species, in creation order (representatives, membership,
+    /// stagnation bookkeeping).
+    pub species: Vec<Species>,
+    /// The species-id counter.
+    pub species_next_id: u32,
+    /// The innovation tracker's node-id counter. (The per-generation split
+    /// memo is always empty at a generation boundary, so the counter is
+    /// the tracker's entire persistent state.)
+    pub innovation_next_node: u32,
+    /// XORWOW state words + Weyl counter of the population RNG.
+    pub rng_state: ([u32; 5], u32),
+    /// The run's base seed (root of episode and child seeds).
+    pub seed: u64,
+    /// Generation counter (the next generation to evaluate).
+    pub generation: u64,
+    /// Next genome key to assign.
+    pub next_key: u64,
+    /// Best genome observed so far, if any generation was evaluated.
+    pub best_ever: Option<Genome>,
+    /// Opaque workload state ([`Evaluator::state`]), e.g. the
+    /// nonstationary drift phase offset.
+    pub workload_state: u64,
+}
+
+impl EvolutionState {
+    /// Validates internal consistency (config validity, interface match,
+    /// species membership in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`SessionError`].
+    pub fn validate(&self) -> Result<(), SessionError> {
+        self.config.validate().map_err(SessionError::Config)?;
+        if self.genomes.is_empty() {
+            return Err(SessionError::EmptyState);
+        }
+        if self.genomes.len() != self.config.pop_size {
+            return Err(SessionError::PopulationSizeMismatch {
+                config: self.config.pop_size,
+                genomes: self.genomes.len(),
+            });
+        }
+        for g in &self.genomes {
+            if g.num_inputs() != self.config.num_inputs
+                || g.num_outputs() != self.config.num_outputs
+            {
+                return Err(SessionError::InterfaceMismatch {
+                    key: g.key(),
+                    inputs: g.num_inputs(),
+                    outputs: g.num_outputs(),
+                });
+            }
+        }
+        for s in &self.species {
+            for &m in &s.members {
+                if m >= self.genomes.len() {
+                    return Err(SessionError::MemberOutOfRange {
+                        species: s.id.0,
+                        member: m,
+                        population: self.genomes.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by session construction and state restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The state carries no genomes.
+    EmptyState,
+    /// `config.pop_size` disagrees with the genome count.
+    PopulationSizeMismatch {
+        /// Configured population size.
+        config: usize,
+        /// Genomes actually present.
+        genomes: usize,
+    },
+    /// A genome's input/output interface disagrees with the config.
+    InterfaceMismatch {
+        /// Key of the offending genome.
+        key: u64,
+        /// Its input count.
+        inputs: usize,
+        /// Its output count.
+        outputs: usize,
+    },
+    /// A species references a genome index outside the population.
+    MemberOutOfRange {
+        /// Species id.
+        species: u32,
+        /// Offending member index.
+        member: usize,
+        /// Population size.
+        population: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SessionError::EmptyState => write!(f, "state contains no genomes"),
+            SessionError::PopulationSizeMismatch { config, genomes } => write!(
+                f,
+                "config.pop_size {config} does not match {genomes} genomes"
+            ),
+            SessionError::InterfaceMismatch {
+                key,
+                inputs,
+                outputs,
+            } => write!(
+                f,
+                "genome {key} interface {inputs}x{outputs} does not match the config"
+            ),
+            SessionError::MemberOutOfRange {
+                species,
+                member,
+                population,
+            } => write!(
+                f,
+                "species s{species} references member {member} outside population of {population}"
+            ),
+        }
+    }
+}
+
+impl From<ConfigError> for SessionError {
+    fn from(e: ConfigError) -> Self {
+        SessionError::Config(e)
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An evolution backend: something that can advance a population by one
+/// generation under a workload. Implemented by the software [`Population`]
+/// and by `genesys_core::GenesysSoc` (the cycle-accurate hardware model),
+/// so both are driven by the same [`Session`] loop.
+pub trait Backend {
+    /// Runs one full generation: evaluates every genome through
+    /// `workload` (passing an [`EvalContext`] built from `base_seed`, the
+    /// current generation and the genome index) and produces the next
+    /// generation. Returns the statistics of the evaluated generation.
+    fn step(&mut self, workload: &dyn Evaluator, base_seed: u64) -> GenerationStats;
+
+    /// Current generation index (0 before the first step).
+    fn generation(&self) -> usize;
+
+    /// Genomes of the current generation.
+    fn genomes(&self) -> &[Genome];
+
+    /// Best genome observed so far.
+    fn best_genome(&self) -> Option<&Genome>;
+
+    /// The NEAT configuration driving evolution.
+    fn neat_config(&self) -> &NeatConfig;
+
+    /// Attaches a persistent evaluation pool. Backends without a parallel
+    /// path (the serial SoC model) may ignore it.
+    fn set_executor(&mut self, _pool: Arc<Executor>) {}
+
+    /// Captures the complete evolution state at the current generation
+    /// boundary (see [`EvolutionState`]).
+    fn export_state(&self) -> EvolutionState;
+
+    /// Replaces this backend's state with a previously exported one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the state fails validation.
+    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError>;
+}
+
+impl Backend for Population {
+    fn step(&mut self, workload: &dyn Evaluator, base_seed: u64) -> GenerationStats {
+        let generation = self.generation() as u64;
+        // Order-insensitive step aggregation: summation commutes, so the
+        // tally is identical at any worker count.
+        let env_steps = AtomicU64::new(0);
+        let mut stats = self.evolve_once_indexed(|index, net| {
+            let evaluation = workload.evaluate(
+                EvalContext {
+                    base_seed,
+                    generation,
+                    index: index as u64,
+                },
+                net,
+            );
+            env_steps.fetch_add(evaluation.env_steps, Ordering::Relaxed);
+            evaluation.fitness
+        });
+        stats.env_steps = env_steps.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn generation(&self) -> usize {
+        Population::generation(self)
+    }
+
+    fn genomes(&self) -> &[Genome] {
+        Population::genomes(self)
+    }
+
+    fn best_genome(&self) -> Option<&Genome> {
+        Population::best_genome(self)
+    }
+
+    fn neat_config(&self) -> &NeatConfig {
+        self.config()
+    }
+
+    fn set_executor(&mut self, pool: Arc<Executor>) {
+        Population::set_executor(self, pool);
+    }
+
+    fn export_state(&self) -> EvolutionState {
+        Population::export_state(self)
+    }
+
+    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError> {
+        *self = Population::from_state(state)?;
+        Ok(())
+    }
+}
+
+/// One generation's worth of progress, streamed to observers as it
+/// happens — the replacement for hand-rolled per-generation print loops
+/// and ad-hoc history vectors.
+#[derive(Debug)]
+pub struct GenerationEvent<'a> {
+    /// Statistics of the generation that just finished evaluating.
+    pub stats: &'a GenerationStats,
+    /// Best genome observed so far across the whole session.
+    pub best: Option<&'a Genome>,
+}
+
+type Observer = Box<dyn FnMut(&GenerationEvent<'_>)>;
+
+/// Placeholder workload of a builder that has not been given one yet.
+/// [`SessionBuilder::build`] only exists once a real [`Evaluator`] is set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWorkload;
+
+/// Report of one [`Session::run`] call.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Per-generation statistics, one entry per evaluated generation.
+    pub history: Vec<GenerationStats>,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Best genome observed so far (across the whole session, not just
+    /// this call).
+    pub best: Option<Genome>,
+}
+
+impl SessionReport {
+    /// Convenience: did the run reach the target fitness?
+    pub fn converged(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Converged { .. })
+    }
+}
+
+/// The single run surface: one workload, one backend, one driver loop.
+/// See the [module docs](self) for the full tour; construct via
+/// [`Session::builder`] (software), [`Session::on`] (any backend) or
+/// [`Session::resume`] (from a checkpoint).
+pub struct Session<W = NoWorkload, B = Population> {
+    backend: B,
+    workload: W,
+    base_seed: u64,
+    observers: Vec<Observer>,
+}
+
+impl<W: fmt::Debug, B: fmt::Debug> fmt::Debug for Session<W, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Observers are unnameable closures: report them by count only.
+        f.debug_struct("Session")
+            .field("backend", &self.backend)
+            .field("workload", &self.workload)
+            .field("base_seed", &self.base_seed)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// Builder for [`Session`]; see [`Session::builder`].
+pub struct SessionBuilder<B = Population, W = NoWorkload> {
+    backend: B,
+    workload: W,
+    base_seed: u64,
+    executor: Option<Arc<Executor>>,
+    threads: Option<usize>,
+    observers: Vec<Observer>,
+    restored_workload_state: Option<u64>,
+}
+
+impl<B: fmt::Debug, W: fmt::Debug> fmt::Debug for SessionBuilder<B, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("backend", &self.backend)
+            .field("workload", &self.workload)
+            .field("base_seed", &self.base_seed)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Starts a software session: a fresh [`Population`] built from
+    /// `config`, seeded with `seed` (which also serves as the base of
+    /// every evaluation seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Config`] if `config` fails validation.
+    pub fn builder(config: NeatConfig, seed: u64) -> Result<SessionBuilder, SessionError> {
+        config.validate().map_err(SessionError::Config)?;
+        Ok(SessionBuilder::new(Population::new(config, seed), seed))
+    }
+
+    /// Resumes a software session from a previously exported state.
+    /// Combined with a deterministic workload, the resumed session is
+    /// bit-identical to one that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if the state fails validation.
+    pub fn resume(state: EvolutionState) -> Result<SessionBuilder, SessionError> {
+        let seed = state.seed;
+        let workload_state = state.workload_state;
+        let population = Population::from_state(state)?;
+        let mut builder = SessionBuilder::new(population, seed);
+        builder.restored_workload_state = Some(workload_state);
+        Ok(builder)
+    }
+}
+
+impl<B: Backend> Session<NoWorkload, B> {
+    /// Starts a session on an explicit backend — e.g. the GeneSys SoC
+    /// model (`genesys_core::GenesysSoc`), so hardware and software runs
+    /// share one driver loop. `seed` is the base of evaluation seeds; for
+    /// bit-identical resume it must match the backend's construction seed.
+    pub fn on(backend: B, seed: u64) -> SessionBuilder<B> {
+        SessionBuilder::new(backend, seed)
+    }
+}
+
+impl<B: Backend> SessionBuilder<B, NoWorkload> {
+    fn new(backend: B, base_seed: u64) -> Self {
+        SessionBuilder {
+            backend,
+            workload: NoWorkload,
+            base_seed,
+            executor: None,
+            threads: None,
+            observers: Vec::new(),
+            restored_workload_state: None,
+        }
+    }
+}
+
+impl<B: Backend, W> SessionBuilder<B, W> {
+    /// Sets the workload. Any [`Evaluator`] works: `genesys_gym`'s
+    /// episode evaluators, or a plain `Fn(EvalContext, &Network) -> f64`
+    /// closure.
+    pub fn workload<W2: Evaluator>(self, workload: W2) -> SessionBuilder<B, W2> {
+        SessionBuilder {
+            backend: self.backend,
+            workload,
+            base_seed: self.base_seed,
+            executor: self.executor,
+            threads: self.threads,
+            observers: self.observers,
+            restored_workload_state: self.restored_workload_state,
+        }
+    }
+
+    /// Shares a persistent evaluation pool with the backend (results are
+    /// bit-identical at any worker count under the determinism contract).
+    pub fn executor(mut self, pool: Arc<Executor>) -> Self {
+        self.executor = Some(pool);
+        self
+    }
+
+    /// Convenience for [`SessionBuilder::executor`]: spawns a dedicated
+    /// pool of `threads` workers (≤ 1 keeps evaluation serial).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Registers a per-generation observer, called after every evaluated
+    /// generation with a streaming [`GenerationEvent`].
+    pub fn observe(mut self, observer: impl FnMut(&GenerationEvent<'_>) + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Restores a checkpointed workload phase ([`Evaluator::restore_state`]
+    /// runs at build). [`Session::resume`] does this automatically; use
+    /// this when resuming onto an explicit backend via [`Session::on`],
+    /// passing the checkpoint's `workload_state`.
+    pub fn workload_state(mut self, state: u64) -> Self {
+        self.restored_workload_state = Some(state);
+        self
+    }
+}
+
+impl<B: Backend, W: Evaluator> SessionBuilder<B, W> {
+    /// Finalizes the session.
+    pub fn build(self) -> Session<W, B> {
+        let mut backend = self.backend;
+        if let Some(pool) = self.executor {
+            backend.set_executor(pool);
+        } else if let Some(threads) = self.threads {
+            if threads > 1 {
+                backend.set_executor(Arc::new(Executor::new(threads)));
+            }
+        }
+        let mut workload = self.workload;
+        if let Some(state) = self.restored_workload_state {
+            workload.restore_state(state);
+        }
+        Session {
+            backend,
+            workload,
+            base_seed: self.base_seed,
+            observers: self.observers,
+        }
+    }
+}
+
+impl<W: Evaluator, B: Backend> Session<W, B> {
+    /// Runs exactly one generation and returns its statistics. Observers
+    /// fire before this returns.
+    pub fn step(&mut self) -> GenerationStats {
+        let Session {
+            backend,
+            workload,
+            base_seed,
+            observers,
+        } = self;
+        let stats = backend.step(&*workload, *base_seed);
+        let event = GenerationEvent {
+            stats: &stats,
+            best: backend.best_genome(),
+        };
+        for observer in observers.iter_mut() {
+            observer(&event);
+        }
+        stats
+    }
+
+    /// Runs until the config's target fitness is reached or
+    /// `max_generations` have been evaluated in this call.
+    pub fn run(&mut self, max_generations: usize) -> SessionReport {
+        let mut history = Vec::with_capacity(max_generations);
+        for _ in 0..max_generations {
+            let stats = self.step();
+            let hit = self
+                .backend
+                .neat_config()
+                .target_fitness
+                .is_some_and(|t| stats.max_fitness >= t);
+            let generation = stats.generation;
+            history.push(stats);
+            if hit {
+                return SessionReport {
+                    history,
+                    outcome: RunOutcome::Converged { generation },
+                    best: self.backend.best_genome().cloned(),
+                };
+            }
+        }
+        SessionReport {
+            history,
+            outcome: RunOutcome::GenerationLimit,
+            best: self.backend.best_genome().cloned(),
+        }
+    }
+
+    /// Captures the complete session state — evolution state plus the
+    /// workload's phase — for checkpointing. Serialize it with
+    /// `genesys_core::snapshot` and rebuild with [`Session::resume`].
+    pub fn export_state(&self) -> EvolutionState {
+        let mut state = self.backend.export_state();
+        state.workload_state = self.workload.state();
+        state
+    }
+
+    /// Current generation index.
+    pub fn generation(&self) -> usize {
+        self.backend.generation()
+    }
+
+    /// Genomes of the current generation.
+    pub fn genomes(&self) -> &[Genome] {
+        self.backend.genomes()
+    }
+
+    /// Best genome observed so far.
+    pub fn best_genome(&self) -> Option<&Genome> {
+        self.backend.best_genome()
+    }
+
+    /// The backend, for backend-specific inspection (e.g.
+    /// [`Population::last_trace`], the SoC's generation reports).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// The session's base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy(ctx: EvalContext, net: &Network) -> f64 {
+        let x = (ctx.seed() % 101) as f64 / 101.0;
+        let out = net.activate(&[x, 1.0 - x])[0];
+        1.0 - (out - x) * (out - x)
+    }
+
+    fn small_config() -> NeatConfig {
+        NeatConfig::builder(2, 1).pop_size(24).build().unwrap()
+    }
+
+    #[test]
+    fn session_drives_generations() {
+        let mut s = Session::builder(small_config(), 3)
+            .unwrap()
+            .workload(proxy)
+            .build();
+        let report = s.run(4);
+        assert_eq!(report.history.len(), 4);
+        assert_eq!(s.generation(), 4);
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_builder() {
+        let bad = NeatConfig {
+            pop_size: 0,
+            ..small_config()
+        };
+        assert!(matches!(
+            Session::builder(bad, 1),
+            Err(SessionError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn observers_stream_every_generation() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut s = Session::builder(small_config(), 5)
+            .unwrap()
+            .workload(proxy)
+            .observe(move |event| sink.borrow_mut().push(event.stats.generation))
+            .build();
+        s.run(3);
+        assert_eq!(*seen.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn export_resume_is_bit_identical_to_uninterrupted() {
+        let mut full = Session::builder(small_config(), 11)
+            .unwrap()
+            .workload(proxy)
+            .build();
+        let full_report = full.run(6);
+
+        let mut head = Session::builder(small_config(), 11)
+            .unwrap()
+            .workload(proxy)
+            .build();
+        let head_report = head.run(3);
+        let state = head.export_state();
+        drop(head);
+        let mut tail = Session::resume(state).unwrap().workload(proxy).build();
+        let tail_report = tail.run(3);
+
+        assert_eq!(&full_report.history[..3], &head_report.history[..]);
+        assert_eq!(&full_report.history[3..], &tail_report.history[..]);
+        // Final genomes byte-for-byte equal (Genome: PartialEq over every
+        // gene and attribute).
+        assert_eq!(full.genomes(), tail.genomes());
+        assert_eq!(
+            full.best_genome().unwrap().key(),
+            tail.best_genome().unwrap().key()
+        );
+    }
+
+    #[test]
+    fn resume_is_identical_across_worker_counts() {
+        let reference = {
+            let mut s = Session::builder(small_config(), 21)
+                .unwrap()
+                .workload(proxy)
+                .build();
+            s.run(6);
+            s.export_state()
+        };
+        let checkpoint = {
+            let mut s = Session::builder(small_config(), 21)
+                .unwrap()
+                .workload(proxy)
+                .build();
+            s.run(3);
+            s.export_state()
+        };
+        for workers in [1usize, 4] {
+            let mut resumed = Session::resume(checkpoint.clone())
+                .unwrap()
+                .workload(proxy)
+                .threads(workers)
+                .build();
+            resumed.run(3);
+            let state = resumed.export_state();
+            assert_eq!(state.genomes, reference.genomes, "workers={workers}");
+            assert_eq!(state.rng_state, reference.rng_state, "workers={workers}");
+            assert_eq!(state.next_key, reference.next_key, "workers={workers}");
+            for (a, b) in state.species.iter().zip(reference.species.iter()) {
+                assert_eq!(a.id, b.id, "workers={workers}");
+                assert_eq!(a.members, b.members, "workers={workers}");
+                assert_eq!(a.representative, b.representative, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_validation_catches_corruption() {
+        let mut s = Session::builder(small_config(), 2)
+            .unwrap()
+            .workload(proxy)
+            .build();
+        s.run(2);
+        let good = s.export_state();
+        assert!(good.validate().is_ok());
+
+        let mut truncated = good.clone();
+        truncated.genomes.pop();
+        assert!(matches!(
+            truncated.validate(),
+            Err(SessionError::PopulationSizeMismatch { .. })
+        ));
+
+        let mut bad_member = good.clone();
+        if let Some(sp) = bad_member.species.first_mut() {
+            sp.members.push(10_000);
+            assert!(matches!(
+                bad_member.validate(),
+                Err(SessionError::MemberOutOfRange { .. })
+            ));
+        }
+
+        let mut empty = good;
+        empty.genomes.clear();
+        empty.config.pop_size = 0;
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn target_fitness_stops_the_run() {
+        let config = NeatConfig::builder(2, 1)
+            .pop_size(16)
+            .target_fitness(Some(0.0))
+            .build()
+            .unwrap();
+        let mut s = Session::builder(config, 1).unwrap().workload(proxy).build();
+        let report = s.run(50);
+        assert!(report.converged());
+        assert_eq!(report.history.len(), 1, "target 0.0 is hit immediately");
+    }
+
+    #[test]
+    fn eval_context_seed_matches_the_documented_mix() {
+        // Locked to the episode_seed formula: changing it would break
+        // bit-compatibility of resumed runs with recorded checkpoints.
+        let ctx = EvalContext {
+            base_seed: 42,
+            generation: 3,
+            index: 17,
+        };
+        assert_eq!(ctx.seed(), ctx.seed());
+        let other = EvalContext { index: 18, ..ctx };
+        assert_ne!(ctx.seed(), other.seed());
+    }
+
+    #[test]
+    fn workload_state_round_trips_through_the_builder() {
+        struct Phased {
+            phase: u64,
+        }
+        impl Evaluator for Phased {
+            fn evaluate(&self, _ctx: EvalContext, _net: &Network) -> Evaluation {
+                Evaluation {
+                    fitness: self.phase as f64,
+                    env_steps: 1,
+                }
+            }
+            fn state(&self) -> u64 {
+                self.phase
+            }
+            fn restore_state(&mut self, state: u64) {
+                self.phase = state;
+            }
+        }
+        let mut s = Session::builder(small_config(), 9)
+            .unwrap()
+            .workload(Phased { phase: 7 })
+            .build();
+        s.step();
+        let state = s.export_state();
+        assert_eq!(state.workload_state, 7);
+        let resumed = Session::resume(state)
+            .unwrap()
+            .workload(Phased { phase: 0 })
+            .build();
+        assert_eq!(resumed.workload().phase, 7, "phase restored at build");
+    }
+
+    #[test]
+    fn env_steps_aggregate_order_insensitively() {
+        let stepper = |_ctx: EvalContext, _net: &Network| 1.0;
+        struct TwoSteps;
+        impl Evaluator for TwoSteps {
+            fn evaluate(&self, ctx: EvalContext, _net: &Network) -> Evaluation {
+                Evaluation {
+                    fitness: ctx.index as f64,
+                    env_steps: 2,
+                }
+            }
+        }
+        let mut plain = Session::builder(small_config(), 4)
+            .unwrap()
+            .workload(stepper)
+            .build();
+        assert_eq!(plain.step().env_steps, 0, "closures report no env steps");
+        for workers in [1usize, 4] {
+            let mut s = Session::builder(small_config(), 4)
+                .unwrap()
+                .workload(TwoSteps)
+                .threads(workers)
+                .build();
+            assert_eq!(s.step().env_steps, 48, "24 genomes x 2 steps");
+        }
+    }
+}

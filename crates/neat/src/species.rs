@@ -36,7 +36,7 @@ impl fmt::Display for SpeciesId {
 }
 
 /// One species: a niche of structurally similar genomes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Species {
     /// Identifier (stable across generations).
     pub id: SpeciesId,
@@ -95,6 +95,23 @@ impl SpeciesSet {
     /// Creates an empty species set.
     pub fn new() -> Self {
         SpeciesSet::default()
+    }
+
+    /// Reassembles a species set from checkpointed parts: the living
+    /// species (creation order) and the id counter. The inverse of
+    /// cloning out [`SpeciesSet::iter`] plus [`SpeciesSet::next_species_id`].
+    pub fn from_parts(species: Vec<Species>, next_id: u32) -> Self {
+        SpeciesSet {
+            species,
+            next_id,
+            dist_scratch: Vec::new(),
+        }
+    }
+
+    /// The id the next founded species will receive — part of the
+    /// checkpoint state (ids must not be reused after a resume).
+    pub fn next_species_id(&self) -> u32 {
+        self.next_id
     }
 
     /// Living species, in creation order.

@@ -36,6 +36,10 @@ pub struct GenerationStats {
     pub fittest_parent_reuse: usize,
     /// Total MAC operations for one inference pass over the population.
     pub inference_macs: u64,
+    /// Environment steps consumed evaluating this generation, summed
+    /// order-insensitively across the population (0 for synthetic fitness
+    /// functions that report no steps). Filled in by the session backends.
+    pub env_steps: u64,
 }
 
 impl GenerationStats {
@@ -80,6 +84,7 @@ impl GenerationStats {
             ops: trace.map(|t| t.totals()).unwrap_or_default(),
             fittest_parent_reuse: trace.map(|t| t.fittest_parent_reuse()).unwrap_or(0),
             inference_macs,
+            env_steps: 0,
         }
     }
 }

@@ -3,38 +3,47 @@
 //! to chase tankards and dodge lyres — while we watch the gene count grow
 //! (the Fig 4(b) effect that motivates gene-level parallelism).
 //!
+//! This example shows the session API's **closure workload** path: any
+//! `Fn(EvalContext, &Network) -> f64` is an evaluator, as long as its
+//! randomness derives from the context (here: the episode seed).
+//!
 //! Run with: `cargo run --release --example atari_ram`
 
 use genesys::gym::{rollout, AsterixRam, EnvKind};
-use genesys::neat::Population;
-use std::sync::atomic::{AtomicU64, Ordering};
+use genesys::neat::{EvalContext, Network, Session};
 
 fn main() {
     let mut config = EnvKind::Asterix.neat_config();
     config.pop_size = 64; // paper uses 150; smaller here for a fast demo
-    let mut population = Population::new(config, 99);
-    population.set_parallelism(4);
 
-    let seed = AtomicU64::new(0);
+    let mut session = Session::builder(config, 99)
+        .expect("valid config")
+        .workload(|ctx: EvalContext, net: &Network| {
+            // Deterministic custom workload: seed from the context, cap
+            // the episode at 600 machine steps for demo speed.
+            let mut env = AsterixRam::from_seed(ctx.seed()).with_max_steps(600);
+            rollout(net, &mut env, 1)
+        })
+        .threads(4)
+        .observe(|event| {
+            let s = event.stats;
+            println!(
+                "{:>3} | {:>10.0} | {:>10.1} | {:>11} | {:>7} | {:>7}",
+                s.generation,
+                s.max_fitness,
+                s.mean_fitness,
+                s.total_genes,
+                s.num_species,
+                s.ops.total(),
+            );
+        })
+        .build();
+
     println!("evolving Asterix-ram (128 RAM-byte observations, 5 buttons)...\n");
     println!("gen | best score | mean score | genes (pop) | species | evo ops");
-    for _ in 0..10 {
-        let stats = population.evolve_once(|net| {
-            let s = seed.fetch_add(1, Ordering::Relaxed);
-            let mut env = AsterixRam::from_seed(s).with_max_steps(600);
-            rollout(net, &mut env, 1)
-        });
-        println!(
-            "{:>3} | {:>10.0} | {:>10.1} | {:>11} | {:>7} | {:>7}",
-            stats.generation,
-            stats.max_fitness,
-            stats.mean_fitness,
-            stats.total_genes,
-            stats.num_species,
-            stats.ops.total(),
-        );
-    }
-    let best = population.best_genome().expect("evaluated");
+    session.run(10);
+
+    let best = session.best_genome().expect("evaluated");
     println!(
         "\nbest genome: {} nodes, {} connections, {} bytes in the 64-bit gene encoding",
         best.num_nodes(),

@@ -2,9 +2,14 @@
 //! what does the interconnect buy? (The Fig 8/11 questions, as a library
 //! user would ask them.)
 //!
+//! The profiling run goes through the session API with a synthetic
+//! closure workload (no environment: fitness is a pure function of the
+//! network), then the recorded reproduction trace drives the EvE replay
+//! model across PE counts and NoC topologies.
+//!
 //! Run with: `cargo run --release --example design_space`
 
-use genesys::neat::{Genome, NeatConfig, Network, Population, SpeciesSet, XorWow};
+use genesys::neat::{EvalContext, Genome, NeatConfig, Network, Session, SpeciesSet, XorWow};
 use genesys::soc::{
     allocate_pes, replay_trace, replay_trace_with_policy, select_parents, AllocPolicy,
     GenomeBuffer, NocKind, SocConfig, TechModel,
@@ -16,11 +21,14 @@ fn main() {
         .pop_size(150)
         .build()
         .expect("valid");
-    let mut pop = Population::new(config.clone(), 11);
-    let parent_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
-    pop.evolve_once(|net: &Network| net.activate(&[0.1; 8])[0]);
-    let trace = pop.last_trace().expect("reproduced").clone();
-    let child_sizes: Vec<usize> = pop.genomes().iter().map(Genome::num_genes).collect();
+    let mut session = Session::builder(config.clone(), 11)
+        .expect("valid config")
+        .workload(|_ctx: EvalContext, net: &Network| net.activate(&[0.1; 8])[0])
+        .build();
+    let parent_sizes: Vec<usize> = session.genomes().iter().map(Genome::num_genes).collect();
+    session.step();
+    let trace = session.backend().last_trace().expect("reproduced").clone();
+    let child_sizes: Vec<usize> = session.genomes().iter().map(Genome::num_genes).collect();
 
     let tech = TechModel::default();
     println!("EvE PEs | NoC        | cycles | evo time | SRAM reads | power mW | area mm2");
@@ -48,7 +56,7 @@ fn main() {
     // (Narrow rounds make the grouping effect visible: with 8-child rounds
     // a greedy schedule touches fewer distinct parents per round.)
     println!("\nPE allocation policy (8 PEs, multicast tree):");
-    let mut genomes = pop.genomes().to_vec();
+    let mut genomes = session.genomes().to_vec();
     for (i, g) in genomes.iter_mut().enumerate() {
         g.set_fitness((i % 13) as f64);
     }

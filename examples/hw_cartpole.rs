@@ -4,12 +4,13 @@
 //! produced by the EvE PE pipeline — crossover, perturbation, delete-gene
 //! and add-gene engines operating on 64-bit quantized gene words — and
 //! every generation reports the cycle and energy accounting of the
-//! walkthrough in Section IV-B of the paper.
+//! walkthrough in Section IV-B of the paper. The **same session driver**
+//! runs both: only the backend passed to `Session::on` differs.
 //!
 //! Run with: `cargo run --release --example hw_cartpole`
 
-use genesys::gym::{CartPole, Environment};
-use genesys::neat::NeatConfig;
+use genesys::gym::{EnvKind, EpisodeEvaluator};
+use genesys::neat::{NeatConfig, Session};
 use genesys::soc::{GenesysSoc, SocConfig};
 
 fn main() {
@@ -26,13 +27,20 @@ fn main() {
         soc_config.area_mm2(),
         soc_config.roofline_power_mw(),
     );
-    let mut soc = GenesysSoc::new(soc_config, neat, 7);
-
-    let mut factory = |i: usize| -> Box<dyn Environment> { Box::new(CartPole::new(i as u64)) };
-    let (reports, converged) = soc.run_until(40, &mut factory);
+    let mut session = Session::on(GenesysSoc::new(soc_config, neat, 7), 7)
+        .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+        .build();
 
     println!("gen | max fit | genes | inf cycles | evo cycles | energy (uJ) | EvE rounds");
-    for r in &reports {
+    let mut converged = false;
+    let mut last = None;
+    for _ in 0..40 {
+        let stats = session.step();
+        let r = session
+            .backend()
+            .last_report()
+            .expect("step records a report")
+            .clone();
         println!(
             "{:>3} | {:>7.1} | {:>5} | {:>10} | {:>10} | {:>11.2} | {:>10}",
             r.generation,
@@ -43,8 +51,14 @@ fn main() {
             r.energy.total(),
             r.evolution.rounds,
         );
+        last = Some(r);
+        let target = session.backend().neat_config().target_fitness;
+        if target.is_some_and(|t| stats.max_fitness >= t) {
+            converged = true;
+            break;
+        }
     }
-    let last = reports.last().expect("at least one generation");
+    let last = last.expect("at least one generation");
     println!(
         "\nper-generation wall time at 200 MHz: inference {:.3} ms, evolution {:.4} ms",
         last.inference_runtime_s * 1e3,

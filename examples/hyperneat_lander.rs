@@ -2,36 +2,31 @@
 //! the lunar lander — the indirect-encoding direction the paper's
 //! Section III-D points at for scaling to larger networks.
 //!
+//! The substrate forward pass is a custom closure workload on the session
+//! API; episode seeds derive from the evaluation context, so the run is
+//! reproducible at any worker count.
+//!
 //! Run with: `cargo run --release --example hyperneat_lander`
 
 use genesys::gym::{rollout, Environment, LunarLander};
-use genesys::neat::{HyperNeat, Network, Population, Substrate};
-use std::sync::atomic::{AtomicU64, Ordering};
+use genesys::neat::{EvalContext, HyperNeat, Network, Session, Substrate};
 
 fn main() {
     // An 8-16-4-1 substrate: ~200 candidate connections painted by a CPPN
     // that starts at 6 genes.
     let hyper = HyperNeat::new(Substrate::grid(8, &[16, 4], 1));
-    let mut population = Population::new(hyper.cppn_config(), 31);
-    population.set_parallelism(4);
-
-    let seed = AtomicU64::new(0);
     println!(
         "substrate: {} nodes, {} candidate connections",
         hyper.substrate().num_nodes(),
         hyper.substrate().num_candidate_conns()
     );
-    println!("gen | best reward | mean | CPPN genes | expressed conns | compression");
 
-    for gen in 0..8 {
-        let hyper_ref = &hyper;
-        let seed_ref = &seed;
-        let stats = population.evolve_once(move |cppn_net: &Network| {
-            // Reconstitute a genome-equivalent expression per evaluation by
-            // probing the CPPN network directly over the substrate.
+    let hyper_ref = &hyper;
+    let mut session = Session::builder(hyper.cppn_config(), 31)
+        .expect("valid CPPN config")
+        .workload(move |ctx: EvalContext, cppn_net: &Network| {
             let mut total = 0.0;
-            let s = seed_ref.fetch_add(1, Ordering::Relaxed);
-            let mut env = LunarLander::new(s);
+            let mut env = LunarLander::new(ctx.seed());
             // Express a closure-based controller: substrate forward pass.
             let layers = hyper_ref.substrate().layers();
             let obs_to_action = |obs: &[f64]| -> f64 {
@@ -62,9 +57,15 @@ fn main() {
                 }
             }
             total
-        });
+        })
+        .threads(4)
+        .build();
+
+    println!("gen | best reward | mean | CPPN genes | expressed conns | compression");
+    for gen in 0..8 {
+        let stats = session.step();
         // Express the champion to inspect the phenotype it encodes.
-        let champion = population.best_genome().expect("evaluated");
+        let champion = session.best_genome().expect("evaluated");
         let phenotype = hyper.express(champion, 0).expect("valid CPPN");
         println!(
             "{:>3} | {:>11.1} | {:>6.1} | {:>10} | {:>15} | {:>10.1}x",
@@ -80,7 +81,7 @@ fn main() {
     println!("genome-buffer compression HyperNEAT offers the SoC for big substrates.");
 
     // Demo rollout of the expressed phenotype through the standard path.
-    let champion = population.best_genome().expect("evaluated");
+    let champion = session.best_genome().expect("evaluated");
     let phenotype = hyper.express(champion, 0).expect("valid CPPN");
     let net = Network::from_genome(&phenotype).expect("valid phenotype");
     let mut env = LunarLander::new(9999);

@@ -1,35 +1,34 @@
-//! Quickstart: evolve a CartPole controller with software NEAT.
+//! Quickstart: evolve a CartPole controller through the session API.
 //!
-//! This is the paper's Section III characterization loop: a population of
-//! minimal topologies (inputs fully connected to outputs, zero weights)
-//! evolves until the pole stays up for 195 of 200 steps.
+//! One `Session` is the whole run surface: a config + seed, a workload
+//! (here the gym's `EpisodeEvaluator`), an optional worker pool, and
+//! streaming per-generation observers. Fitness is bit-identical at any
+//! `--threads` count — every episode seed derives from
+//! `(seed, generation, genome index)`, never from evaluation order.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (flags: `--pop N --generations N --threads N --seed N`)
 
-use genesys::gym::{rollout, CartPole};
-use genesys::neat::{NeatConfig, Population};
-use std::sync::atomic::{AtomicU64, Ordering};
+use genesys::gym::{EnvKind, EpisodeEvaluator};
+use genesys::neat::Session;
+use genesys_bench::ExperimentArgs;
 
 fn main() {
-    let config = NeatConfig::for_env("cartpole", 4, 1);
-    let mut population = Population::new(config, 2024);
-    population.set_parallelism(4); // the paper's PLP configuration (CPU_b)
+    let args = ExperimentArgs::parse();
+    let mut config = EnvKind::CartPole.neat_config(); // pop 150, target 195
+    config.pop_size = args.pop_or(config.pop_size);
 
-    let episode_seed = AtomicU64::new(0);
-    println!("evolving CartPole-v0 (population 150, target fitness 195)...");
-    let result = population.run(
-        |net| {
-            let seed = episode_seed.fetch_add(1, Ordering::Relaxed);
-            let mut env = CartPole::new(seed);
-            rollout(net, &mut env, 2)
-        },
-        60,
-    );
+    let mut session = Session::builder(config, args.base_seed(2024))
+        .expect("valid config")
+        .workload(EpisodeEvaluator::new(EnvKind::CartPole).episodes(2))
+        .threads(args.threads_or(4)) // default: the paper's PLP configuration (CPU_b)
+        .observe(|event| println!("{}", event.stats))
+        .build();
 
-    for stats in &result.history {
-        println!("{stats}");
-    }
-    let best = &result.best;
+    println!("evolving CartPole-v0 (target fitness 195)...");
+    let result = session.run(args.generations_or(60));
+
+    let best = result.best.as_ref().expect("at least one generation ran");
     println!(
         "\noutcome: {:?} — best fitness {:.1}, genome has {} nodes / {} connections",
         result.outcome,
@@ -40,7 +39,7 @@ fn main() {
     if result.converged() {
         println!("target reached: NEAT evolved a balancing controller from zero weights.");
     } else {
-        println!("target not reached within 60 generations (evolution is stochastic —");
+        println!("target not reached within the generation budget (evolution is stochastic —");
         println!("the paper's Fig 4 shows convergence varying from gen 8 to gen 160).");
     }
 }

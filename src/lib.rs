@@ -5,27 +5,53 @@
 //! through a single dependency:
 //!
 //! * [`neat`] — the NEAT neuro-evolution algorithm (genes, genomes,
-//!   speciation, reproduction).
-//! * [`gym`] — the environment suite from Table I of the paper.
-//! * [`soc`] — the GeneSys SoC simulator (EvE, ADAM, SRAM, NoC, energy).
+//!   speciation, reproduction) and the [`Session`] run surface.
+//! * [`gym`] — the environment suite from Table I of the paper, plus the
+//!   session workloads ([`gym::EpisodeEvaluator`],
+//!   [`gym::DriftingEvaluator`]).
+//! * [`soc`] — the GeneSys SoC simulator (EvE, ADAM, SRAM, NoC, energy),
+//!   which doubles as a session [`Backend`], and the binary
+//!   [`soc::snapshot`] checkpoint format.
 //! * [`platforms`] — CPU/GPU/DQN baseline cost models (Tables II and III).
 //!
-//! # Quickstart
+//! # Quickstart: one run surface, bit-identical resume
+//!
+//! A [`Session`] ties a workload to a backend (software population or the
+//! SoC model) behind one driver loop, and checkpoints restore
+//! **bit-identically** — the paper's continuous-learning claim, as an API:
 //!
 //! ```
-//! use genesys::neat::{NeatConfig, Population};
-//! use genesys::gym::{CartPole, Environment};
+//! use genesys::gym::{EnvKind, EpisodeEvaluator};
+//! use genesys::neat::Session;
+//! use genesys::soc::{snapshot_from_bytes, snapshot_to_bytes};
 //!
-//! let config = NeatConfig::for_env("cartpole", 4, 1);
-//! let mut pop = Population::new(config, 42);
-//! let stats = pop.evolve_once(|net| {
-//!     let mut env = CartPole::new(7);
-//!     genesys::gym::rollout(net, &mut env, 200)
-//! });
-//! assert!(stats.max_fitness >= 0.0);
+//! let mut config = EnvKind::CartPole.neat_config();
+//! config.pop_size = 16;
+//!
+//! // Evolve two generations, checkpoint to bytes ("power off").
+//! let mut session = Session::builder(config, 42)?
+//!     .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+//!     .build();
+//! session.run(2);
+//! let checkpoint = snapshot_to_bytes(&session.export_state())?;
+//!
+//! // "Power on": restore and keep learning; the trajectory is the one
+//! // the uninterrupted run would have taken, at any worker count.
+//! let mut resumed = Session::resume(snapshot_from_bytes(&checkpoint)?)?
+//!     .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+//!     .build();
+//! session.run(2);
+//! resumed.run(2);
+//! assert_eq!(session.genomes(), resumed.genomes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use genesys_core as soc;
 pub use genesys_gym as gym;
 pub use genesys_neat as neat;
 pub use genesys_platforms as platforms;
+
+pub use genesys_neat::{
+    Backend, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent, Session,
+    SessionBuilder, SessionError, SessionReport,
+};

@@ -1,0 +1,208 @@
+//! Bit-identical checkpoint/resume — the continuous-learning guarantee.
+//!
+//! Checkpoint at generation G (through the full binary snapshot wire
+//! format), restore into a fresh process-equivalent `Session`, run N more
+//! generations: the fitness history, species assignments and genome bytes
+//! must be identical to an uninterrupted G+N run — at 1 and 4 workers, on
+//! CartPole and on the nonstationary drift environment, and across
+//! *different* worker counts before and after the power cycle.
+
+use genesys::gym::{DriftingEvaluator, EnvKind, EpisodeEvaluator};
+use genesys::neat::{Evaluator, EvolutionState, NeatConfig, Session};
+use genesys::soc::{encode_population, snapshot_from_bytes, snapshot_to_bytes};
+
+const G: usize = 3;
+const N: usize = 3;
+const POP: usize = 24;
+
+fn cartpole_config() -> NeatConfig {
+    let mut config = EnvKind::CartPole.neat_config();
+    config.pop_size = POP;
+    config.target_fitness = None; // fixed-length runs for exact comparison
+    config
+}
+
+fn drift_config() -> NeatConfig {
+    NeatConfig::builder(4, 1).pop_size(POP).build().unwrap()
+}
+
+/// Runs the uninterrupted G+N reference and the checkpointed G → bytes →
+/// restore → N variant, asserting every acceptance axis.
+fn assert_resume_bit_identical<W: Evaluator>(
+    config: NeatConfig,
+    seed: u64,
+    make_workload: impl Fn() -> W,
+    head_workers: usize,
+    tail_workers: usize,
+    label: &str,
+) {
+    // Uninterrupted reference (serial: the determinism contract makes
+    // worker counts irrelevant, which the assertions below re-prove).
+    let mut full = Session::builder(config.clone(), seed)
+        .unwrap()
+        .workload(make_workload())
+        .build();
+    let full_report = full.run(G + N);
+    let full_state = full.export_state();
+
+    // Checkpointed run: G generations, snapshot to *bytes*, drop, restore.
+    let mut head = Session::builder(config, seed)
+        .unwrap()
+        .workload(make_workload())
+        .threads(head_workers)
+        .build();
+    let head_report = head.run(G);
+    let bytes = snapshot_to_bytes(&head.export_state()).expect("encodable");
+    drop(head);
+
+    let restored: EvolutionState = snapshot_from_bytes(&bytes).expect("decodable");
+    let mut tail = Session::resume(restored)
+        .unwrap()
+        .workload(make_workload())
+        .threads(tail_workers)
+        .build();
+    let tail_report = tail.run(N);
+    let tail_state = tail.export_state();
+
+    // Fitness history: head + tail == uninterrupted, element-exact.
+    assert_eq!(
+        &full_report.history[..G],
+        &head_report.history[..],
+        "{label}: pre-checkpoint history diverged"
+    );
+    assert_eq!(
+        &full_report.history[G..],
+        &tail_report.history[..],
+        "{label}: post-resume history diverged"
+    );
+
+    // Species assignments: ids, membership and representatives.
+    assert_eq!(
+        full_state.species.len(),
+        tail_state.species.len(),
+        "{label}: species count diverged"
+    );
+    for (a, b) in full_state.species.iter().zip(tail_state.species.iter()) {
+        assert_eq!(a.id, b.id, "{label}: species id diverged");
+        assert_eq!(a.members, b.members, "{label}: species members diverged");
+        assert_eq!(
+            a.representative, b.representative,
+            "{label}: representative diverged"
+        );
+        assert_eq!(
+            a.last_improved, b.last_improved,
+            "{label}: stagnation bookkeeping diverged"
+        );
+    }
+
+    // Genome bytes: the hardware genome-buffer images are word-identical.
+    assert_eq!(
+        encode_population(full.genomes()),
+        encode_population(tail.genomes()),
+        "{label}: genome-buffer bytes diverged"
+    );
+
+    // And the complete states (RNG stream, counters, best-ever) agree.
+    assert_eq!(full_state, tail_state, "{label}: evolution state diverged");
+}
+
+#[test]
+fn cartpole_resume_is_bit_identical_at_1_worker() {
+    assert_resume_bit_identical(
+        cartpole_config(),
+        7,
+        || EpisodeEvaluator::new(EnvKind::CartPole),
+        1,
+        1,
+        "cartpole w1",
+    );
+}
+
+#[test]
+fn cartpole_resume_is_bit_identical_at_4_workers() {
+    assert_resume_bit_identical(
+        cartpole_config(),
+        7,
+        || EpisodeEvaluator::new(EnvKind::CartPole),
+        4,
+        4,
+        "cartpole w4",
+    );
+}
+
+#[test]
+fn nonstationary_resume_is_bit_identical_at_1_worker() {
+    assert_resume_bit_identical(
+        drift_config(),
+        4242,
+        || DriftingEvaluator::new(4242, 30, POP as u64),
+        1,
+        1,
+        "drift w1",
+    );
+}
+
+#[test]
+fn nonstationary_resume_is_bit_identical_at_4_workers() {
+    assert_resume_bit_identical(
+        drift_config(),
+        4242,
+        || DriftingEvaluator::new(4242, 30, POP as u64),
+        4,
+        4,
+        "drift w4",
+    );
+}
+
+#[test]
+fn worker_count_may_change_across_the_power_cycle() {
+    // Checkpoint under 1 worker, resume under 4 (and vice versa): the
+    // trajectory must still match the uninterrupted serial run.
+    assert_resume_bit_identical(
+        cartpole_config(),
+        19,
+        || EpisodeEvaluator::new(EnvKind::CartPole),
+        1,
+        4,
+        "cartpole w1->w4",
+    );
+    assert_resume_bit_identical(
+        drift_config(),
+        99,
+        || DriftingEvaluator::new(99, 30, POP as u64),
+        4,
+        1,
+        "drift w4->w1",
+    );
+}
+
+#[test]
+fn drift_phase_offset_survives_the_snapshot() {
+    // A run whose drift started mid-world (nonzero episode offset) must
+    // resume in the same regime schedule.
+    let config = drift_config();
+    let make = || DriftingEvaluator::new(5, 20, POP as u64).with_episode_offset(123);
+
+    let mut full = Session::builder(config.clone(), 5)
+        .unwrap()
+        .workload(make())
+        .build();
+    let full_report = full.run(4);
+
+    let mut head = Session::builder(config, 5)
+        .unwrap()
+        .workload(make())
+        .build();
+    head.run(2);
+    let bytes = snapshot_to_bytes(&head.export_state()).unwrap();
+    let state = snapshot_from_bytes(&bytes).unwrap();
+    assert_eq!(state.workload_state, 123, "offset rides in the snapshot");
+    // Resume with a *fresh* evaluator (offset 0): the snapshot restores it.
+    let mut tail = Session::resume(state)
+        .unwrap()
+        .workload(DriftingEvaluator::new(5, 20, POP as u64))
+        .build();
+    assert_eq!(tail.workload().episode_offset(), 123);
+    let tail_report = tail.run(2);
+    assert_eq!(&full_report.history[2..], &tail_report.history[..]);
+}

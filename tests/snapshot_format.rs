@@ -1,0 +1,136 @@
+//! Property tests on the snapshot wire format: encode/decode is a fixed
+//! point on real evolved states, and corrupt input of every shape —
+//! truncation, bit flips, garbage — returns a typed error and never
+//! panics.
+
+use genesys::gym::{DriftingEvaluator, EnvKind, EpisodeEvaluator};
+use genesys::neat::{EvalContext, EvolutionState, NeatConfig, Network, Session};
+use genesys::soc::{
+    decode_snapshot, encode_snapshot, snapshot_from_bytes, snapshot_to_bytes, SnapshotError,
+};
+use proptest::prelude::*;
+
+/// Builds a genuinely evolved state (species, innovations, RNG mid-stream,
+/// best-ever genome) from a handful of generator-chosen knobs. Three
+/// workload shapes keep it fast while exercising drift phase serialization
+/// and env-step accounting.
+fn evolved_state(seed: u64, generations: usize, pop: usize, workload: u8) -> EvolutionState {
+    let config = NeatConfig::builder(3, 1)
+        .pop_size(pop)
+        .node_add_prob(0.5)
+        .conn_add_prob(0.5)
+        .build()
+        .unwrap();
+    match workload % 3 {
+        0 => {
+            let fitness = |ctx: EvalContext, net: &Network| {
+                let x = (ctx.seed() % 17) as f64 / 17.0;
+                net.activate(&[x, 0.5, 1.0 - x])[0]
+            };
+            let mut s = Session::builder(config, seed)
+                .unwrap()
+                .workload(fitness)
+                .build();
+            s.run(generations);
+            s.export_state()
+        }
+        1 => {
+            let mut config = EnvKind::MountainCar.neat_config();
+            config.pop_size = pop;
+            let mut s = Session::builder(config, seed)
+                .unwrap()
+                .workload(EpisodeEvaluator::new(EnvKind::MountainCar))
+                .build();
+            s.run(generations.min(2));
+            s.export_state()
+        }
+        _ => {
+            let config = NeatConfig::builder(4, 1).pop_size(pop).build().unwrap();
+            let mut s = Session::builder(config, seed)
+                .unwrap()
+                .workload(
+                    DriftingEvaluator::new(seed, 10, pop as u64).with_episode_offset(seed % 977),
+                )
+                .build();
+            s.run(generations.min(3));
+            s.export_state()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// snapshot -> words -> snapshot -> words is a fixed point, and the
+    /// byte form round-trips to the identical state.
+    #[test]
+    fn encode_decode_is_a_fixed_point(
+        seed in any::<u64>(),
+        generations in 1usize..5,
+        pop in 6usize..20,
+        workload in any::<u8>(),
+    ) {
+        let state = evolved_state(seed, generations, pop, workload);
+        let words = encode_snapshot(&state).expect("evolved states encode");
+        let decoded = decode_snapshot(&words).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &state);
+        prop_assert_eq!(encode_snapshot(&decoded).unwrap(), words.clone());
+
+        let bytes = snapshot_to_bytes(&state).unwrap();
+        prop_assert_eq!(snapshot_from_bytes(&bytes).unwrap(), state);
+    }
+
+    /// Every truncation of a valid snapshot returns a typed error.
+    #[test]
+    fn truncation_always_errors(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        let state = evolved_state(seed, 2, 10, seed as u8);
+        let words = encode_snapshot(&state).unwrap();
+        let len = (cut as usize) % words.len();
+        prop_assert!(decode_snapshot(&words[..len]).is_err());
+        // Byte-level cuts too, including non-word-aligned ones.
+        let bytes = snapshot_to_bytes(&state).unwrap();
+        let blen = (cut as usize) % bytes.len();
+        prop_assert!(snapshot_from_bytes(&bytes[..blen]).is_err());
+    }
+
+    /// Any single bit flip anywhere in the image is detected.
+    #[test]
+    fn bit_flips_always_error(
+        seed in any::<u64>(),
+        word in any::<u64>(),
+        bit in 0u32..64,
+    ) {
+        let state = evolved_state(seed, 2, 10, seed as u8);
+        let mut words = encode_snapshot(&state).unwrap();
+        let i = (word as usize) % words.len();
+        words[i] ^= 1u64 << bit;
+        prop_assert!(decode_snapshot(&words).is_err(), "flip bit {} of word {}", bit, i);
+    }
+
+    /// Random garbage never decodes and never panics.
+    #[test]
+    fn garbage_never_decodes(
+        seed in any::<u64>(),
+        len in 0usize..256,
+    ) {
+        let mut rng = genesys::neat::XorWow::seed_from_u64_value(seed);
+        let words: Vec<u64> = (0..len)
+            .map(|_| (u64::from(rng.next_u32_value()) << 32) | u64::from(rng.next_u32_value()))
+            .collect();
+        prop_assert!(decode_snapshot(&words).is_err());
+    }
+}
+
+#[test]
+fn error_variants_are_typed_and_displayed() {
+    assert!(matches!(
+        decode_snapshot(&[]),
+        Err(SnapshotError::Truncated { .. })
+    ));
+    let err = decode_snapshot(&[0, 0, 0, 0]).unwrap_err();
+    assert_eq!(err, SnapshotError::BadMagic);
+    assert!(!err.to_string().is_empty());
+}
