@@ -22,9 +22,13 @@
 //! * `--update`    rewrite the baseline from the results instead of comparing
 //! * `--no-calibration` skip cross-machine rescaling (see below)
 //!
-//! Benchmarks present only in the results (newly added) pass with a note;
-//! benchmarks present only in the baseline (removed or filtered) warn but
-//! do not fail, so partial bench runs stay usable locally.
+//! Benchmarks present only in the results (newly added) pass with a note
+//! and are counted, so the summary makes a stale baseline obvious.
+//! Benchmarks present only in the baseline (removed, renamed, or silently
+//! dropped by a partial run) **fail the gate**: a capture that lost
+//! entries would otherwise pass while covering less than the baseline
+//! promises. Intentional removals must refresh the baseline with
+//! `--update`.
 //!
 //! # Cross-machine normalization
 //!
@@ -206,6 +210,7 @@ fn main() -> ExitCode {
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     let mut exempted = 0usize;
+    let mut added = 0usize;
     println!(
         "{:<44} {:>12} {:>12} {:>8}",
         "benchmark", "base min*", "new min", "delta"
@@ -215,7 +220,10 @@ fn main() -> ExitCode {
             continue; // the probe measures the machine, not the code
         }
         match baseline.get(id) {
-            None => println!("{id:<44} {:>12} {:>12} {:>8}", "-", new.min_ns, "new"),
+            None => {
+                added += 1;
+                println!("{id:<44} {:>12} {:>12} {:>8}", "-", new.min_ns, "new");
+            }
             Some(base) => {
                 // A core-count gap makes multithreaded timings incomparable:
                 // the single-thread probe cannot normalize it either way.
@@ -245,20 +253,26 @@ fn main() -> ExitCode {
             }
         }
     }
-    for id in baseline.keys() {
-        if !results.contains_key(id) && id != CALIBRATION_ID {
-            println!("warning: {id} present in baseline but not in results");
-        }
+    // A fresh capture that *lost* baseline entries must not pass silently:
+    // missing coverage is a gate failure, not a warning (refresh the
+    // baseline with --update when a removal is intentional).
+    let missing: Vec<&String> = baseline
+        .keys()
+        .filter(|id| !results.contains_key(*id) && *id != CALIBRATION_ID)
+        .collect();
+    for id in &missing {
+        println!("MISSING: {id} present in baseline but absent from results");
     }
     println!(
-        "\ncompared {compared} benchmarks against {baseline_path} (threshold +{threshold_pct}% on min{})",
+        "\ncompared {compared} benchmarks against {baseline_path} (threshold +{threshold_pct}% on min{}); {added} new, {} missing",
         if exempted > 0 {
             format!("; {exempted} parallel benches exempt on core-count mismatch")
         } else {
             String::new()
-        }
+        },
+        missing.len()
     );
-    if regressions.is_empty() {
+    if regressions.is_empty() && missing.is_empty() {
         println!("bench regression gate: PASS");
         ExitCode::SUCCESS
     } else {
@@ -268,9 +282,16 @@ fn main() -> ExitCode {
                 delta * 100.0
             );
         }
+        if !missing.is_empty() {
+            eprintln!(
+                "MISSING: {} baseline benchmark(s) absent from results (intentional removals need --update)",
+                missing.len()
+            );
+        }
         eprintln!(
-            "bench regression gate: FAIL ({} regressed)",
-            regressions.len()
+            "bench regression gate: FAIL ({} regressed, {} missing)",
+            regressions.len(),
+            missing.len()
         );
         ExitCode::FAILURE
     }

@@ -372,41 +372,13 @@ impl ExperimentArgs {
 
     /// Reads a bin-specific `--key value` flag.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        arg_usize(&self.raw, key, default)
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
-}
-
-/// Parses `--key value` style arguments with a default.
-///
-/// Legacy helper kept for callers predating [`ExperimentArgs`]; new
-/// binaries should parse through [`ExperimentArgs::parse`].
-pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// The fast defaults used by the experiment binaries.
-///
-/// Legacy helper kept for callers predating [`ExperimentArgs`]: returns
-/// `(pop, generations, runs)` with the old suite defaults (64, 8, 3).
-pub fn default_suite_params(args: &[String]) -> (usize, usize, usize) {
-    let parsed = ExperimentArgs::from_args(args.to_vec());
-    (
-        parsed.pop_or(64),
-        parsed.generations_or(8),
-        parsed.runs_or(3),
-    )
-}
-
-/// Builds the shared evaluation pool requested by `--threads N`.
-///
-/// Legacy helper kept for callers predating [`ExperimentArgs`]; new
-/// binaries should use [`ExperimentArgs::pool`].
-pub fn pool_from_args(args: &[String]) -> Option<Arc<Executor>> {
-    ExperimentArgs::from_args(args.to_vec()).pool()
 }
 
 #[cfg(test)]
@@ -471,11 +443,15 @@ mod tests {
     }
 
     #[test]
-    fn pool_from_args_respects_threads_flag() {
+    fn pool_respects_threads_flag() {
         let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert!(pool_from_args(&to_args(&["--threads", "1"])).is_none());
-        assert!(pool_from_args(&[]).is_none());
-        let pool = pool_from_args(&to_args(&["--threads", "3"])).expect("pool requested");
+        assert!(ExperimentArgs::from_args(to_args(&["--threads", "1"]))
+            .pool()
+            .is_none());
+        assert!(ExperimentArgs::from_args(Vec::new()).pool().is_none());
+        let pool = ExperimentArgs::from_args(to_args(&["--threads", "3"]))
+            .pool()
+            .expect("pool requested");
         assert_eq!(pool.workers(), 3);
     }
 
@@ -511,15 +487,5 @@ mod tests {
         assert_eq!(empty.threads_or(4), 4, "absent flag takes the default");
         let serial = ExperimentArgs::from_args(to_args(&["bin", "--threads", "1"]));
         assert_eq!(serial.threads_or(4), 1, "explicit --threads 1 wins");
-    }
-
-    #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["--pop", "32", "--generations", "5"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_usize(&args, "--pop", 64), 32);
-        assert_eq!(arg_usize(&args, "--runs", 3), 3);
     }
 }

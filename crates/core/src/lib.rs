@@ -69,7 +69,7 @@ pub use pe::{EvePe, PeConfig, PeCycles};
 pub use selector::{allocate_pes, select_parents, AllocPolicy, MatingPlan, PeSchedule};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, snapshot_from_bytes, snapshot_to_bytes, SnapshotError,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SNAPSHOT_MAGIC, SNAPSHOT_MAX_NODE_ID, SNAPSHOT_VERSION,
 };
 pub use soc::{GenerationReport, GenesysSoc};
 pub use sram::{GenomeBuffer, SramConfig, SramStats};

@@ -2,7 +2,7 @@
 //! to the **full evolution state**.
 //!
 //! [`crate::codec`] defines the 64-bit gene word the SoC stores in SRAM
-//! (Fig 6). A [`codec::encode_population`] image captures genomes alone;
+//! (Fig 6). A [`crate::codec::encode_population`] image captures genomes alone;
 //! continuous learning needs more: the species bookkeeping, the innovation
 //! counter, the PRNG stream and the seed/generation/key counters, so that
 //! a run restored after a power cycle continues **bit-identically** (see
@@ -15,18 +15,35 @@
 //! [last]     FNV-1a checksum over everything before it
 //! ```
 //!
-//! Genes reuse the hardware gene word for every discrete field and append
-//! the exact `f64` bit patterns of the continuous attributes (bias,
-//! response, weight) — the hardware image alone is fixed-point quantized,
-//! which would break bit-identical resume of a *software* run. A node gene
-//! is `[gene word, bias bits, response bits]`; a connection gene is
-//! `[gene word, weight bits]`.
+//! Genes are stored as **snapshot-local wide gene words** (format v2):
+//! the hardware SRAM word of Fig 6 reserves only 14 bits per node id,
+//! which megapopulation runs overflow, so checkpoints carry their own
+//! 64-bit layout with 31-bit id fields:
+//!
+//! ```text
+//! node word:  [63]=0  [62:61] type code  [60:48] reserved (zero)
+//!             [47:40] activation code    [39:32] aggregation code
+//!             [31:0]  node id            (id ≤ SNAPSHOT_MAX_NODE_ID)
+//! conn word:  [63]=1  [62] enabled  [61:31] src id  [30:0] dst id
+//! ```
+//!
+//! The exact `f64` bit patterns of the continuous attributes follow each
+//! word — any quantized image would break bit-identical resume of a
+//! *software* run. A node gene is `[gene word, bias bits, response
+//! bits]`; a connection gene is `[gene word, weight bits]`. The hardware
+//! codec ([`crate::codec`], 14-bit ids, fixed-point attributes) is a
+//! separate format and is unchanged.
 //!
 //! # Version policy
 //!
 //! [`SNAPSHOT_VERSION`] is bumped on any layout change; decoders reject
 //! images from other versions with [`SnapshotError::UnsupportedVersion`]
-//! rather than guessing. Corrupt input of any shape — truncation, bit
+//! rather than guessing. In particular **v1 images are rejected, not
+//! migrated**: v1 reused the quantized hardware gene word (14-bit ids)
+//! and predates the megapopulation config knobs
+//! (`species_representative_cap`, `eval_batch`), so a faithful upgrade
+//! is impossible — decoding a v1 image returns
+//! `UnsupportedVersion(1)`. Corrupt input of any shape — truncation, bit
 //! flips (caught by the checksum), garbage — returns a typed
 //! [`SnapshotError`] and never panics.
 //!
@@ -54,11 +71,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::codec::{self, DecodeError, Gene, MAX_NODE_ID};
-use genesys_neat::gene::{ConnGene, NodeGene};
+use crate::codec::DecodeError;
+use genesys_neat::gene::{ConnGene, ConnKey, NodeGene, NodeType};
 use genesys_neat::{
-    Activation, Aggregation, EvolutionState, Genome, InitialWeights, NeatConfig, SessionError,
-    Species, SpeciesId,
+    Activation, Aggregation, EvolutionState, Genome, InitialWeights, NeatConfig, NodeId,
+    SessionError, Species, SpeciesId,
 };
 use std::error::Error;
 use std::fmt;
@@ -66,8 +83,12 @@ use std::fmt;
 /// First word of every snapshot image: `"GENESNAP"` in ASCII.
 pub const SNAPSHOT_MAGIC: u64 = 0x4745_4E45_534E_4150;
 /// Current wire-format version. Bumped on any layout change; see the
-/// module docs for the compatibility policy.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// module docs for the compatibility policy (v1 images are rejected).
+pub const SNAPSHOT_VERSION: u64 = 2;
+/// Largest node id the snapshot gene words can carry (31-bit id fields —
+/// far beyond the hardware codec's 14-bit `codec::MAX_NODE_ID`, so
+/// megapopulation runs checkpoint without overflow).
+pub const SNAPSHOT_MAX_NODE_ID: u32 = (1 << 31) - 1;
 
 /// Typed decoding/encoding failure. Corrupt input always lands here —
 /// never in a panic.
@@ -95,7 +116,7 @@ pub enum SnapshotError {
     InvalidGenome(String),
     /// The decoded state failed cross-field validation.
     InvalidState(String),
-    /// A node id does not fit the wire format's 14-bit id field.
+    /// A node id does not fit the snapshot wire format's 31-bit id field.
     NodeIdOverflow {
         /// The offending id.
         id: u32,
@@ -124,7 +145,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::NodeIdOverflow { id } => {
                 write!(
                     f,
-                    "node id {id} exceeds the {MAX_NODE_ID} wire-format limit"
+                    "node id {id} exceeds the {SNAPSHOT_MAX_NODE_ID} snapshot wire-format limit"
                 )
             }
         }
@@ -154,6 +175,71 @@ fn fnv1a(words: &[u64]) -> u64 {
         }
     }
     hash
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot gene words (module-doc layout). These deliberately do NOT reuse
+// `codec::encode_node`/`encode_conn`: the hardware word has 14-bit id
+// fields, the snapshot word 31-bit ones.
+
+const CONN_ID_MASK: u64 = (1 << 31) - 1;
+
+fn encode_node_word(node: &NodeGene) -> u64 {
+    let mut w = 0u64;
+    w |= u64::from(node.node_type.to_code() & 0b11) << 61;
+    w |= u64::from(node.activation.to_code()) << 40;
+    w |= u64::from(node.aggregation.to_code()) << 32;
+    w |= u64::from(node.id.0);
+    w
+}
+
+fn encode_conn_word(conn: &ConnGene) -> u64 {
+    let mut w = 1u64 << 63;
+    w |= u64::from(conn.enabled) << 62;
+    w |= u64::from(conn.key.src.0) << 31;
+    w |= u64::from(conn.key.dst.0);
+    w
+}
+
+/// Decodes a node word; `bias`/`response` are filled by the caller from
+/// the trailing f64 words.
+fn decode_node_word(word: u64) -> Result<NodeGene, SnapshotError> {
+    if word >> 63 != 0 {
+        return Err(SnapshotError::Malformed("expected a node gene word"));
+    }
+    let type_code = ((word >> 61) & 0b11) as u8;
+    if type_code == 0b11 {
+        return Err(SnapshotError::Malformed("reserved node type"));
+    }
+    if (word >> 48) & 0x1FFF != 0 {
+        return Err(SnapshotError::Malformed("reserved node bits set"));
+    }
+    let id = (word & 0xFFFF_FFFF) as u32;
+    if id > SNAPSHOT_MAX_NODE_ID {
+        return Err(SnapshotError::Malformed("node id out of range"));
+    }
+    Ok(NodeGene {
+        id: NodeId(id),
+        node_type: NodeType::from_code(type_code),
+        bias: 0.0,
+        response: 0.0,
+        activation: Activation::from_code(((word >> 40) & 0xFF) as u8),
+        aggregation: Aggregation::from_code(((word >> 32) & 0xFF) as u8),
+    })
+}
+
+/// Decodes a conn word; `weight` is filled by the caller.
+fn decode_conn_word(word: u64) -> Result<ConnGene, SnapshotError> {
+    if word >> 63 != 1 {
+        return Err(SnapshotError::Malformed("expected a conn gene word"));
+    }
+    let src = ((word >> 31) & CONN_ID_MASK) as u32;
+    let dst = (word & CONN_ID_MASK) as u32;
+    Ok(ConnGene {
+        key: ConnKey::new(NodeId(src), NodeId(dst)),
+        weight: 0.0,
+        enabled: (word >> 62) & 1 == 1,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +307,8 @@ fn encode_config(words: &mut Vec<u64>, c: &NeatConfig) {
         c.species_elitism,
         c.elitism,
         c.min_species_size,
+        c.species_representative_cap,
+        c.eval_batch,
     ] {
         words.push(v as u64);
     }
@@ -258,20 +346,20 @@ fn encode_genome_record(words: &mut Vec<u64>, g: &Genome) -> Result<(), Snapshot
         }
     }
     for node in g.nodes() {
-        if node.id.0 > MAX_NODE_ID {
+        if node.id.0 > SNAPSHOT_MAX_NODE_ID {
             return Err(SnapshotError::NodeIdOverflow { id: node.id.0 });
         }
-        words.push(codec::encode_node(node));
+        words.push(encode_node_word(node));
         push_f64(words, node.bias);
         push_f64(words, node.response);
     }
     for conn in g.conns() {
-        if conn.key.src.0 > MAX_NODE_ID || conn.key.dst.0 > MAX_NODE_ID {
+        if conn.key.src.0 > SNAPSHOT_MAX_NODE_ID || conn.key.dst.0 > SNAPSHOT_MAX_NODE_ID {
             return Err(SnapshotError::NodeIdOverflow {
                 id: conn.key.src.0.max(conn.key.dst.0),
             });
         }
-        words.push(codec::encode_conn(conn));
+        words.push(encode_conn_word(conn));
         push_f64(words, conn.weight);
     }
     Ok(())
@@ -295,8 +383,7 @@ fn encode_species_record(words: &mut Vec<u64>, s: &Species) -> Result<(), Snapsh
 /// # Errors
 ///
 /// Returns [`SnapshotError::NodeIdOverflow`] if a genome exceeds the
-/// hardware gene word's 14-bit node-id space (the same limit the SoC's
-/// genome buffer has).
+/// snapshot gene word's 31-bit node-id space ([`SNAPSHOT_MAX_NODE_ID`]).
 pub fn encode_snapshot(state: &EvolutionState) -> Result<Vec<u64>, SnapshotError> {
     let mut words = vec![SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0];
     encode_config(&mut words, &state.config);
@@ -403,6 +490,8 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
     let species_elitism = c.take_usize()?;
     let elitism = c.take_usize()?;
     let min_species_size = c.take_usize()?;
+    let species_representative_cap = c.take_usize()?;
+    let eval_batch = c.take_usize()?;
     let n_act = c.take_count(1)?;
     let mut activation_options = Vec::with_capacity(n_act);
     for _ in 0..n_act {
@@ -466,6 +555,8 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
         species_elitism,
         elitism,
         min_species_size,
+        species_representative_cap,
+        eval_batch,
         activation_options,
         aggregation_options,
         target_fitness,
@@ -500,24 +591,16 @@ fn decode_genome_record(
     }
     let mut nodes: Vec<NodeGene> = Vec::with_capacity(num_nodes);
     for _ in 0..num_nodes {
-        let word = c.take()?;
-        let mut node = match codec::decode(word)? {
-            Gene::Node(n) => n,
-            Gene::Conn(_) => return Err(SnapshotError::Malformed("expected a node gene word")),
-        };
-        // The hardware word carries the quantized attributes; the exact
-        // f64 bit patterns follow it.
+        let mut node = decode_node_word(c.take()?)?;
+        // The word carries the discrete fields; the exact f64 bit
+        // patterns of the continuous attributes follow it.
         node.bias = c.take_f64()?;
         node.response = c.take_f64()?;
         nodes.push(node);
     }
     let mut conns: Vec<ConnGene> = Vec::with_capacity(num_conns);
     for _ in 0..num_conns {
-        let word = c.take()?;
-        let mut conn = match codec::decode(word)? {
-            Gene::Conn(cg) => cg,
-            Gene::Node(_) => return Err(SnapshotError::Malformed("expected a conn gene word")),
-        };
+        let mut conn = decode_conn_word(c.take()?)?;
         conn.weight = c.take_f64()?;
         conns.push(conn);
     }
@@ -813,26 +896,60 @@ mod tests {
         );
     }
 
-    #[test]
-    fn node_id_overflow_is_a_typed_error() {
-        let mut state = evolved_state(2, 1);
-        // Forge a genome with an id beyond the 14-bit wire limit.
+    /// `state.genomes[0]` with an extra hidden node of the given id,
+    /// installed as `best_ever`.
+    fn with_forged_id(mut state: EvolutionState, id: u32) -> EvolutionState {
         let config = &state.config;
-        let huge = Genome::from_parts(
+        let forged = Genome::from_parts(
             999,
             config.num_inputs,
             config.num_outputs,
             state.genomes[0].nodes().copied().chain(std::iter::once(
-                genesys_neat::NodeGene::hidden(genesys_neat::NodeId(MAX_NODE_ID + 1)),
+                genesys_neat::NodeGene::hidden(genesys_neat::NodeId(id)),
             )),
             state.genomes[0].conns().copied(),
         )
         .unwrap();
-        state.best_ever = Some(huge);
+        state.best_ever = Some(forged);
+        state
+    }
+
+    #[test]
+    fn node_id_overflow_is_a_typed_error() {
+        // Beyond the 31-bit snapshot wire limit.
+        let state = with_forged_id(evolved_state(2, 1), SNAPSHOT_MAX_NODE_ID + 1);
         assert!(matches!(
             encode_snapshot(&state),
             Err(SnapshotError::NodeIdOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn ids_beyond_the_hardware_limit_roundtrip() {
+        // v1 reused the hardware gene word and failed here; the v2
+        // snapshot words carry 31-bit ids, so megapopulation-sized node
+        // ids checkpoint exactly.
+        use crate::codec::MAX_NODE_ID as HW_MAX_NODE_ID;
+        for id in [HW_MAX_NODE_ID + 1, 1 << 20, SNAPSHOT_MAX_NODE_ID] {
+            let state = with_forged_id(evolved_state(2, 1), id);
+            let words = encode_snapshot(&state).unwrap();
+            let back = decode_snapshot(&words).unwrap();
+            assert_eq!(state, back, "id {id}");
+        }
+    }
+
+    #[test]
+    fn v1_images_are_rejected() {
+        let state = evolved_state(6, 2);
+        let mut words = encode_snapshot(&state).unwrap();
+        words[1] = 1;
+        // Recompute the checksum so the version check itself is what trips.
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Flat population arenas: the whole population's gene streams packed
+//! into two contiguous buffers with per-genome offset/length tables.
+//!
+//! This is the paper's genome-buffer layout — "the genes are stored in two
+//! logical clusters … sorted in ascending order of IDs" (Section IV-C5) —
+//! extended across the *population*: every genome's node cluster lives
+//! back-to-back in one `Vec<NodeGene>`, every conn cluster in one
+//! `Vec<ConnGene>`, and a span table maps genome index → `(offset, len)`
+//! into each. Population-scale sweeps (the speciation distance matrix,
+//! compatibility scans, batched gene statistics) then walk contiguous
+//! memory instead of chasing one heap allocation per genome, which is what
+//! makes `--pop 10_000..100_000` practical.
+//!
+//! Distances computed through [`GenomeView::distance`] share one
+//! implementation with [`Genome::distance`] ([`gene_distance`]), so arena
+//! and per-genome paths are bit-identical by construction.
+
+use crate::config::NeatConfig;
+use crate::gene::{ConnGene, NodeGene};
+use crate::genome::{Genome, GENE_BYTES};
+
+/// Borrowed view of one genome's two sorted gene clusters — either a slice
+/// pair out of a [`PopulationArena`] or a [`Genome`]'s own buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct GenomeView<'a> {
+    /// Node genes in ascending id order.
+    pub nodes: &'a [NodeGene],
+    /// Connection genes in ascending key order.
+    pub conns: &'a [ConnGene],
+}
+
+impl<'a> GenomeView<'a> {
+    /// Views a genome's own gene buffers without copying.
+    pub fn of(genome: &'a Genome) -> Self {
+        GenomeView {
+            nodes: genome.node_genes(),
+            conns: genome.conn_genes(),
+        }
+    }
+
+    /// Compatibility distance to `other`; bit-identical to
+    /// [`Genome::distance`] (both delegate to [`gene_distance`]).
+    pub fn distance(&self, other: GenomeView<'_>, config: &NeatConfig) -> f64 {
+        gene_distance(self.nodes, self.conns, other.nodes, other.conns, config)
+    }
+
+    /// Total gene count of the viewed genome.
+    pub fn num_genes(&self) -> usize {
+        self.nodes.len() + self.conns.len()
+    }
+}
+
+/// Per-genome offset/length record into the arena's two gene buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Span {
+    node_offset: usize,
+    node_len: usize,
+    conn_offset: usize,
+    conn_len: usize,
+}
+
+/// A population's gene streams packed contiguously (see module docs).
+///
+/// [`PopulationArena::pack`] reuses the backing buffers across calls, so a
+/// generation-loop repack allocates nothing once capacity has grown to the
+/// population's working-set size.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationArena {
+    nodes: Vec<NodeGene>,
+    conns: Vec<ConnGene>,
+    spans: Vec<Span>,
+}
+
+impl PopulationArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PopulationArena::default()
+    }
+
+    /// Packs the gene streams of `genomes` into the arena, replacing any
+    /// previous contents. Buffer capacity is retained across calls.
+    pub fn pack<'a>(&mut self, genomes: impl IntoIterator<Item = &'a Genome>) {
+        self.nodes.clear();
+        self.conns.clear();
+        self.spans.clear();
+        for genome in genomes {
+            let span = Span {
+                node_offset: self.nodes.len(),
+                node_len: genome.num_nodes(),
+                conn_offset: self.conns.len(),
+                conn_len: genome.num_conns(),
+            };
+            self.nodes.extend_from_slice(genome.node_genes());
+            self.conns.extend_from_slice(genome.conn_genes());
+            self.spans.push(span);
+        }
+    }
+
+    /// Number of packed genomes.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no genomes are packed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// View of the `i`-th packed genome's gene clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn view(&self, i: usize) -> GenomeView<'_> {
+        let span = self.spans[i];
+        GenomeView {
+            nodes: &self.nodes[span.node_offset..span.node_offset + span.node_len],
+            conns: &self.conns[span.conn_offset..span.conn_offset + span.conn_len],
+        }
+    }
+
+    /// Total genes across all packed genomes (the Fig 4(b) metric, summed).
+    pub fn total_genes(&self) -> usize {
+        self.nodes.len() + self.conns.len()
+    }
+
+    /// Total memory footprint in the 64-bit hardware gene encoding.
+    pub fn memory_bytes(&self) -> usize {
+        self.total_genes() * GENE_BYTES
+    }
+}
+
+/// Compatibility distance between two sorted gene-slice pairs, following
+/// the `neat-python` formulation (Section II-D): node distance plus
+/// connection distance, each `(weight_coeff * Σ attribute distance of
+/// matching genes + disjoint_coeff * #non-matching) / max gene count`.
+///
+/// This is *the* implementation — [`Genome::distance`] and
+/// [`GenomeView::distance`] both call it — so every caller accumulates in
+/// the same order (ascending key order of the `b` side) and produces
+/// bit-identical results.
+pub fn gene_distance(
+    nodes_a: &[NodeGene],
+    conns_a: &[ConnGene],
+    nodes_b: &[NodeGene],
+    conns_b: &[ConnGene],
+    config: &NeatConfig,
+) -> f64 {
+    let cd = config.compatibility_disjoint_coefficient;
+    let cw = config.compatibility_weight_coefficient;
+
+    let mut node_dist = 0.0;
+    let mut disjoint_nodes = 0usize;
+    let mut matched = 0usize;
+    let mut i = 0usize;
+    for n2 in nodes_b {
+        while i < nodes_a.len() && nodes_a[i].id < n2.id {
+            i += 1;
+        }
+        if i < nodes_a.len() && nodes_a[i].id == n2.id {
+            node_dist += nodes_a[i].attribute_distance(n2) * cw;
+            matched += 1;
+        } else {
+            disjoint_nodes += 1;
+        }
+    }
+    disjoint_nodes += nodes_a.len() - matched;
+    let max_nodes = nodes_a.len().max(nodes_b.len()).max(1);
+    node_dist = (node_dist + cd * disjoint_nodes as f64) / max_nodes as f64;
+
+    let mut conn_dist = 0.0;
+    let mut disjoint_conns = 0usize;
+    let mut matched = 0usize;
+    let mut i = 0usize;
+    for c2 in conns_b {
+        while i < conns_a.len() && conns_a[i].key < c2.key {
+            i += 1;
+        }
+        if i < conns_a.len() && conns_a[i].key == c2.key {
+            conn_dist += conns_a[i].attribute_distance(c2) * cw;
+            matched += 1;
+        } else {
+            disjoint_conns += 1;
+        }
+    }
+    disjoint_conns += conns_a.len() - matched;
+    let max_conns = conns_a.len().max(conns_b.len()).max(1);
+    conn_dist = (conn_dist + cd * disjoint_conns as f64) / max_conns as f64;
+
+    node_dist + conn_dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::innovation::InnovationTracker;
+    use crate::rng::XorWow;
+    use crate::trace::OpCounters;
+
+    fn evolved_population(n: usize) -> (Vec<Genome>, NeatConfig) {
+        let c = NeatConfig::builder(3, 2).build().unwrap();
+        let mut r = XorWow::seed_from_u64_value(314);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let genomes = (0..n)
+            .map(|k| {
+                let mut g = Genome::initial(k as u64, &c, &mut r);
+                let mut ops = OpCounters::new();
+                for _ in 0..(k % 5) {
+                    g.mutate_add_node(&mut innov, &mut r, &mut ops);
+                    g.mutate_add_conn(&mut r, &mut ops);
+                    g.mutate_attributes(&c, &mut r, &mut ops);
+                }
+                g
+            })
+            .collect();
+        (genomes, c)
+    }
+
+    #[test]
+    fn pack_preserves_every_gene_in_order() {
+        let (genomes, _) = evolved_population(12);
+        let mut arena = PopulationArena::new();
+        arena.pack(&genomes);
+        assert_eq!(arena.len(), genomes.len());
+        for (i, g) in genomes.iter().enumerate() {
+            let v = arena.view(i);
+            assert_eq!(v.nodes, g.node_genes());
+            assert_eq!(v.conns, g.conn_genes());
+            assert_eq!(v.num_genes(), g.num_genes());
+        }
+        let genes: usize = genomes.iter().map(Genome::num_genes).sum();
+        assert_eq!(arena.total_genes(), genes);
+        assert_eq!(arena.memory_bytes(), genes * GENE_BYTES);
+    }
+
+    #[test]
+    fn arena_distance_is_bit_identical_to_genome_distance() {
+        let (genomes, c) = evolved_population(10);
+        let mut arena = PopulationArena::new();
+        arena.pack(&genomes);
+        for i in 0..genomes.len() {
+            for j in 0..genomes.len() {
+                let direct = genomes[i].distance(&genomes[j], &c);
+                let via_arena = arena.view(i).distance(arena.view(j), &c);
+                let mixed = GenomeView::of(&genomes[i]).distance(arena.view(j), &c);
+                assert_eq!(direct.to_bits(), via_arena.to_bits(), "{i} vs {j}");
+                assert_eq!(direct.to_bits(), mixed.to_bits(), "{i} vs {j} mixed");
+            }
+        }
+    }
+
+    #[test]
+    fn repack_reuses_capacity() {
+        let (genomes, _) = evolved_population(16);
+        let mut arena = PopulationArena::new();
+        arena.pack(&genomes);
+        let node_cap = arena.nodes.capacity();
+        let conn_cap = arena.conns.capacity();
+        // Repacking the same (or a smaller) population must not grow.
+        arena.pack(&genomes[..8]);
+        arena.pack(&genomes);
+        assert_eq!(arena.nodes.capacity(), node_cap);
+        assert_eq!(arena.conns.capacity(), conn_cap);
+        assert_eq!(arena.len(), 16);
+    }
+
+    #[test]
+    fn empty_arena_is_well_behaved() {
+        let mut arena = PopulationArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.total_genes(), 0);
+        arena.pack(&[]);
+        assert_eq!(arena.len(), 0);
+    }
+}

@@ -118,6 +118,21 @@ pub struct NeatConfig {
     pub max_stagnation: usize,
     /// Number of best species protected from stagnation removal.
     pub species_elitism: usize,
+    /// Ceiling on the number of species representatives a genome is
+    /// compared against during speciation, making `speciate_on` O(n·K)
+    /// instead of O(n·species) at megapopulation scale.
+    ///
+    /// Only the first `species_representative_cap` species (in creation
+    /// order) act as assignment candidates; once the cap is reached no new
+    /// species are founded and unmatched genomes join the nearest capped
+    /// candidate instead. **Determinism trade** (same shape as the
+    /// reproduction pipeline's per-child seeds): runs whose species count
+    /// stays below the cap are bit-identical to the uncapped
+    /// implementation — true at paper scale with the default cap of 64 —
+    /// while runs that hit the cap produce different (but still
+    /// reproducible and worker-count-invariant) trajectories than an
+    /// uncapped run would.
+    pub species_representative_cap: usize,
 
     // -- reproduction ---------------------------------------------------------
     /// Per-species count of top genomes copied unchanged into the next
@@ -130,6 +145,17 @@ pub struct NeatConfig {
     /// Probability that reproduction is sexual (two distinct parents and a
     /// crossover) rather than asexual (clone + mutate).
     pub crossover_prob: f64,
+
+    // -- evaluation -------------------------------------------------------
+    /// Number of episodes evaluated in lockstep through the batched SoA
+    /// activation kernel ([`crate::Network::activate_batch_into`]).
+    ///
+    /// `1` (the default) keeps the scalar `activate_into` path. Larger
+    /// values let multi-episode evaluations walk the compiled plan once
+    /// per step with the batch as the innermost dimension, which
+    /// autovectorizes the edge walk. Per-lane results are bit-identical
+    /// to the scalar path, so this knob trades nothing but memory.
+    pub eval_batch: usize,
 
     // -- termination -------------------------------------------------------
     /// Evolution stops once the best raw fitness reaches this value (if set).
@@ -181,10 +207,12 @@ impl NeatConfig {
             compatibility_weight_coefficient: 0.5,
             max_stagnation: 15,
             species_elitism: 2,
+            species_representative_cap: 64,
             elitism: 2,
             survival_threshold: 0.2,
             min_species_size: 2,
             crossover_prob: 0.75,
+            eval_batch: 1,
             target_fitness: None,
         }
     }
@@ -279,6 +307,16 @@ impl NeatConfig {
         if self.response_min > self.response_max {
             return Err(ConfigError::InvalidBound { field: "response" });
         }
+        if self.species_representative_cap == 0 {
+            return Err(ConfigError::InvalidBound {
+                field: "species_representative_cap",
+            });
+        }
+        if self.eval_batch == 0 {
+            return Err(ConfigError::InvalidBound {
+                field: "eval_batch",
+            });
+        }
         Ok(())
     }
 
@@ -359,6 +397,8 @@ impl NeatConfigBuilder {
         max_stagnation: usize,
         /// Sets the number of species protected from stagnation.
         species_elitism: usize,
+        /// Sets the speciation representative-comparison ceiling.
+        species_representative_cap: usize,
         /// Sets per-species elitism.
         elitism: usize,
         /// Sets the parent survival threshold.
@@ -367,6 +407,8 @@ impl NeatConfigBuilder {
         min_species_size: usize,
         /// Sets the sexual-reproduction probability.
         crossover_prob: f64,
+        /// Sets the batched-evaluation lane count.
+        eval_batch: usize,
         /// Sets the target fitness for convergence.
         target_fitness: Option<f64>,
     }
@@ -437,6 +479,38 @@ mod tests {
         let c = NeatConfig::builder(6, 3).build().unwrap();
         assert_eq!(c.first_output_id(), 6);
         assert_eq!(c.first_hidden_id(), 9);
+    }
+
+    #[test]
+    fn zero_representative_cap_rejected() {
+        let err = NeatConfig::builder(2, 1)
+            .species_representative_cap(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidBound {
+                field: "species_representative_cap"
+            }
+        );
+    }
+
+    #[test]
+    fn zero_eval_batch_rejected() {
+        let err = NeatConfig::builder(2, 1).eval_batch(0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidBound {
+                field: "eval_batch"
+            }
+        );
+    }
+
+    #[test]
+    fn megapop_knobs_have_scalar_safe_defaults() {
+        let c = NeatConfig::builder(2, 1).build().unwrap();
+        assert_eq!(c.species_representative_cap, 64);
+        assert_eq!(c.eval_batch, 1);
     }
 
     #[test]

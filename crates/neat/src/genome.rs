@@ -290,6 +290,17 @@ impl Genome {
         self.conns.iter()
     }
 
+    /// Node genes as one contiguous slice (ascending id order) — the view
+    /// the flat population arena packs from.
+    pub fn node_genes(&self) -> &[NodeGene] {
+        &self.nodes
+    }
+
+    /// Connection genes as one contiguous slice (ascending key order).
+    pub fn conn_genes(&self) -> &[ConnGene] {
+        &self.conns
+    }
+
     /// Looks up a node gene.
     pub fn node(&self, id: NodeId) -> Option<&NodeGene> {
         self.node_pos(id).ok().map(|i| &self.nodes[i])
@@ -373,58 +384,81 @@ impl Genome {
 
     /// Perturbs (or replaces) the continuous and discrete attributes of all
     /// genes — the Perturbation Engine's work.
+    ///
+    /// Hit selection uses **geometric-skip sampling**: instead of one
+    /// Bernoulli draw per gene per attribute, the geometric CDF is inverted
+    /// once per hit and the walk jumps straight to the next mutated gene,
+    /// making the pass O(mutations) instead of O(genes) — the behaviour
+    /// megapopulations need. Each attribute is swept as its own channel
+    /// (bias, response, activation, aggregation over the non-input node
+    /// cluster; weight, enabled over the conn cluster), in that order. The
+    /// per-hit payload draws (replace-vs-perturb, uniform or Gaussian) are
+    /// unchanged. The marginal per-gene mutation probability is identical
+    /// to the per-gene coin flip this replaces, but the PRNG stream shape
+    /// differs; see `crate::reproduction` for the documented trade.
     pub fn mutate_attributes(
         &mut self,
         config: &NeatConfig,
         rng: &mut XorWow,
         ops: &mut OpCounters,
     ) {
-        for node in &mut self.nodes {
-            if node.node_type == NodeType::Input {
-                continue;
-            }
-            if rng.chance(config.bias_mutate_rate) {
-                node.bias = if rng.chance(config.bias_replace_rate) {
-                    rng.uniform(config.bias_min, config.bias_max)
-                } else {
-                    (node.bias + rng.next_gaussian() * config.bias_perturb_power)
-                        .clamp(config.bias_min, config.bias_max)
-                };
+        // Sorted-by-id node cluster ⇒ inputs occupy positions
+        // 0..num_inputs, so the non-input genes are exactly the tail.
+        let first = self.num_inputs.min(self.nodes.len());
+        let targets = &mut self.nodes[first..];
+        geometric_hits(rng, config.bias_mutate_rate, targets.len(), |rng, i| {
+            let node = &mut targets[i];
+            node.bias = if rng.chance(config.bias_replace_rate) {
+                rng.uniform(config.bias_min, config.bias_max)
+            } else {
+                (node.bias + rng.next_gaussian() * config.bias_perturb_power)
+                    .clamp(config.bias_min, config.bias_max)
+            };
+            ops.perturb += 1;
+        });
+        geometric_hits(rng, config.response_mutate_rate, targets.len(), |rng, i| {
+            let node = &mut targets[i];
+            node.response = if rng.chance(config.response_replace_rate) {
+                rng.uniform(config.response_min, config.response_max)
+            } else {
+                (node.response + rng.next_gaussian() * config.response_perturb_power)
+                    .clamp(config.response_min, config.response_max)
+            };
+            ops.perturb += 1;
+        });
+        geometric_hits(
+            rng,
+            config.activation_mutate_rate,
+            targets.len(),
+            |rng, i| {
+                targets[i].activation = Activation::random(rng, &config.activation_options);
                 ops.perturb += 1;
-            }
-            if rng.chance(config.response_mutate_rate) {
-                node.response = if rng.chance(config.response_replace_rate) {
-                    rng.uniform(config.response_min, config.response_max)
-                } else {
-                    (node.response + rng.next_gaussian() * config.response_perturb_power)
-                        .clamp(config.response_min, config.response_max)
-                };
+            },
+        );
+        geometric_hits(
+            rng,
+            config.aggregation_mutate_rate,
+            targets.len(),
+            |rng, i| {
+                targets[i].aggregation = Aggregation::random(rng, &config.aggregation_options);
                 ops.perturb += 1;
-            }
-            if rng.chance(config.activation_mutate_rate) {
-                node.activation = Activation::random(rng, &config.activation_options);
-                ops.perturb += 1;
-            }
-            if rng.chance(config.aggregation_mutate_rate) {
-                node.aggregation = Aggregation::random(rng, &config.aggregation_options);
-                ops.perturb += 1;
-            }
-        }
-        for conn in &mut self.conns {
-            if rng.chance(config.weight_mutate_rate) {
-                conn.weight = if rng.chance(config.weight_replace_rate) {
-                    rng.uniform(config.weight_min, config.weight_max)
-                } else {
-                    (conn.weight + rng.next_gaussian() * config.weight_perturb_power)
-                        .clamp(config.weight_min, config.weight_max)
-                };
-                ops.perturb += 1;
-            }
-            if rng.chance(config.enabled_mutate_rate) {
-                conn.enabled = !conn.enabled;
-                ops.perturb += 1;
-            }
-        }
+            },
+        );
+        let conns = &mut self.conns;
+        geometric_hits(rng, config.weight_mutate_rate, conns.len(), |rng, i| {
+            let conn = &mut conns[i];
+            conn.weight = if rng.chance(config.weight_replace_rate) {
+                rng.uniform(config.weight_min, config.weight_max)
+            } else {
+                (conn.weight + rng.next_gaussian() * config.weight_perturb_power)
+                    .clamp(config.weight_min, config.weight_max)
+            };
+            ops.perturb += 1;
+        });
+        geometric_hits(rng, config.enabled_mutate_rate, conns.len(), |_rng, i| {
+            conns[i].enabled = !conns[i].enabled;
+            ops.perturb += 1;
+        });
     }
 
     /// Splits a random enabled connection `s->d` into `s->new` and
@@ -483,13 +517,16 @@ impl Genome {
         for _ in 0..16 {
             let src = self.nodes[rng.below(num_sources)].id;
             let sink_pick = rng.below(num_sinks);
-            let dst = self
-                .nodes
-                .iter()
-                .filter(|n| n.node_type != NodeType::Input)
-                .nth(sink_pick)
-                .expect("pick is below the sink count")
-                .id;
+            // Sorted node cluster: inputs fill positions 0..num_inputs
+            // (validate guarantees ids 0..num_inputs+num_outputs are all
+            // present), so the `sink_pick`-th non-input gene sits at a
+            // fixed offset — O(1), same draw, same selection as the
+            // filter/nth scan this replaces.
+            let dst = self.nodes[self.num_inputs + sink_pick].id;
+            debug_assert_ne!(
+                self.nodes[self.num_inputs + sink_pick].node_type,
+                NodeType::Input
+            );
             if src == dst {
                 continue;
             }
@@ -528,23 +565,17 @@ impl Genome {
         if ops.delete_node as usize >= config.node_delete_limit {
             return;
         }
-        let hidden = self
-            .nodes
-            .iter()
-            .filter(|n| n.node_type == NodeType::Hidden)
-            .count();
+        // Sorted node cluster with the full interface present ⇒ hidden
+        // genes are exactly the tail past the inputs and outputs.
+        let interface = self.num_inputs + self.num_outputs;
+        let hidden = self.nodes.len().saturating_sub(interface);
         if hidden == 0 {
             return;
         }
         let pick = rng.below(hidden);
-        let (pos, victim) = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.node_type == NodeType::Hidden)
-            .nth(pick)
-            .map(|(i, n)| (i, n.id))
-            .expect("pick is below the hidden count");
+        let pos = interface + pick;
+        let victim = self.nodes[pos].id;
+        debug_assert_eq!(self.nodes[pos].node_type, NodeType::Hidden);
         self.nodes.remove(pos);
         // Pruning "dangling connections" is exactly what the hardware does
         // by comparing stored deleted-node IDs against the conn stream.
@@ -738,52 +769,55 @@ impl Genome {
     /// distance, each `(weight_coeff * Σ attribute distance of matching
     /// genes + disjoint_coeff * #non-matching) / max gene count`.
     ///
-    /// Implemented as a merge-join over the two sorted gene streams; the
-    /// accumulation order (ascending key order of `other`) is identical to
-    /// the map-based implementation, so distances are bit-identical.
+    /// Implemented as a merge-join over the two sorted gene streams
+    /// ([`crate::arena::gene_distance`], shared with the flat population
+    /// arena's [`crate::arena::GenomeView`]); the accumulation order
+    /// (ascending key order of `other`) is identical to the map-based
+    /// implementation, so distances are bit-identical.
     pub fn distance(&self, other: &Genome, config: &NeatConfig) -> f64 {
-        let cd = config.compatibility_disjoint_coefficient;
-        let cw = config.compatibility_weight_coefficient;
+        crate::arena::gene_distance(&self.nodes, &self.conns, &other.nodes, &other.conns, config)
+    }
+}
 
-        let mut node_dist = 0.0;
-        let mut disjoint_nodes = 0usize;
-        let mut matched = 0usize;
-        let mut i = 0usize;
-        for n2 in &other.nodes {
-            while i < self.nodes.len() && self.nodes[i].id < n2.id {
-                i += 1;
-            }
-            if i < self.nodes.len() && self.nodes[i].id == n2.id {
-                node_dist += self.nodes[i].attribute_distance(n2) * cw;
-                matched += 1;
-            } else {
-                disjoint_nodes += 1;
-            }
+/// Visits the geometric-skip hit positions of a Bernoulli(`rate`) process
+/// over `len` items in strictly increasing order: one uniform draw inverts
+/// the geometric CDF (`skip = ⌊ln(1-u)/ln(1-rate)⌋`) and the walk jumps
+/// straight to the next hit, so the cost is O(hits) rather than O(len).
+/// `rate <= 0` consumes no draws; `rate >= 1` visits every item without
+/// drawing (the coin flip would succeed surely anyway).
+///
+/// Each visited index has marginal probability exactly `rate` of being
+/// hit, matching a per-item coin flip in distribution; the PRNG words
+/// consumed differ from the coin-flip stream by construction.
+fn geometric_hits(
+    rng: &mut XorWow,
+    rate: f64,
+    len: usize,
+    mut visit: impl FnMut(&mut XorWow, usize),
+) {
+    if len == 0 || rate <= 0.0 {
+        return;
+    }
+    if rate >= 1.0 {
+        for i in 0..len {
+            visit(rng, i);
         }
-        disjoint_nodes += self.nodes.len() - matched;
-        let max_nodes = self.nodes.len().max(other.nodes.len()).max(1);
-        node_dist = (node_dist + cd * disjoint_nodes as f64) / max_nodes as f64;
-
-        let mut conn_dist = 0.0;
-        let mut disjoint_conns = 0usize;
-        let mut matched = 0usize;
-        let mut i = 0usize;
-        for c2 in &other.conns {
-            while i < self.conns.len() && self.conns[i].key < c2.key {
-                i += 1;
-            }
-            if i < self.conns.len() && self.conns[i].key == c2.key {
-                conn_dist += self.conns[i].attribute_distance(c2) * cw;
-                matched += 1;
-            } else {
-                disjoint_conns += 1;
-            }
+        return;
+    }
+    // ln(1-rate) < 0; ln(1-u) ≤ 0 for u ∈ [0,1) ⇒ skip ≥ 0. The f64→usize
+    // cast saturates, so a tiny (1-u) cannot overflow — it just ends the
+    // walk past `len`.
+    let denom = (1.0 - rate).ln();
+    let mut i = 0usize;
+    while i < len {
+        let u = rng.next_f64();
+        let skip = ((1.0 - u).ln() / denom) as usize;
+        i = i.saturating_add(skip);
+        if i >= len {
+            return;
         }
-        disjoint_conns += self.conns.len() - matched;
-        let max_conns = self.conns.len().max(other.conns.len()).max(1);
-        conn_dist = (conn_dist + cd * disjoint_conns as f64) / max_conns as f64;
-
-        node_dist + conn_dist
+        visit(rng, i);
+        i += 1;
     }
 }
 
@@ -1109,6 +1143,101 @@ mod tests {
                 g.validate().is_ok(),
                 "invariants violated at iteration {gen}"
             );
+        }
+    }
+
+    #[test]
+    fn geometric_skip_visits_are_increasing_and_in_range() {
+        for seed in 0..200u64 {
+            let mut r = XorWow::seed_from_u64_value(seed);
+            let mut visited = Vec::new();
+            geometric_hits(&mut r, 0.37, 64, |_, i| visited.push(i));
+            assert!(visited.iter().all(|&i| i < 64));
+            assert!(
+                visited.windows(2).all(|w| w[0] < w[1]),
+                "visit order must be strictly increasing: {visited:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_skip_edge_rates_are_exact() {
+        // rate 0: nothing visited, no PRNG words consumed.
+        let mut r = XorWow::seed_from_u64_value(5);
+        let before = r.state();
+        geometric_hits(&mut r, 0.0, 100, |_, _| panic!("rate 0 must not visit"));
+        assert_eq!(r.state(), before, "rate 0 must not draw");
+        // rate 1: every index visited exactly once, no selection draws.
+        let mut visited = Vec::new();
+        geometric_hits(&mut r, 1.0, 10, |_, i| visited.push(i));
+        assert_eq!(visited, (0..10).collect::<Vec<_>>());
+        assert_eq!(r.state(), before, "sure hits need no draws");
+        // empty range: no draws at any rate.
+        geometric_hits(&mut r, 0.5, 0, |_, _| panic!("empty range"));
+        assert_eq!(r.state(), before);
+    }
+
+    /// Distribution-equivalence oracle for the geometric-skip sampler: the
+    /// per-gene hit probability must match a per-gene Bernoulli coin flip.
+    /// (The PRNG stream *shape* intentionally differs — one draw per hit
+    /// instead of one per gene — which is the documented seed-derivation
+    /// trade in `crate::reproduction`.)
+    #[test]
+    fn geometric_skip_matches_coin_flip_distribution() {
+        const LEN: usize = 32;
+        const TRIALS: u64 = 6000;
+        const RATE: f64 = 0.3;
+        let mut skip_hits = [0u64; LEN];
+        let mut flip_hits = [0u64; LEN];
+        for trial in 0..TRIALS {
+            let mut r = XorWow::seed_from_u64_value(0xA5A5_0000 + trial);
+            geometric_hits(&mut r, RATE, LEN, |_, i| skip_hits[i] += 1);
+            let mut r = XorWow::seed_from_u64_value(0x5A5A_0000 + trial);
+            for slot in flip_hits.iter_mut() {
+                if r.chance(RATE) {
+                    *slot += 1;
+                }
+            }
+        }
+        // ~3.5 sigma for Binomial(TRIALS, 0.3) is ±0.021; use ±0.03.
+        for i in 0..LEN {
+            let skip_p = skip_hits[i] as f64 / TRIALS as f64;
+            let flip_p = flip_hits[i] as f64 / TRIALS as f64;
+            assert!(
+                (skip_p - RATE).abs() < 0.03,
+                "index {i}: geometric-skip hit rate {skip_p} vs expected {RATE}"
+            );
+            assert!(
+                (skip_p - flip_p).abs() < 0.045,
+                "index {i}: skip {skip_p} vs coin flip {flip_p}"
+            );
+        }
+    }
+
+    /// The O(1) positional candidate selection in `mutate_add_conn` /
+    /// `mutate_delete_node` relies on the sorted node cluster layout:
+    /// inputs at 0..n_in, outputs next, hidden after. Heavy structural
+    /// churn must preserve it.
+    #[test]
+    fn node_cluster_layout_supports_positional_selection() {
+        let c = cfg();
+        let mut r = rng();
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        for _ in 0..60 {
+            let mut ops = OpCounters::new();
+            innov.begin_generation();
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            let nodes = g.node_genes();
+            assert!(nodes[..g.num_inputs()]
+                .iter()
+                .all(|n| n.node_type == NodeType::Input));
+            assert!(nodes[g.num_inputs()..]
+                .iter()
+                .all(|n| n.node_type != NodeType::Input));
+            assert!(nodes[g.num_inputs() + g.num_outputs()..]
+                .iter()
+                .all(|n| n.node_type == NodeType::Hidden));
         }
     }
 

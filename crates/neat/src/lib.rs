@@ -9,6 +9,10 @@
 //!   gene streams can be *aligned* (the job of the hardware Gene Split block).
 //! * [`genome`] — a collection of genes describing one network, with the
 //!   crossover and the three mutation operators of Fig 3(d).
+//! * [`arena`] — flat population arenas: every genome's sorted gene
+//!   clusters packed contiguously with per-genome offset/length tables,
+//!   the layout population-scale sweeps (speciation distance rows, gene
+//!   statistics) stream at megapopulation sizes.
 //! * [`network`] — the feed-forward phenotype: evaluation of the acyclic
 //!   graph in topological wavefronts (the same wavefronts ADAM packs into
 //!   matrix–vector products).
@@ -60,6 +64,7 @@
 
 pub mod activation;
 pub mod aggregation;
+pub mod arena;
 pub mod config;
 pub mod error;
 pub mod executor;
@@ -80,6 +85,7 @@ pub mod tuning;
 
 pub use activation::Activation;
 pub use aggregation::Aggregation;
+pub use arena::{GenomeView, PopulationArena};
 pub use config::{InitialWeights, NeatConfig, NeatConfigBuilder};
 pub use error::{ConfigError, GenomeError};
 pub use executor::{Executor, WorkerLocal};
@@ -88,7 +94,7 @@ pub use genome::Genome;
 pub use hyperneat::{HyperNeat, Substrate};
 pub use innovation::{InnovationSource, InnovationTracker, SplitRecorder};
 pub use layers::{LayerConfig, LayerGene, LayerGenome};
-pub use network::{Network, Scratch};
+pub use network::{BatchScratch, Network, Scratch};
 pub use population::{Population, RunOutcome, RunResult};
 pub use reproduction::{ChildKind, ChildPlan, ReproductionReport};
 pub use rng::XorWow;

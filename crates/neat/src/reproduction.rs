@@ -50,6 +50,20 @@
 //! are reproducible and worker-count-invariant under the new contract.
 //! Ranking ties and NaN fitness break deterministically via
 //! [`f64::total_cmp`].
+//!
+//! The megapopulation refactor made the same trade a third time, inside
+//! each child's own stream: `Genome::mutate_attributes` now draws one
+//! geometric skip per *hit* instead of one coin flip per *gene* (see
+//! `geometric_hits` in [`crate::genome`]). The marginal per-gene mutation
+//! probability is unchanged and every per-hit payload draw is the one the
+//! coin-flip path made, but the PRNG stream *shape* differs, so child
+//! genomes differ bit-for-bit from pre-refactor builds. As before:
+//! trajectories are reproducible, worker-count-invariant, and
+//! checkpoint/resume-exact under the current contract — the trade buys
+//! O(mutations) attribute sweeps instead of O(genes), which is what makes
+//! `--pop 10_000..100_000` practical. Speciation's representative cap
+//! (`NeatConfig::species_representative_cap`) is the companion trade on
+//! the clustering side; see [`crate::species`].
 
 use crate::config::NeatConfig;
 use crate::executor::Executor;

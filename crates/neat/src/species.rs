@@ -19,7 +19,20 @@
 //! `(genome, representative)`, so the matrix — and therefore the final
 //! clustering — is bit-identical at any worker count, including the serial
 //! path ([`SpeciesSet::speciate`]).
+//!
+//! # Representative cap
+//!
+//! At megapopulation scale the species count itself can grow without
+//! bound, so every genome is compared against at most
+//! [`NeatConfig::species_representative_cap`] representatives (the first
+//! `K` species in creation order), bounding the fold at `O(n·K)`. Once the
+//! cap is reached no new species are founded; an unmatched genome joins
+//! the *nearest* capped candidate instead (ties break toward the earliest
+//! species via [`f64::total_cmp`]). Runs whose species count stays below
+//! the cap are bit-identical to the uncapped algorithm; see the config
+//! field's docs for the determinism trade.
 
+use crate::arena::{GenomeView, PopulationArena};
 use crate::config::NeatConfig;
 use crate::executor::Executor;
 use crate::genome::Genome;
@@ -87,8 +100,12 @@ pub struct SpeciesSet {
     species: Vec<Species>,
     next_id: u32,
     /// Distance-matrix buffer reused across generations (row per genome,
-    /// column per species that existed when `speciate` began).
+    /// column per candidate species that existed when `speciate` began).
     dist_scratch: Vec<f64>,
+    /// Flat arena the candidate representatives are packed into each
+    /// generation, so distance rows walk contiguous gene memory instead of
+    /// one heap allocation per species (buffers reused across calls).
+    rep_arena: PopulationArena,
 }
 
 impl SpeciesSet {
@@ -105,6 +122,7 @@ impl SpeciesSet {
             species,
             next_id,
             dist_scratch: Vec::new(),
+            rep_arena: PopulationArena::new(),
         }
     }
 
@@ -155,6 +173,10 @@ impl SpeciesSet {
             s.members.clear();
         }
         let existing = self.species.len();
+        let cap = config.species_representative_cap.max(1);
+        // Only the first `cap` species (creation order) are assignment
+        // candidates; the matrix never needs more columns than that.
+        let candidates = existing.min(cap);
 
         // Phase 1 (parallel): the genome × representative distance matrix,
         // one index-keyed job per genome row. Distances to species founded
@@ -164,37 +186,64 @@ impl SpeciesSet {
         // the serial fold keeps the lazy first-match early exit, which
         // does far fewer distance computations than a full matrix; the
         // clustering is identical either way because distances are pure.
-        let use_matrix = existing > 0 && pool.is_some();
+        // Pack the candidate representatives into the flat arena so every
+        // distance row below streams one contiguous gene buffer.
+        self.rep_arena.pack(
+            self.species
+                .iter()
+                .take(candidates)
+                .map(|s| &s.representative),
+        );
+
+        let use_matrix = candidates > 0 && pool.is_some();
         self.dist_scratch.clear();
         if use_matrix {
-            self.dist_scratch.resize(genomes.len() * existing, 0.0);
-            let species = &self.species;
+            self.dist_scratch.resize(genomes.len() * candidates, 0.0);
+            let rep_arena = &self.rep_arena;
             let pool = pool.expect("use_matrix implies a pool");
-            pool.for_each_chunk(&mut self.dist_scratch, existing, |g, row| {
-                for (s, sp) in species.iter().enumerate() {
-                    row[s] = genomes[g].distance(&sp.representative, config);
+            pool.for_each_chunk(&mut self.dist_scratch, candidates, |g, row| {
+                let gv = GenomeView::of(&genomes[g]);
+                for (s, slot) in row.iter_mut().enumerate() {
+                    *slot = gv.distance(rep_arena.view(s), config);
                 }
             });
         }
 
         // Phase 2 (serial fold): deterministic assignment in genome order —
-        // first species (in creation order) under the threshold wins,
-        // exactly as the lazy serial scan this replaced.
+        // first candidate species (in creation order) under the threshold
+        // wins, exactly as the lazy serial scan this replaced. At most
+        // `cap` candidates are ever scanned; past the cap an unmatched
+        // genome joins the nearest candidate instead of founding.
         for (idx, genome) in genomes.iter().enumerate() {
             let mut placed = false;
-            for (s, sp) in self.species.iter_mut().enumerate() {
-                let d = if s < existing && use_matrix {
-                    self.dist_scratch[idx * existing + s]
+            let mut nearest: Option<(usize, f64)> = None;
+            let scan = self.species.len().min(cap);
+            for s in 0..scan {
+                let d = if s < candidates {
+                    if use_matrix {
+                        self.dist_scratch[idx * candidates + s]
+                    } else {
+                        // Serial path still streams the packed arena.
+                        GenomeView::of(genome).distance(self.rep_arena.view(s), config)
+                    }
                 } else {
-                    genome.distance(&sp.representative, config)
+                    genome.distance(&self.species[s].representative, config)
                 };
                 if d < config.compatibility_threshold {
-                    sp.members.push(idx);
+                    self.species[s].members.push(idx);
                     placed = true;
                     break;
                 }
+                // Strict `<` keeps the earliest species on ties; total_cmp
+                // keeps NaN distances from poisoning the argmin.
+                if nearest.is_none_or(|(_, best)| d.total_cmp(&best).is_lt()) {
+                    nearest = Some((s, d));
+                }
             }
-            if !placed {
+            if placed {
+                continue;
+            }
+            if self.species.len() < cap {
                 let id = SpeciesId(self.next_id);
                 self.next_id += 1;
                 self.species.push(Species {
@@ -206,6 +255,9 @@ impl SpeciesSet {
                     best_fitness: f64::NEG_INFINITY,
                     adjusted_fitness: 0.0,
                 });
+            } else {
+                let (s, _) = nearest.expect("cap >= 1 so at least one candidate was scanned");
+                self.species[s].members.push(idx);
             }
         }
 
@@ -222,8 +274,8 @@ impl SpeciesSet {
                 .copied()
                 .min_by(|&a, &b| {
                     let dist = |g: usize| {
-                        if s < existing && use_matrix {
-                            self.dist_scratch[g * existing + s]
+                        if s < candidates && use_matrix {
+                            self.dist_scratch[g * candidates + s]
                         } else {
                             genomes[g].distance(&sp.representative, config)
                         }
@@ -431,6 +483,59 @@ mod tests {
         let a: Vec<_> = serial.iter().map(|s| (s.id, s.members.clone())).collect();
         let b: Vec<_> = parallel.iter().map(|s| (s.id, s.members.clone())).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn representative_cap_bounds_species_and_covers_population() {
+        let (genomes, mut c) = diverged_population(24);
+        c.compatibility_threshold = 0.10; // force many would-be species
+        c.species_representative_cap = 3;
+        let mut set = SpeciesSet::new();
+        set.speciate(&genomes, &c, 0);
+        assert!(set.len() <= 3, "cap must bound the species count");
+        let total: usize = set.iter().map(|s| s.members.len()).sum();
+        assert_eq!(total, 24, "overflow genomes join the nearest candidate");
+    }
+
+    #[test]
+    fn capped_speciation_is_bit_identical_below_the_cap() {
+        // The default cap (64) is far above the species this population
+        // forms, so capped and effectively-uncapped runs must agree.
+        let (genomes, c) = diverged_population(16);
+        let mut huge = c.clone();
+        huge.species_representative_cap = usize::MAX;
+        let mut capped = SpeciesSet::new();
+        let mut uncapped = SpeciesSet::new();
+        for generation in 0..3 {
+            capped.speciate(&genomes, &c, generation);
+            uncapped.speciate(&genomes, &huge, generation);
+        }
+        assert!(capped.len() < c.species_representative_cap);
+        let a: Vec<_> = capped.iter().map(|s| (s.id, s.members.clone())).collect();
+        let b: Vec<_> = uncapped.iter().map(|s| (s.id, s.members.clone())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capped_parallel_speciation_matches_capped_serial() {
+        let (genomes, mut c) = diverged_population(24);
+        c.compatibility_threshold = 0.10;
+        c.species_representative_cap = 2;
+        let mut serial = SpeciesSet::new();
+        serial.speciate(&genomes, &c, 0);
+        serial.speciate(&genomes, &c, 1); // matrix path has columns now
+        for workers in [1usize, 4, 8] {
+            let pool = Executor::new(workers);
+            let mut parallel = SpeciesSet::new();
+            parallel.speciate_on(&genomes, &c, 0, Some(&pool));
+            parallel.speciate_on(&genomes, &c, 1, Some(&pool));
+            assert_eq!(serial.len(), parallel.len(), "workers={workers}");
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.representative, b.representative);
+            }
+        }
     }
 
     #[test]

@@ -4,11 +4,27 @@
 //! panics.
 
 use genesys::gym::{DriftingEvaluator, EnvKind, EpisodeEvaluator};
-use genesys::neat::{EvalContext, EvolutionState, NeatConfig, Network, Session};
+use genesys::neat::{
+    EvalContext, EvolutionState, Genome, NeatConfig, Network, NodeGene, NodeId, Session,
+};
 use genesys::soc::{
     decode_snapshot, encode_snapshot, snapshot_from_bytes, snapshot_to_bytes, SnapshotError,
+    SNAPSHOT_MAX_NODE_ID, SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
+
+/// FNV-1a over little-endian word bytes — the snapshot checksum, restated
+/// here so corruption tests can re-seal a deliberately altered header.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
 
 /// Builds a genuinely evolved state (species, innovations, RNG mid-stream,
 /// best-ever genome) from a handful of generator-chosen knobs. Three
@@ -108,6 +124,68 @@ proptest! {
         let i = (word as usize) % words.len();
         words[i] ^= 1u64 << bit;
         prop_assert!(decode_snapshot(&words).is_err(), "flip bit {} of word {}", bit, i);
+    }
+
+    /// The v2 words carry 31-bit node ids: any id past the hardware
+    /// codec's 14-bit limit (which v1 could not represent) round-trips
+    /// exactly, and ids past the snapshot limit are a typed error.
+    #[test]
+    fn wide_node_ids_roundtrip_and_overflow_is_typed(
+        seed in any::<u64>(),
+        id in (1u32 << 14)..SNAPSHOT_MAX_NODE_ID,
+    ) {
+        let mut state = evolved_state(seed, 1, 8, 0);
+        let forged = Genome::from_parts(
+            999,
+            state.config.num_inputs,
+            state.config.num_outputs,
+            state.genomes[0]
+                .nodes()
+                .copied()
+                .chain(std::iter::once(NodeGene::hidden(NodeId(id)))),
+            state.genomes[0].conns().copied(),
+        )
+        .unwrap();
+        state.best_ever = Some(forged.clone());
+        let words = encode_snapshot(&state).expect("31-bit ids encode");
+        prop_assert_eq!(decode_snapshot(&words).unwrap(), state.clone());
+
+        let overflowed = Genome::from_parts(
+            999,
+            state.config.num_inputs,
+            state.config.num_outputs,
+            forged
+                .nodes()
+                .copied()
+                .map(|mut n| { if n.id.0 == id { n.id = NodeId(SNAPSHOT_MAX_NODE_ID + 1); } n }),
+            forged.conns().copied(),
+        )
+        .unwrap();
+        state.best_ever = Some(overflowed);
+        prop_assert!(matches!(
+            encode_snapshot(&state),
+            Err(SnapshotError::NodeIdOverflow { .. })
+        ));
+    }
+
+    /// Any version word other than the current one is rejected with the
+    /// typed error — even when the rest of the image (checksum included)
+    /// is coherent. v1 images land here rather than being mis-decoded.
+    #[test]
+    fn foreign_versions_never_decode(
+        seed in any::<u64>(),
+        version in any::<u64>(),
+    ) {
+        let version = if version == SNAPSHOT_VERSION { version ^ 1 } else { version };
+        let state = evolved_state(seed, 1, 8, seed as u8);
+        let mut words = encode_snapshot(&state).unwrap();
+        words[1] = version;
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        prop_assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(version)
+        );
     }
 
     /// Random garbage never decodes and never panics.
