@@ -73,9 +73,10 @@
 
 use crate::codec::DecodeError;
 use genesys_neat::gene::{ConnGene, ConnKey, NodeGene, NodeType};
+use genesys_neat::trace::OpCounters;
 use genesys_neat::{
-    Activation, Aggregation, EvolutionState, Genome, InitialWeights, NeatConfig, NodeId,
-    SessionError, Species, SpeciesId,
+    Activation, Aggregation, BestSummary, EvolutionState, GenerationStats, Genome, InitialWeights,
+    NeatConfig, NodeId, OwnedGenerationEvent, SessionError, Species, SpeciesId,
 };
 use std::error::Error;
 use std::fmt;
@@ -85,6 +86,20 @@ pub const SNAPSHOT_MAGIC: u64 = 0x4745_4E45_534E_4150;
 /// Current wire-format version. Bumped on any layout change; see the
 /// module docs for the compatibility policy (v1 images are rejected).
 pub const SNAPSHOT_VERSION: u64 = 2;
+/// First word of every standalone config image: `"GENECONF"` in ASCII.
+/// Config images share the snapshot envelope (magic, version, declared
+/// length, FNV-1a checksum) and version with the full snapshot format —
+/// the config layout is a slice of the snapshot layout, so a config
+/// layout change is by definition a snapshot layout change.
+pub const CONFIG_MAGIC: u64 = 0x4745_4E45_434F_4E46;
+/// First word of every serialized [`OwnedGenerationEvent`]: `"GENEVENT"`
+/// in ASCII.
+pub const EVENT_MAGIC: u64 = 0x4745_4E45_5645_4E54;
+/// Wire-format version of serialized generation events. Independent of
+/// [`SNAPSHOT_VERSION`] (events carry statistics, not genomes); the same
+/// policy applies — any layout change bumps it, other versions are
+/// rejected with [`SnapshotError::UnsupportedVersion`].
+pub const EVENT_VERSION: u64 = 1;
 /// Largest node id the snapshot gene words can carry (31-bit id fields —
 /// far beyond the hardware codec's 14-bit `codec::MAX_NODE_ID`, so
 /// megapopulation runs checkpoint without overflow).
@@ -413,11 +428,7 @@ pub fn encode_snapshot(state: &EvolutionState) -> Result<Vec<u64>, SnapshotError
         }
         None => words.push(0),
     }
-    // Fix up the length field (words after it, checksum excluded), then
-    // seal with the checksum.
-    words[2] = (words.len() - 3) as u64;
-    words.push(fnv1a(&words));
-    Ok(words)
+    Ok(seal_envelope(words))
 }
 
 // ---------------------------------------------------------------------------
@@ -651,33 +662,7 @@ fn decode_species_record(
 /// Any malformed, truncated or corrupted input returns a typed
 /// [`SnapshotError`]; this function never panics on adversarial bytes.
 pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
-    let mut c = Cursor { words, pos: 0 };
-    if c.take()? != SNAPSHOT_MAGIC {
-        return Err(SnapshotError::BadMagic);
-    }
-    let version = c.take()?;
-    if version != SNAPSHOT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion(version));
-    }
-    let payload_len = c.take_usize()?;
-    // Total image = 3 header words + payload + 1 checksum word.
-    let expected_len = payload_len
-        .checked_add(4)
-        .ok_or(SnapshotError::LengthMismatch)?;
-    if words.len() != expected_len {
-        return Err(if words.len() < expected_len {
-            SnapshotError::Truncated {
-                offset: words.len(),
-            }
-        } else {
-            SnapshotError::LengthMismatch
-        });
-    }
-    let (payload, checksum) = words.split_at(words.len() - 1);
-    if fnv1a(payload) != checksum[0] {
-        return Err(SnapshotError::ChecksumMismatch);
-    }
-
+    let mut c = open_envelope(words, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
     let config = decode_config(&mut c)?;
     let seed = c.take()?;
     let generation = c.take()?;
@@ -730,9 +715,7 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
         )?),
         _ => return Err(SnapshotError::Malformed("best-genome flag")),
     };
-    if c.pos != words.len() - 1 {
-        return Err(SnapshotError::LengthMismatch);
-    }
+    close_envelope(&c)?;
 
     let state = EvolutionState {
         config,
@@ -753,6 +736,29 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
     Ok(state)
 }
 
+/// Little-endian byte image of a word image.
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// Inverse of [`words_to_bytes`]; a length that is not a whole number of
+/// words is truncation.
+fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, SnapshotError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapshotError::Truncated {
+            offset: bytes.len() / 8,
+        });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+        .collect())
+}
+
 /// Serializes a state to bytes (the word image, little-endian) — what a
 /// checkpoint file holds.
 ///
@@ -760,12 +766,7 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
 ///
 /// See [`encode_snapshot`].
 pub fn snapshot_to_bytes(state: &EvolutionState) -> Result<Vec<u8>, SnapshotError> {
-    let words = encode_snapshot(state)?;
-    let mut bytes = Vec::with_capacity(words.len() * 8);
-    for w in words {
-        bytes.extend_from_slice(&w.to_le_bytes());
-    }
-    Ok(bytes)
+    Ok(words_to_bytes(&encode_snapshot(state)?))
 }
 
 /// Deserializes a checkpoint file's bytes.
@@ -775,16 +776,250 @@ pub fn snapshot_to_bytes(state: &EvolutionState) -> Result<Vec<u8>, SnapshotErro
 /// Returns [`SnapshotError::Truncated`] if the length is not a whole
 /// number of words; otherwise see [`decode_snapshot`].
 pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<EvolutionState, SnapshotError> {
-    if !bytes.len().is_multiple_of(8) {
-        return Err(SnapshotError::Truncated {
-            offset: bytes.len() / 8,
+    decode_snapshot(&bytes_to_words(bytes)?)
+}
+
+// ---------------------------------------------------------------------------
+// Standalone images: config and generation events. Both wrap their payload
+// in the snapshot envelope — magic, version, declared payload length,
+// trailing FNV-1a checksum — so corrupt input of any shape is a typed
+// error, never a panic, exactly like full snapshots.
+
+/// Verifies an image's envelope (`magic`/`version` words, declared
+/// length, trailing checksum) and returns a cursor positioned on the
+/// first payload word.
+fn open_envelope<'a>(
+    words: &'a [u64],
+    magic: u64,
+    version: u64,
+) -> Result<Cursor<'a>, SnapshotError> {
+    let mut c = Cursor { words, pos: 0 };
+    if c.take()? != magic {
+        return Err(SnapshotError::BadMagic);
+    }
+    let got = c.take()?;
+    if got != version {
+        return Err(SnapshotError::UnsupportedVersion(got));
+    }
+    let payload_len = c.take_usize()?;
+    let expected_len = payload_len
+        .checked_add(4)
+        .ok_or(SnapshotError::LengthMismatch)?;
+    if words.len() != expected_len {
+        return Err(if words.len() < expected_len {
+            SnapshotError::Truncated {
+                offset: words.len(),
+            }
+        } else {
+            SnapshotError::LengthMismatch
         });
     }
-    let words: Vec<u64> = bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
-        .collect();
-    decode_snapshot(&words)
+    let (payload, checksum) = words.split_at(words.len() - 1);
+    if fnv1a(payload) != checksum[0] {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(c)
+}
+
+/// Requires the cursor to have consumed the entire payload (everything
+/// but the checksum word).
+fn close_envelope(c: &Cursor<'_>) -> Result<(), SnapshotError> {
+    if c.pos != c.words.len() - 1 {
+        return Err(SnapshotError::LengthMismatch);
+    }
+    Ok(())
+}
+
+/// Seals an image under construction: fixes up the payload-length word
+/// (index 2) and appends the checksum.
+fn seal_envelope(mut words: Vec<u64>) -> Vec<u64> {
+    words[2] = (words.len() - 3) as u64;
+    words.push(fnv1a(&words));
+    words
+}
+
+/// Serializes a [`NeatConfig`] alone into a self-describing word image —
+/// the payload format of configuration-bearing wire verbs
+/// (`genesys_serve`'s `submit`), using the exact field layout snapshots
+/// embed.
+pub fn encode_config_image(config: &NeatConfig) -> Vec<u64> {
+    let mut words = vec![CONFIG_MAGIC, SNAPSHOT_VERSION, 0];
+    encode_config(&mut words, config);
+    seal_envelope(words)
+}
+
+/// Deserializes a config image produced by [`encode_config_image`],
+/// verifying the envelope and re-validating the decoded configuration.
+///
+/// # Errors
+///
+/// Any malformed, truncated or corrupted input returns a typed
+/// [`SnapshotError`]; an image that decodes structurally but fails
+/// [`NeatConfig::validate`] returns [`SnapshotError::InvalidState`].
+pub fn decode_config_image(words: &[u64]) -> Result<NeatConfig, SnapshotError> {
+    let mut c = open_envelope(words, CONFIG_MAGIC, SNAPSHOT_VERSION)?;
+    let config = decode_config(&mut c)?;
+    close_envelope(&c)?;
+    config
+        .validate()
+        .map_err(|e| SnapshotError::InvalidState(e.to_string()))?;
+    Ok(config)
+}
+
+/// Byte form of [`encode_config_image`] (little-endian words).
+pub fn config_to_bytes(config: &NeatConfig) -> Vec<u8> {
+    words_to_bytes(&encode_config_image(config))
+}
+
+/// Byte form of [`decode_config_image`].
+///
+/// # Errors
+///
+/// See [`decode_config_image`].
+pub fn config_from_bytes(bytes: &[u8]) -> Result<NeatConfig, SnapshotError> {
+    decode_config_image(&bytes_to_words(bytes)?)
+}
+
+/// Serializes an [`OwnedGenerationEvent`] into a self-describing word
+/// image — the push-channel payload of `genesys_serve`'s `observe` verb.
+/// The image is fixed-size (27 or 32 words): events are allocation-bounded
+/// by design, so the wire form is too.
+pub fn encode_event(event: &OwnedGenerationEvent) -> Vec<u64> {
+    let mut words = vec![EVENT_MAGIC, EVENT_VERSION, 0];
+    let s = &event.stats;
+    words.push(s.generation as u64);
+    push_f64(&mut words, s.max_fitness);
+    push_f64(&mut words, s.mean_fitness);
+    push_f64(&mut words, s.min_fitness);
+    for v in [
+        s.num_species,
+        s.total_nodes,
+        s.total_conns,
+        s.total_genes,
+        s.max_genome_genes,
+        s.memory_bytes,
+        s.fittest_parent_reuse,
+    ] {
+        words.push(v as u64);
+    }
+    for v in [
+        s.ops.crossover,
+        s.ops.perturb,
+        s.ops.add_node,
+        s.ops.add_conn,
+        s.ops.delete_node,
+        s.ops.delete_conn,
+        s.inference_macs,
+        s.env_steps,
+    ] {
+        words.push(v);
+    }
+    match &event.best {
+        Some(b) => {
+            words.push(1);
+            words.push(b.key);
+            match b.fitness {
+                Some(f) => {
+                    words.push(1);
+                    push_f64(&mut words, f);
+                }
+                None => {
+                    words.push(0);
+                    words.push(0);
+                }
+            }
+            words.push(b.nodes as u64);
+            words.push(b.conns as u64);
+        }
+        None => words.push(0),
+    }
+    seal_envelope(words)
+}
+
+/// Deserializes an event image produced by [`encode_event`].
+///
+/// # Errors
+///
+/// Any malformed, truncated or corrupted input returns a typed
+/// [`SnapshotError`]; this function never panics on adversarial bytes.
+pub fn decode_event(words: &[u64]) -> Result<OwnedGenerationEvent, SnapshotError> {
+    let mut c = open_envelope(words, EVENT_MAGIC, EVENT_VERSION)?;
+    let generation = c.take_usize()?;
+    let max_fitness = c.take_f64()?;
+    let mean_fitness = c.take_f64()?;
+    let min_fitness = c.take_f64()?;
+    let num_species = c.take_usize()?;
+    let total_nodes = c.take_usize()?;
+    let total_conns = c.take_usize()?;
+    let total_genes = c.take_usize()?;
+    let max_genome_genes = c.take_usize()?;
+    let memory_bytes = c.take_usize()?;
+    let fittest_parent_reuse = c.take_usize()?;
+    let ops = OpCounters {
+        crossover: c.take()?,
+        perturb: c.take()?,
+        add_node: c.take()?,
+        add_conn: c.take()?,
+        delete_node: c.take()?,
+        delete_conn: c.take()?,
+    };
+    let inference_macs = c.take()?;
+    let env_steps = c.take()?;
+    let best = match c.take()? {
+        0 => None,
+        1 => {
+            let key = c.take()?;
+            let fitness = match c.take()? {
+                0 => {
+                    c.take()?;
+                    None
+                }
+                1 => Some(c.take_f64()?),
+                _ => return Err(SnapshotError::Malformed("best-fitness flag")),
+            };
+            Some(BestSummary {
+                key,
+                fitness,
+                nodes: c.take_usize()?,
+                conns: c.take_usize()?,
+            })
+        }
+        _ => return Err(SnapshotError::Malformed("best-summary flag")),
+    };
+    close_envelope(&c)?;
+    Ok(OwnedGenerationEvent {
+        stats: GenerationStats {
+            generation,
+            max_fitness,
+            mean_fitness,
+            min_fitness,
+            num_species,
+            total_nodes,
+            total_conns,
+            total_genes,
+            max_genome_genes,
+            memory_bytes,
+            ops,
+            fittest_parent_reuse,
+            inference_macs,
+            env_steps,
+        },
+        best,
+    })
+}
+
+/// Byte form of [`encode_event`] (little-endian words).
+pub fn event_to_bytes(event: &OwnedGenerationEvent) -> Vec<u8> {
+    words_to_bytes(&encode_event(event))
+}
+
+/// Byte form of [`decode_event`].
+///
+/// # Errors
+///
+/// See [`decode_event`].
+pub fn event_from_bytes(bytes: &[u8]) -> Result<OwnedGenerationEvent, SnapshotError> {
+    decode_event(&bytes_to_words(bytes)?)
 }
 
 #[cfg(test)]
@@ -958,5 +1193,81 @@ mod tests {
         let mut words = encode_snapshot(&state).unwrap();
         words.push(0xDEAD_BEEF);
         assert!(decode_snapshot(&words).is_err());
+    }
+
+    #[test]
+    fn config_image_roundtrips_and_rejects_corruption() {
+        let config = evolved_state(8, 1).config;
+        let words = encode_config_image(&config);
+        assert_eq!(decode_config_image(&words).unwrap(), config);
+        assert_eq!(
+            config_from_bytes(&config_to_bytes(&config)).unwrap(),
+            config
+        );
+        // Truncation of every prefix is a typed error, never a panic.
+        for len in 0..words.len() {
+            assert!(decode_config_image(&words[..len]).is_err());
+        }
+        // Bit flips are caught.
+        for (i, bit) in (0..words.len()).map(|i| (i, (i * 17) % 64)) {
+            let mut corrupt = words.clone();
+            corrupt[i] ^= 1u64 << bit;
+            assert!(decode_config_image(&corrupt).is_err());
+        }
+        // A snapshot image is not a config image (magic distinguishes).
+        let snap = encode_snapshot(&evolved_state(8, 1)).unwrap();
+        assert_eq!(
+            decode_config_image(&snap).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        // A structurally valid image carrying an invalid config is typed.
+        let mut bad = config.clone();
+        bad.pop_size = 0;
+        let mut words = vec![CONFIG_MAGIC, SNAPSHOT_VERSION, 0];
+        encode_config(&mut words, &bad);
+        let words = seal_envelope(words);
+        assert!(matches!(
+            decode_config_image(&words),
+            Err(SnapshotError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn event_image_roundtrips_and_rejects_corruption() {
+        let state = evolved_state(15, 3);
+        let best = state.best_ever.as_ref().unwrap();
+        let mut event = OwnedGenerationEvent {
+            stats: GenerationStats::collect(2, &state.genomes, state.species.len(), None, 77),
+            best: Some(BestSummary::of(best)),
+        };
+        event.stats.env_steps = 123;
+        for e in [
+            event.clone(),
+            OwnedGenerationEvent {
+                best: None,
+                ..event.clone()
+            },
+        ] {
+            let words = encode_event(&e);
+            assert_eq!(decode_event(&words).unwrap(), e);
+            assert_eq!(event_from_bytes(&event_to_bytes(&e)).unwrap(), e);
+            for len in 0..words.len() {
+                assert!(decode_event(&words[..len]).is_err());
+            }
+            for (i, bit) in (0..words.len()).map(|i| (i, (i * 29) % 64)) {
+                let mut corrupt = words.clone();
+                corrupt[i] ^= 1u64 << bit;
+                assert!(decode_event(&corrupt).is_err());
+            }
+        }
+        // Event version policy mirrors the snapshot one.
+        let mut words = encode_event(&event);
+        words[1] = EVENT_VERSION + 1;
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        assert_eq!(
+            decode_event(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(EVENT_VERSION + 1)
+        );
     }
 }

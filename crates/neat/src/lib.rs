@@ -99,8 +99,8 @@ pub use population::{Population, RunOutcome, RunResult};
 pub use reproduction::{ChildKind, ChildPlan, ReproductionReport};
 pub use rng::XorWow;
 pub use session::{
-    Backend, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent, Session,
-    SessionBuilder, SessionError, SessionReport,
+    Backend, BestSummary, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent,
+    OwnedGenerationEvent, Session, SessionBuilder, SessionError, SessionReport,
 };
 pub use species::{Species, SpeciesId, SpeciesSet};
 pub use stats::GenerationStats;

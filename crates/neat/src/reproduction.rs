@@ -64,6 +64,18 @@
 //! `--pop 10_000..100_000` practical. Speciation's representative cap
 //! (`NeatConfig::species_representative_cap`) is the companion trade on
 //! the clustering side; see [`crate::species`].
+//!
+//! The session server (`genesys_serve`) adds **no** new trade: tenants
+//! multiplex one executor but each owns a private population RNG keyed by
+//! its own `(base_seed, generation, index)` tuples, so cross-tenant
+//! scheduling order, eviction/rehydration (a snapshot round-trip), and
+//! the resident-cap churn are all invisible to every trajectory — a
+//! server-mediated session is byte-identical to a direct [`crate::Session`]
+//! run of the same seed at any worker count. The one *semantic* (not
+//! determinism) difference: the server's `step(n)` verb runs exactly `n`
+//! generations, while `Session::run(n)` may stop early on
+//! `target_fitness` — convergence gating is the client's call, made from
+//! the observed event stream.
 
 use crate::config::NeatConfig;
 use crate::executor::Executor;

@@ -403,6 +403,21 @@ impl Backend for Population {
 /// One generation's worth of progress, streamed to observers as it
 /// happens — the replacement for hand-rolled per-generation print loops
 /// and ad-hoc history vectors.
+///
+/// # Borrowed vs owned
+///
+/// This is the **borrowed hot-path view**: it lends the backend's
+/// [`GenerationStats`] and best [`Genome`] for the duration of the
+/// observer call, so observing a generation allocates nothing and copies
+/// nothing. The borrow cannot outlive the call — an observer that wants
+/// to keep, queue, or ship the event (a session server pushing it over a
+/// socket, a history ring buffer) converts it with
+/// [`GenerationEvent::to_owned`], which produces an allocation-bounded
+/// [`OwnedGenerationEvent`]: the stats are copied (all scalars) and the
+/// best genome is summarized to a fixed-size [`BestSummary`] instead of
+/// cloned, so the conversion cost is O(1) regardless of genome size.
+/// `genesys_core::snapshot::event_to_bytes` serializes the owned form
+/// with the same versioned word codec snapshots use.
 #[derive(Debug)]
 pub struct GenerationEvent<'a> {
     /// Statistics of the generation that just finished evaluating.
@@ -411,7 +426,63 @@ pub struct GenerationEvent<'a> {
     pub best: Option<&'a Genome>,
 }
 
-type Observer = Box<dyn FnMut(&GenerationEvent<'_>)>;
+impl GenerationEvent<'_> {
+    /// Converts the borrowed view into an owned, allocation-bounded event
+    /// (see the type docs for the compatibility story). O(1) in genome
+    /// size: the best genome is summarized, not cloned.
+    pub fn to_owned(&self) -> OwnedGenerationEvent {
+        OwnedGenerationEvent {
+            stats: self.stats.clone(),
+            best: self.best.map(BestSummary::of),
+        }
+    }
+}
+
+/// Owned form of a [`GenerationEvent`]: safe to keep past the observer
+/// call, send across threads, queue in a ring buffer, or serialize onto a
+/// wire (`genesys_core::snapshot::event_to_bytes`). Its size is bounded —
+/// [`GenerationStats`] is all scalars and the best genome is carried as a
+/// fixed-size [`BestSummary`] — so buffering N of them costs O(N) no
+/// matter how large the genomes grow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedGenerationEvent {
+    /// Statistics of the generation that finished evaluating.
+    pub stats: GenerationStats,
+    /// Summary of the best genome observed so far across the session.
+    pub best: Option<BestSummary>,
+}
+
+/// Fixed-size summary of a genome — what an [`OwnedGenerationEvent`]
+/// carries instead of a full [`Genome`] clone. Callers that need the
+/// actual genes checkpoint the session instead (the snapshot includes
+/// `best_ever` in full).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestSummary {
+    /// The genome's key.
+    pub key: u64,
+    /// Its fitness, if evaluated.
+    pub fitness: Option<f64>,
+    /// Node gene count.
+    pub nodes: usize,
+    /// Connection gene count.
+    pub conns: usize,
+}
+
+impl BestSummary {
+    /// Summarizes a genome.
+    pub fn of(genome: &Genome) -> BestSummary {
+        BestSummary {
+            key: genome.key(),
+            fitness: genome.fitness(),
+            nodes: genome.num_nodes(),
+            conns: genome.num_conns(),
+        }
+    }
+}
+
+/// Observers are `Send` so a whole [`Session`] can live on a worker
+/// thread (the `genesys_serve` scheduler owns hundreds of them).
+type Observer = Box<dyn FnMut(&GenerationEvent<'_>) + Send>;
 
 /// Placeholder workload of a builder that has not been given one yet.
 /// [`SessionBuilder::build`] only exists once a real [`Evaluator`] is set.
@@ -567,8 +638,11 @@ impl<B: Backend, W> SessionBuilder<B, W> {
     }
 
     /// Registers a per-generation observer, called after every evaluated
-    /// generation with a streaming [`GenerationEvent`].
-    pub fn observe(mut self, observer: impl FnMut(&GenerationEvent<'_>) + 'static) -> Self {
+    /// generation with a streaming [`GenerationEvent`]. Observers must be
+    /// `Send` (sessions are movable across threads — the serving layer
+    /// depends on it); keep long-lived copies of an event via
+    /// [`GenerationEvent::to_owned`].
+    pub fn observe(mut self, observer: impl FnMut(&GenerationEvent<'_>) + Send + 'static) -> Self {
         self.observers.push(Box::new(observer));
         self
     }
@@ -742,17 +816,16 @@ mod tests {
 
     #[test]
     fn observers_stream_every_generation() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let seen: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
-        let sink = Rc::clone(&seen);
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
         let mut s = Session::builder(small_config(), 5)
             .unwrap()
             .workload(proxy)
-            .observe(move |event| sink.borrow_mut().push(event.stats.generation))
+            .observe(move |event| sink.lock().unwrap().push(event.stats.generation))
             .build();
         s.run(3);
-        assert_eq!(*seen.borrow(), vec![0, 1, 2]);
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2]);
     }
 
     #[test]
@@ -878,6 +951,31 @@ mod tests {
         assert_eq!(ctx.seed(), ctx.seed());
         let other = EvalContext { index: 18, ..ctx };
         assert_ne!(ctx.seed(), other.seed());
+    }
+
+    #[test]
+    fn owned_events_capture_the_borrowed_view() {
+        use std::sync::{Arc, Mutex};
+        let collected: Arc<Mutex<Vec<OwnedGenerationEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        let mut s = Session::builder(small_config(), 13)
+            .unwrap()
+            .workload(proxy)
+            .observe(move |event| sink.lock().unwrap().push(event.to_owned()))
+            .build();
+        let report = s.run(3);
+        let events = collected.lock().unwrap();
+        assert_eq!(events.len(), 3);
+        for (owned, stats) in events.iter().zip(&report.history) {
+            assert_eq!(&owned.stats, stats);
+        }
+        let best = s.best_genome().unwrap();
+        let summary = events.last().unwrap().best.unwrap();
+        assert_eq!(summary, BestSummary::of(best));
+        assert_eq!(summary.key, best.key());
+        assert_eq!(summary.fitness, best.fitness());
+        assert_eq!(summary.nodes, best.num_nodes());
+        assert_eq!(summary.conns, best.num_conns());
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Hand-rolled nonblocking TCP transport (no registry I/O deps — the
+//! same offline constraint as `vendor/`).
+//!
+//! [`serve`] runs a poll loop in the calling thread: a nonblocking
+//! listener plus per-connection read/write buffers, extracting complete
+//! frames with [`crate::protocol::take_frame`], dispatching them to the
+//! scheduler through a [`Client`], and flushing replies opportunistically
+//! (partial writes and `WouldBlock` are normal states, not errors).
+//! Requests carry caller-chosen correlation ids, so a connection can
+//! pipeline arbitrarily many requests; replies come back tagged and
+//! possibly out of request order.
+//!
+//! Malformed frames never kill the server: a body that fails
+//! [`crate::protocol::decode_request`] earns an error reply (correlated
+//! by a best-effort header peek) and the connection keeps going, since
+//! framing is still intact. Only an oversize length prefix — where
+//! framing itself is lost — closes the connection, after an error reply.
+//!
+//! [`WireClient`] is the matching blocking client: `send` (pipeline),
+//! `recv` (next reply, any id) and `call` (one request, wait for its
+//! reply).
+
+use crate::error::ServeError;
+use crate::protocol::{decode_reply, encode_reply, encode_request, request_id_of, take_frame};
+use crate::protocol::{decode_request, Reply, Request};
+use crate::server::Client;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+const READ_CHUNK: usize = 64 * 1024;
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Replies completed by the scheduler, tagged with their request id.
+    replies: Receiver<(u32, Result<Reply, ServeError>)>,
+    reply_tx: Sender<(u32, Result<Reply, ServeError>)>,
+    dispatched: u64,
+    completed: u64,
+    /// Peer closed its write side (or the stream failed): read no more.
+    eof: bool,
+    /// The connection is unrecoverable (framing lost or writes failing);
+    /// replies are discarded and it closes once in-flight work settles.
+    broken: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let (reply_tx, replies) = mpsc::channel();
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            replies,
+            reply_tx,
+            dispatched: 0,
+            completed: 0,
+            eof: false,
+            broken: false,
+        }
+    }
+
+    /// All dispatched requests have been answered and flushed.
+    fn drained(&self) -> bool {
+        self.wbuf.is_empty() && self.dispatched == self.completed
+    }
+}
+
+/// Serves the scheduler behind `client` on `listener` until `shutdown`
+/// turns true. Runs in the calling thread; spawn it on a dedicated one.
+///
+/// # Errors
+///
+/// Only listener-level failures (e.g. setting nonblocking mode) abort the
+/// loop; per-connection errors close that connection.
+pub fn serve(
+    client: &Client,
+    listener: TcpListener,
+    shutdown: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<Conn> = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progress = false;
+
+        // Accept.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        for conn in &mut conns {
+            progress |= pump_read(conn, client);
+            progress |= pump_replies(conn);
+            progress |= pump_write(conn);
+        }
+        // A connection retires once the peer is done sending and every
+        // dispatched request has settled (answered and flushed, or
+        // discarded on a broken connection). In-flight callbacks hold
+        // the reply channel, so a conn never drops with work pending.
+        conns.retain(|c| {
+            if c.broken {
+                !c.drained()
+            } else {
+                !(c.eof && c.drained())
+            }
+        });
+
+        if !progress {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    Ok(())
+}
+
+/// Reads available bytes and dispatches every complete frame. Returns
+/// whether any work happened.
+fn pump_read(conn: &mut Conn, client: &Client) -> bool {
+    if conn.eof || conn.broken {
+        return false;
+    }
+    let mut progress = false;
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.eof = true;
+                break;
+            }
+        }
+    }
+    loop {
+        match take_frame(&mut conn.rbuf) {
+            Ok(Some(body)) => {
+                progress = true;
+                dispatch(conn, client, &body);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Framing lost: answer with the typed error, then close.
+                conn.wbuf.extend_from_slice(&encode_reply(0, &Err(e)));
+                conn.broken = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+/// Decodes one request body and hands it to the scheduler; parse
+/// failures are answered immediately with a typed error reply.
+fn dispatch(conn: &mut Conn, client: &Client, body: &[u8]) {
+    match decode_request(body) {
+        Ok((id, request)) => {
+            let tx = conn.reply_tx.clone();
+            let sent = client.dispatch(
+                request,
+                Box::new(move |result| {
+                    let _ = tx.send((id, result));
+                }),
+            );
+            match sent {
+                Ok(()) => conn.dispatched += 1,
+                Err(e) => conn.wbuf.extend_from_slice(&encode_reply(id, &Err(e))),
+            }
+        }
+        Err(e) => {
+            let id = request_id_of(body).unwrap_or(0);
+            conn.wbuf.extend_from_slice(&encode_reply(id, &Err(e)));
+        }
+    }
+}
+
+/// Moves completed replies into the write buffer.
+fn pump_replies(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while let Ok((id, result)) = conn.replies.try_recv() {
+        conn.wbuf.extend_from_slice(&encode_reply(id, &result));
+        conn.completed += 1;
+        progress = true;
+    }
+    progress
+}
+
+/// Flushes as much of the write buffer as the socket accepts. A write
+/// failure marks the connection broken and discards the buffer (the peer
+/// is gone; nothing can be delivered).
+fn pump_write(conn: &mut Conn) -> bool {
+    if conn.wbuf.is_empty() {
+        return false;
+    }
+    let mut written = 0;
+    loop {
+        match conn.stream.write(&conn.wbuf[written..]) {
+            Ok(0) => {
+                conn.eof = true;
+                conn.broken = true;
+                conn.wbuf.clear();
+                return true;
+            }
+            Ok(n) => {
+                written += n;
+                if written == conn.wbuf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.eof = true;
+                conn.broken = true;
+                conn.wbuf.clear();
+                return true;
+            }
+        }
+    }
+    conn.wbuf.drain(..written);
+    written > 0
+}
+
+/// Blocking wire client: the TCP twin of [`Client`]. Supports pipelining
+/// — [`WireClient::send`] queues a request and returns its id,
+/// [`WireClient::recv`] returns the next reply (any id) — plus the
+/// one-shot [`WireClient::call`].
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    next_id: u32,
+}
+
+impl WireClient {
+    /// Connects to a server started with [`serve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(WireClient {
+            stream,
+            rbuf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends a request without waiting, returning its correlation id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure.
+    pub fn send(&mut self, request: &Request) -> Result<u32, ServeError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.stream.write_all(&encode_request(id, request))?;
+        Ok(id)
+    }
+
+    /// Blocks for the next reply frame, whichever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] on EOF; [`ServeError::Io`] on
+    /// transport failure; frame errors if the server sent garbage.
+    pub fn recv(&mut self) -> Result<(u32, Result<Reply, ServeError>), ServeError> {
+        loop {
+            if let Some(body) = take_frame(&mut self.rbuf)? {
+                return decode_reply(&body);
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ServeError::Disconnected);
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Sends one request and waits for **its** reply. Assumes no other
+    /// requests are outstanding on this connection (replies to other ids
+    /// are discarded); pipeline with [`WireClient::send`]/[`WireClient::recv`]
+    /// instead when interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the server's typed error for this request.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, ServeError> {
+        let id = self.send(request)?;
+        loop {
+            let (got, result) = self.recv()?;
+            if got == id {
+                return result;
+            }
+        }
+    }
+}

@@ -5,17 +5,24 @@
 //!
 //! This example shows the session API's **closure workload** path: any
 //! `Fn(EvalContext, &Network) -> f64` is an evaluator, as long as its
-//! randomness derives from the context (here: the episode seed).
+//! randomness derives from the context (here: the episode seed). The
+//! observer also shows the **owned event** surface: `event.to_owned()`
+//! detaches a generation record from the borrowed view, so history can
+//! outlive the run loop (this is the representation the session server
+//! buffers and ships over the wire).
 //!
 //! Run with: `cargo run --release --example atari_ram`
 
 use genesys::gym::{rollout, AsterixRam, EnvKind};
-use genesys::neat::{EvalContext, Network, Session};
+use genesys::neat::{EvalContext, Network, OwnedGenerationEvent, Session};
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let mut config = EnvKind::Asterix.neat_config();
     config.pop_size = 64; // paper uses 150; smaller here for a fast demo
 
+    let history: Arc<Mutex<Vec<OwnedGenerationEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&history);
     let mut session = Session::builder(config, 99)
         .expect("valid config")
         .workload(|ctx: EvalContext, net: &Network| {
@@ -25,7 +32,7 @@ fn main() {
             rollout(net, &mut env, 1)
         })
         .threads(4)
-        .observe(|event| {
+        .observe(move |event| {
             let s = event.stats;
             println!(
                 "{:>3} | {:>10.0} | {:>10.1} | {:>11} | {:>7} | {:>7}",
@@ -36,6 +43,7 @@ fn main() {
                 s.num_species,
                 s.ops.total(),
             );
+            sink.lock().unwrap().push(event.to_owned());
         })
         .build();
 
@@ -49,6 +57,17 @@ fn main() {
         best.num_nodes(),
         best.num_conns(),
         best.memory_bytes(),
+    );
+
+    // The owned history outlives the session's borrow: replay the Fig 4(b)
+    // gene-growth story from the detached records.
+    let history = history.lock().unwrap();
+    let (first, last) = (history.first().expect("ran"), history.last().expect("ran"));
+    println!(
+        "gene growth over {} generations: {} -> {} genes in the population",
+        history.len(),
+        first.stats.total_genes,
+        last.stats.total_genes,
     );
     println!("note the op counts: this is the workload class where the paper's");
     println!("gene-level parallelism (256 EvE PEs) pays off.");

@@ -13,6 +13,9 @@
 //!   which doubles as a session [`Backend`], and the binary
 //!   [`soc::snapshot`] checkpoint format.
 //! * [`platforms`] — CPU/GPU/DQN baseline cost models (Tables II and III).
+//! * [`serve`] — the multi-tenant session server: many concurrent
+//!   evolution sessions over one shared executor, with snapshot-backed
+//!   eviction and a length-prefixed binary wire protocol.
 //!
 //! # Quickstart: one run surface, bit-identical resume
 //!
@@ -50,8 +53,9 @@ pub use genesys_core as soc;
 pub use genesys_gym as gym;
 pub use genesys_neat as neat;
 pub use genesys_platforms as platforms;
+pub use genesys_serve as serve;
 
 pub use genesys_neat::{
-    Backend, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent, Session,
-    SessionBuilder, SessionError, SessionReport,
+    Backend, BestSummary, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent,
+    OwnedGenerationEvent, Session, SessionBuilder, SessionError, SessionReport,
 };

@@ -14,10 +14,14 @@
 //!   growable circular buffer), so fine-grained jobs — per-child
 //!   reproduction work, not just whole gym episodes — pop and steal
 //!   without a lock on the hot path. The [`deque::Injector`] remains a
-//!   mutex-guarded FIFO: the executor seeds it while the pool is quiescent
-//!   and drains it in amortized batches, so it is not contended per job
-//!   (crates.io crossbeam uses a block-linked queue there; the call sites
-//!   are identical when swapped).
+//!   mutex-guarded FIFO, which makes **concurrent multi-producer
+//!   injection safe** (pushes are serialized and linearizable; the
+//!   serving layer injects from its scheduler thread while workers
+//!   drain). Quiescent seeding by the executor is a *throughput*
+//!   pattern — the injector is not contended per job because workers
+//!   drain it in amortized batches — not a safety precondition
+//!   (crates.io crossbeam uses a lock-free block-linked queue there; the
+//!   call sites are identical when swapped).
 
 #![deny(missing_docs)]
 
@@ -421,6 +425,15 @@ pub mod deque {
     }
 
     /// A shared FIFO injector queue feeding a pool of workers.
+    ///
+    /// Backed by a `Mutex<VecDeque>`, so **any number of threads may
+    /// push and steal concurrently**: every operation takes the lock,
+    /// making the queue trivially linearizable. Quiescent seeding (the
+    /// executor's pattern of filling the injector before waking the
+    /// pool) is purely a contention optimization, not a requirement —
+    /// live injection from e.g. a server scheduler thread while workers
+    /// drain is exactly-once safe, which
+    /// `concurrent_injection_is_linearizable_and_lossless` exercises.
     #[derive(Debug)]
     pub struct Injector<T> {
         queue: Mutex<VecDeque<T>>,
@@ -645,6 +658,71 @@ mod deque_tests {
         assert_eq!(all.len(), N, "no task lost or duplicated");
         let unique: HashSet<usize> = all.into_iter().collect();
         assert_eq!(unique.len(), N);
+    }
+
+    #[test]
+    fn concurrent_injection_is_linearizable_and_lossless() {
+        // Producers push *while* thieves drain — the live-injection
+        // pattern of the serving layer, not the executor's quiescent
+        // seeding. Every task must come out exactly once.
+        const PRODUCERS: usize = 3;
+        const THIEVES: usize = 3;
+        const PER_PRODUCER: usize = 5_000;
+        let inj = Injector::new();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let mut all: Vec<usize> = Vec::new();
+        crate::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let inj = &inj;
+                let done = &done;
+                scope.spawn(move |_| {
+                    for i in 0..PER_PRODUCER {
+                        inj.push(p * PER_PRODUCER + i);
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, std::sync::atomic::Ordering::Release);
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..THIEVES {
+                let inj = &inj;
+                let done = &done;
+                handles.push(scope.spawn(move |_| {
+                    let local = Worker::new_fifo();
+                    let mut seen = Vec::new();
+                    loop {
+                        match inj.steal_batch_and_pop(&local) {
+                            Steal::Success(t) => {
+                                seen.push(t);
+                                while let Some(t) = local.pop() {
+                                    seen.push(t);
+                                }
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                let drained = done.load(std::sync::atomic::Ordering::Acquire)
+                                    == PRODUCERS
+                                    && inj.is_empty();
+                                if drained {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    seen
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("thief panicked"));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER, "exactly-once delivery");
+        let unique: HashSet<usize> = all.into_iter().collect();
+        assert_eq!(unique.len(), PRODUCERS * PER_PRODUCER);
     }
 
     #[test]
