@@ -1,0 +1,79 @@
+//! Barrier-removal economics: one whole generation stepped through the
+//! monolithic backend vs the [`Archipelago`] at the same population.
+//!
+//! On one core the island split must be free — the same work in a
+//! different order, so `islands/step_4_islands` may not regress against
+//! `islands/step_monolithic` (the bench-regression gate pins both). The
+//! multi-worker rows show what removing the evaluate→speciate→reproduce
+//! phase barriers buys when islands are scheduled as whole-generation
+//! jobs on the shared executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesys_neat::{Backend, EvalContext, EvolutionBackend, Executor, NeatConfig, Network};
+use std::sync::Arc;
+
+const POP: usize = 4096;
+
+fn proxy_fitness(_ctx: EvalContext, net: &Network) -> f64 {
+    let mut fit = 0.0;
+    for case in [
+        [0.1, 0.9, 0.2, 0.8],
+        [0.5, 0.5, 0.5, 0.5],
+        [0.9, 0.1, 0.8, 0.2],
+    ] {
+        fit += net.activate(&case)[0];
+    }
+    fit
+}
+
+fn config(pop: usize, islands: usize) -> NeatConfig {
+    NeatConfig::builder(4, 1)
+        .pop_size(pop)
+        .islands(islands)
+        .migration_interval(2)
+        .build()
+        .unwrap()
+}
+
+fn bench_islands(c: &mut Criterion) {
+    let mut group = c.benchmark_group("islands");
+
+    // Serial parity: same population, 1 vs 4 islands, no pool. The gate's
+    // 1-core guarantee — island bookkeeping may not cost a speedup.
+    group.bench_with_input(BenchmarkId::new("step_monolithic", POP), &POP, |b, &n| {
+        let mut backend = EvolutionBackend::new(config(n, 1), 1);
+        b.iter(|| backend.step(&proxy_fitness, 1));
+    });
+    group.bench_with_input(BenchmarkId::new("step_4_islands", POP), &POP, |b, &n| {
+        let mut backend = EvolutionBackend::new(config(n, 4), 1);
+        b.iter(|| backend.step(&proxy_fitness, 1));
+    });
+
+    // Whole-generation island jobs on a shared pool: the barrier-free
+    // scheduling the archipelago exists for (a min-time win over the
+    // barrier'd monolithic run on multi-core hosts; parity on 1 core).
+    let pool = Arc::new(Executor::new(4));
+    group.bench_with_input(
+        BenchmarkId::new("step_monolithic_4_workers", POP),
+        &POP,
+        |b, &n| {
+            let mut backend = EvolutionBackend::new(config(n, 1), 1);
+            backend.set_executor(Arc::clone(&pool));
+            b.iter(|| backend.step(&proxy_fitness, 1));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("step_4_islands_4_workers", POP),
+        &POP,
+        |b, &n| {
+            let mut backend = EvolutionBackend::new(config(n, 4), 1);
+            backend.set_executor(Arc::clone(&pool));
+            b.iter(|| backend.step(&proxy_fitness, 1));
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_islands);
+criterion_main!(benches);

@@ -3,9 +3,10 @@
 //! (a) normalized fitness, (b) total gene count, (c) fittest-parent reuse
 //! — all measured from real `genesys-neat` runs on the Table I suite.
 //!
-//! Usage: `fig04_evolution [--pop N] [--generations N] [--threads N] [--seed N]`
+//! Usage: `fig04_evolution [--pop N] [--generations N] [--threads N] [--seed N]
+//!                          [--islands N] [--migration-interval N]`
 
-use genesys_bench::{print_table, run_workload_on, ExperimentArgs};
+use genesys_bench::{print_table, run_workload_islands, ExperimentArgs};
 use genesys_gym::EnvKind;
 
 fn main() {
@@ -13,6 +14,8 @@ fn main() {
     let pop = args.pop_or(64);
     let generations = args.generations_or(12);
     let seed = args.base_seed(100);
+    let islands = args.islands_or(1);
+    let migration_interval = args.migration_interval_or(0);
     let pool = args.pool();
 
     // Fig 4(a)/(b) use these four workloads in the paper.
@@ -29,12 +32,14 @@ fn main() {
             kind.label(),
             generations
         );
-        runs.push(run_workload_on(
+        runs.push(run_workload_islands(
             *kind,
             generations,
             seed + i as u64,
             Some(pop),
             pool.as_ref(),
+            islands,
+            migration_interval,
         ));
     }
 
@@ -88,12 +93,14 @@ fn main() {
     let mut reuse_runs = Vec::new();
     for (i, kind) in reuse_envs.iter().enumerate() {
         eprintln!("reuse profiling {}...", kind.label());
-        reuse_runs.push(run_workload_on(
+        reuse_runs.push(run_workload_islands(
             *kind,
             generations.min(8),
             seed + 100 + i as u64,
             Some(pop),
             pool.as_ref(),
+            islands,
+            migration_interval,
         ));
     }
     let mut header = vec!["Gen".to_string()];

@@ -1,9 +1,10 @@
 //! Fig 5: distributions of (a) crossover+mutation operations and (b)
 //! memory footprint per generation, across generations and runs.
 //!
-//! Usage: `fig05_ops_memory [--pop N] [--generations N] [--runs N] [--seed N]`
+//! Usage: `fig05_ops_memory [--pop N] [--generations N] [--runs N] [--seed N]
+//!                           [--islands N] [--migration-interval N]`
 
-use genesys_bench::{print_table, run_workload, ExperimentArgs};
+use genesys_bench::{print_table, run_workload_islands, ExperimentArgs};
 use genesys_gym::EnvKind;
 
 fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64, f64) {
@@ -16,6 +17,8 @@ fn main() {
     let args = ExperimentArgs::parse();
     let (pop, generations, runs) = (args.pop_or(64), args.generations_or(8), args.runs_or(3));
     let seed = args.base_seed(0);
+    let islands = args.islands_or(1);
+    let migration_interval = args.migration_interval_or(0);
 
     let mut ops_rows = Vec::new();
     let mut mem_rows = Vec::new();
@@ -27,7 +30,15 @@ fn main() {
         let mut ops_samples: Vec<f64> = Vec::new();
         let mut mem_samples: Vec<f64> = Vec::new();
         for r in 0..runs {
-            let run = run_workload(*kind, generations, seed + (1000 * i + r) as u64, Some(pop));
+            let run = run_workload_islands(
+                *kind,
+                generations,
+                seed + (1000 * i + r) as u64,
+                Some(pop),
+                None,
+                islands,
+                migration_interval,
+            );
             for s in &run.history {
                 ops_samples.push(s.ops.total() as f64);
                 mem_samples.push(s.memory_bytes as f64);

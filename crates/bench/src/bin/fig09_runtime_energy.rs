@@ -10,7 +10,7 @@
 //!
 //! Usage: `fig09_runtime_energy [--pop N] [--generations N] [--threads N] [--seed N]`
 
-use genesys_bench::{genesys_cost, print_table, run_workload_on, sci, ExperimentArgs};
+use genesys_bench::{genesys_cost, print_table, run_workload_islands, sci, ExperimentArgs};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::{CpuModel, GpuModel, TABLE_III};
@@ -57,12 +57,14 @@ fn main() {
             "profiling {} ({generations} generations, pop {pop})...",
             kind.label()
         );
-        let run = run_workload_on(
+        let run = run_workload_islands(
             *kind,
             generations,
             seed + i as u64,
             Some(pop),
             pool.as_ref(),
+            args.islands_or(1),
+            args.migration_interval_or(0),
         );
         let w = run.profile();
         let gcost = genesys_cost(&run, &soc);

@@ -7,7 +7,7 @@
 //!
 //! Usage: `fig10_time_distribution [--pop N] [--generations N] [--threads N] [--seed N]`
 
-use genesys_bench::{genesys_cost, print_table, run_workload_on, sci, ExperimentArgs};
+use genesys_bench::{genesys_cost, print_table, run_workload_islands, sci, ExperimentArgs};
 use genesys_core::SocConfig;
 use genesys_gym::EnvKind;
 use genesys_platforms::GpuModel;
@@ -29,12 +29,14 @@ fn main() {
 
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
         eprintln!("profiling {}...", kind.label());
-        let run = run_workload_on(
+        let run = run_workload_islands(
             *kind,
             generations,
             seed + i as u64,
             Some(pop),
             pool.as_ref(),
+            args.islands_or(1),
+            args.migration_interval_or(0),
         );
         let w = run.profile();
         let g = genesys_cost(&run, &soc);

@@ -6,7 +6,7 @@
 //!
 //! Usage: `fig11_design_space [--pop N] [--generations N] [--seed N]`
 
-use genesys_bench::{print_table, run_workload, ExperimentArgs, WorkloadRun};
+use genesys_bench::{print_table, run_workload_islands, ExperimentArgs, WorkloadRun};
 use genesys_core::{replay_trace, GenomeBuffer, NocKind, SocConfig};
 use genesys_gym::EnvKind;
 
@@ -22,7 +22,15 @@ fn main() {
     let mut atari_runs: Vec<WorkloadRun> = Vec::new();
     for (i, kind) in EnvKind::FIG9_SUITE.iter().enumerate() {
         eprintln!("profiling {}...", kind.label());
-        let run = run_workload(*kind, generations, seed + i as u64, Some(pop));
+        let run = run_workload_islands(
+            *kind,
+            generations,
+            seed + i as u64,
+            Some(pop),
+            None,
+            args.islands_or(1),
+            args.migration_interval_or(0),
+        );
         let last = run.history.last().expect("at least one generation");
         rows.push(vec![
             kind.label().to_string(),

@@ -1,0 +1,157 @@
+//! Island smoke/speedup run: CartPole evolution on the
+//! `genesys_neat::island::Archipelago` backend, quantifying what
+//! dropping the global generation barrier buys
+//! and **asserting the determinism contract** on every leg:
+//!
+//! * serial vs `--threads N`: bit-identical histories and final genomes
+//!   (worker count never leaks into results);
+//! * `--islands 1` vs the monolithic backend: bit-identical, generation
+//!   by generation (island 0 keeps the run seed);
+//! * monolithic vs `--islands N` wall-clock, so the barrier-removal
+//!   speedup (or 1-core parity) is a printed number, not a hope.
+//!
+//! ```text
+//! islands [--pop N] [--generations N] [--threads N] [--seed N]
+//!         [--islands N] [--migration-interval N]
+//! ```
+//!
+//! Defaults: `--pop 4096 --generations 2 --threads 4 --islands 4
+//! --migration-interval 2`. `--threads 1` skips the parallel legs. CI
+//! runs this as the islands smoke job.
+
+use genesys_bench::ExperimentArgs;
+use genesys_gym::{EnvKind, EpisodeEvaluator};
+use genesys_neat::{Executor, GenerationStats, Genome, NeatConfig, Session};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn config(pop: usize, islands: usize, migration_interval: usize) -> NeatConfig {
+    let mut config = EnvKind::CartPole.neat_config();
+    config.pop_size = pop;
+    config.islands = islands;
+    config.migration_interval = migration_interval;
+    config
+}
+
+fn run(
+    config: NeatConfig,
+    generations: usize,
+    seed: u64,
+    pool: Option<Arc<Executor>>,
+) -> (Vec<GenerationStats>, Vec<Genome>, f64) {
+    let builder = Session::builder(config, seed).expect("cartpole preset is valid");
+    let builder = match pool {
+        Some(pool) => builder.executor(pool),
+        None => builder,
+    };
+    let mut session = builder
+        .workload(EpisodeEvaluator::new(EnvKind::CartPole))
+        .build();
+    let t0 = Instant::now();
+    let report = session.run(generations);
+    let elapsed = t0.elapsed().as_secs_f64();
+    (report.history, session.genomes().to_vec(), elapsed)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(4096);
+    let generations = args.generations_or(2);
+    let threads = args.threads_or(4);
+    let seed = args.base_seed(42);
+    let islands = args.islands_or(4);
+    let migration_interval = args.migration_interval_or(2);
+
+    println!(
+        "islands: CartPole, pop {pop}, {generations} generations, seed {seed}, \
+         {islands} island(s), migration every {migration_interval}"
+    );
+
+    // Monolithic reference (the barrier'd backend the archipelago races).
+    let (mono_hist, mono_genomes, mono_s) =
+        run(config(pop, 1, migration_interval), generations, seed, None);
+    println!(
+        "monolithic serial: {mono_s:.2}s total, {:.1}ms/generation",
+        mono_s * 1e3 / generations.max(1) as f64
+    );
+
+    // --islands 1 must be *exactly* the monolithic run.
+    let (one_hist, one_genomes, _) =
+        run(config(pop, 1, migration_interval), generations, seed, None);
+    assert_eq!(
+        mono_hist, one_hist,
+        "--islands 1 history diverged from the monolithic backend"
+    );
+    assert_eq!(
+        mono_genomes, one_genomes,
+        "--islands 1 final population diverged from the monolithic backend"
+    );
+    println!("equivalence: --islands 1 is bit-identical to the monolithic backend");
+
+    // Archipelago, serial: the determinism reference for the parallel legs.
+    let (serial_hist, serial_genomes, serial_s) = run(
+        config(pop, islands, migration_interval),
+        generations,
+        seed,
+        None,
+    );
+    let best = serial_hist
+        .iter()
+        .map(|s| s.max_fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{islands} islands serial: {serial_s:.2}s total, {:.1}ms/generation, best fitness {best} \
+         ({:.2}x vs monolithic serial)",
+        serial_s * 1e3 / generations.max(1) as f64,
+        mono_s / serial_s.max(1e-9)
+    );
+
+    if threads > 1 {
+        let pool = Arc::new(Executor::new(threads));
+        let (par_hist, par_genomes, par_s) = run(
+            config(pop, islands, migration_interval),
+            generations,
+            seed,
+            Some(Arc::clone(&pool)),
+        );
+        println!(
+            "{islands} islands, {threads} workers: {par_s:.2}s total, {:.1}ms/generation \
+             ({:.2}x vs islands serial, {:.2}x vs monolithic serial)",
+            par_s * 1e3 / generations.max(1) as f64,
+            serial_s / par_s.max(1e-9),
+            mono_s / par_s.max(1e-9)
+        );
+        // The determinism contract: worker count must not leak into the
+        // trajectory. Bit-exact across every generation and genome.
+        for (gen, (a, b)) in serial_hist.iter().zip(par_hist.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "generation {gen} diverged between serial and {threads}-worker island runs"
+            );
+        }
+        assert_eq!(
+            serial_genomes, par_genomes,
+            "final populations diverged between serial and {threads}-worker island runs"
+        );
+        println!("determinism: serial and {threads}-worker island runs are bit-identical");
+
+        // The barrier'd monolithic backend on the same pool, for the
+        // headline comparison: island scheduling vs phase barriers at
+        // the same worker count.
+        let (mono_par_hist, _, mono_par_s) = run(
+            config(pop, 1, migration_interval),
+            generations,
+            seed,
+            Some(pool),
+        );
+        assert_eq!(
+            mono_hist, mono_par_hist,
+            "monolithic parallel run diverged from its serial reference"
+        );
+        println!(
+            "monolithic, {threads} workers: {mono_par_s:.2}s total — islands are {:.2}x \
+             at the same worker count",
+            mono_par_s / par_s.max(1e-9)
+        );
+    }
+}

@@ -105,9 +105,30 @@ pub fn run_workload_on(
     pop_size: Option<usize>,
     pool: Option<&Arc<Executor>>,
 ) -> WorkloadRun {
+    run_workload_islands(kind, generations, seed, pop_size, pool, 1, 0)
+}
+
+/// [`run_workload_on`] on the archipelago backend: `islands` islands with
+/// ring migration every `migration_interval` generations (0 keeps the
+/// config's default interval). `islands = 1` is exactly the monolithic
+/// backend — same seeds, same results — so figure bins expose
+/// `--islands`/`--migration-interval` without forking their run loops.
+pub fn run_workload_islands(
+    kind: EnvKind,
+    generations: usize,
+    seed: u64,
+    pop_size: Option<usize>,
+    pool: Option<&Arc<Executor>>,
+    islands: usize,
+    migration_interval: usize,
+) -> WorkloadRun {
     let mut config = kind.neat_config();
     if let Some(p) = pop_size {
         config.pop_size = p;
+    }
+    config.islands = islands;
+    if migration_interval > 0 {
+        config.migration_interval = migration_interval;
     }
     let builder = Session::builder(config, seed).expect("workload presets are valid");
     let builder = match pool {
@@ -368,6 +389,26 @@ impl ExperimentArgs {
         } else {
             None
         }
+    }
+
+    /// Island count for the archipelago backend (`--islands`, default 1 =
+    /// monolithic), shared by every figure bin so any experiment can be
+    /// regenerated under barrier-free island scheduling.
+    pub fn islands_or(&self, default: usize) -> usize {
+        self.get_usize("--islands", default)
+    }
+
+    /// Generations between ring migrations (`--migration-interval`); only
+    /// meaningful with `--islands` > 1.
+    pub fn migration_interval_or(&self, default: usize) -> usize {
+        self.get_usize("--migration-interval", default)
+    }
+
+    /// Applies the island flags to a config: `--islands` (default keeps
+    /// `config.islands`) and `--migration-interval`.
+    pub fn apply_islands(&self, config: &mut genesys_neat::NeatConfig) {
+        config.islands = self.islands_or(config.islands);
+        config.migration_interval = self.migration_interval_or(config.migration_interval);
     }
 
     /// Reads a bin-specific `--key value` flag.

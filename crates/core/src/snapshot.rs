@@ -7,17 +7,27 @@
 //! counter, the PRNG stream and the seed/generation/key counters, so that
 //! a run restored after a power cycle continues **bit-identically** (see
 //! `genesys_neat::session`). This module serializes a complete
-//! [`EvolutionState`] into a self-describing image of 64-bit words:
+//! [`RunState`] into a self-describing image of 64-bit words:
 //!
 //! ```text
-//! [0] magic  [1] version  [2] payload length
-//! [3..]      config · counters · RNG · genomes · species · best genome
+//! [0] magic  [1] version  [2] payload length  [3] state kind
+//! kind 0 (monolithic):
+//!   [4..]    config · counters · RNG · genomes · species · best genome
+//! kind 1 (archipelago, format v3):
+//!   [4..]    global config · seed · generation · migration epoch ·
+//!            workload state · island count · one monolithic body per island
 //! [last]     FNV-1a checksum over everything before it
 //! ```
 //!
-//! Genes are stored as **snapshot-local wide gene words** (format v2):
-//! the hardware SRAM word of Fig 6 reserves only 14 bits per node id,
-//! which megapopulation runs overflow, so checkpoints carry their own
+//! The redundant *migration epoch* word (`generation /
+//! migration_interval`) is a cross-check: an image whose epoch disagrees
+//! with its generation counter is rejected as
+//! [`SnapshotError::Malformed`] rather than silently resuming off the
+//! migration schedule.
+//!
+//! Genes are stored as **snapshot-local wide gene words** (since format
+//! v2): the hardware SRAM word of Fig 6 reserves only 14 bits per node
+//! id, which megapopulation runs overflow, so checkpoints carry their own
 //! 64-bit layout with 31-bit id fields:
 //!
 //! ```text
@@ -38,12 +48,14 @@
 //!
 //! [`SNAPSHOT_VERSION`] is bumped on any layout change; decoders reject
 //! images from other versions with [`SnapshotError::UnsupportedVersion`]
-//! rather than guessing. In particular **v1 images are rejected, not
+//! rather than guessing. **Both prior versions are rejected, not
 //! migrated**: v1 reused the quantized hardware gene word (14-bit ids)
 //! and predates the megapopulation config knobs
-//! (`species_representative_cap`, `eval_batch`), so a faithful upgrade
-//! is impossible — decoding a v1 image returns
-//! `UnsupportedVersion(1)`. Corrupt input of any shape — truncation, bit
+//! (`species_representative_cap`, `eval_batch`); v2 predates the state
+//! kind word and the island config knobs
+//! (`islands`/`migration_interval`/`migration_k`), so a v2 image cannot
+//! say which backend it checkpoints. Decoding either returns
+//! `UnsupportedVersion(v)`. Corrupt input of any shape — truncation, bit
 //! flips (caught by the checksum), garbage — returns a typed
 //! [`SnapshotError`] and never panics.
 //!
@@ -75,8 +87,9 @@ use crate::codec::DecodeError;
 use genesys_neat::gene::{ConnGene, ConnKey, NodeGene, NodeType};
 use genesys_neat::trace::OpCounters;
 use genesys_neat::{
-    Activation, Aggregation, BestSummary, EvolutionState, GenerationStats, Genome, InitialWeights,
-    NeatConfig, NodeId, OwnedGenerationEvent, SessionError, Species, SpeciesId,
+    Activation, Aggregation, ArchipelagoState, BestSummary, EvolutionState, GenerationStats,
+    Genome, InitialWeights, NeatConfig, NodeId, OwnedGenerationEvent, RunState, SessionError,
+    Species, SpeciesId,
 };
 use std::error::Error;
 use std::fmt;
@@ -84,8 +97,9 @@ use std::fmt;
 /// First word of every snapshot image: `"GENESNAP"` in ASCII.
 pub const SNAPSHOT_MAGIC: u64 = 0x4745_4E45_534E_4150;
 /// Current wire-format version. Bumped on any layout change; see the
-/// module docs for the compatibility policy (v1 images are rejected).
-pub const SNAPSHOT_VERSION: u64 = 2;
+/// module docs for the compatibility policy (v1 and v2 images are
+/// rejected).
+pub const SNAPSHOT_VERSION: u64 = 3;
 /// First word of every standalone config image: `"GENECONF"` in ASCII.
 /// Config images share the snapshot envelope (magic, version, declared
 /// length, FNV-1a checksum) and version with the full snapshot format —
@@ -95,6 +109,11 @@ pub const CONFIG_MAGIC: u64 = 0x4745_4E45_434F_4E46;
 /// First word of every serialized [`OwnedGenerationEvent`]: `"GENEVENT"`
 /// in ASCII.
 pub const EVENT_MAGIC: u64 = 0x4745_4E45_5645_4E54;
+/// First word of every serialized [`MigrantBatch`]: `"GENEMIGR"` in
+/// ASCII. Migrant batches share the snapshot envelope and version (they
+/// embed snapshot genome records, so a record layout change is by
+/// definition a snapshot layout change).
+pub const MIGRANT_MAGIC: u64 = 0x4745_4E45_4D49_4752;
 /// Wire-format version of serialized generation events. Independent of
 /// [`SNAPSHOT_VERSION`] (events carry statistics, not genomes); the same
 /// policy applies — any layout change bumps it, other versions are
@@ -324,6 +343,9 @@ fn encode_config(words: &mut Vec<u64>, c: &NeatConfig) {
         c.min_species_size,
         c.species_representative_cap,
         c.eval_batch,
+        c.islands,
+        c.migration_interval,
+        c.migration_k,
     ] {
         words.push(v as u64);
     }
@@ -393,15 +415,16 @@ fn encode_species_record(words: &mut Vec<u64>, s: &Species) -> Result<(), Snapsh
     encode_genome_record(words, &s.representative)
 }
 
-/// Serializes a complete evolution state into the versioned word image.
-///
-/// # Errors
-///
-/// Returns [`SnapshotError::NodeIdOverflow`] if a genome exceeds the
-/// snapshot gene word's 31-bit node-id space ([`SNAPSHOT_MAX_NODE_ID`]).
-pub fn encode_snapshot(state: &EvolutionState) -> Result<Vec<u64>, SnapshotError> {
-    let mut words = vec![SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0];
-    encode_config(&mut words, &state.config);
+/// State-kind word of a monolithic ([`EvolutionState`]) snapshot body.
+const KIND_MONOLITHIC: u64 = 0;
+/// State-kind word of an archipelago ([`ArchipelagoState`]) snapshot body.
+const KIND_ARCHIPELAGO: u64 = 1;
+
+/// Appends one [`EvolutionState`] body (config · counters · RNG ·
+/// genomes · species · best genome) — the payload of a monolithic
+/// snapshot, and the per-island repeating unit of an archipelago one.
+fn encode_state_body(words: &mut Vec<u64>, state: &EvolutionState) -> Result<(), SnapshotError> {
+    encode_config(words, &state.config);
     words.push(state.seed);
     words.push(state.generation);
     words.push(state.next_key);
@@ -415,18 +438,49 @@ pub fn encode_snapshot(state: &EvolutionState) -> Result<Vec<u64>, SnapshotError
     words.push(u64::from(counter));
     words.push(state.genomes.len() as u64);
     for g in &state.genomes {
-        encode_genome_record(&mut words, g)?;
+        encode_genome_record(words, g)?;
     }
     words.push(state.species.len() as u64);
     for s in &state.species {
-        encode_species_record(&mut words, s)?;
+        encode_species_record(words, s)?;
     }
     match &state.best_ever {
         Some(g) => {
             words.push(1);
-            encode_genome_record(&mut words, g)?;
+            encode_genome_record(words, g)?;
         }
         None => words.push(0),
+    }
+    Ok(())
+}
+
+/// Serializes a complete run state — monolithic or archipelago — into
+/// the versioned word image (the kind word selects the body layout).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::NodeIdOverflow`] if a genome exceeds the
+/// snapshot gene word's 31-bit node-id space ([`SNAPSHOT_MAX_NODE_ID`]).
+pub fn encode_snapshot(state: &RunState) -> Result<Vec<u64>, SnapshotError> {
+    let mut words = vec![SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0];
+    match state {
+        RunState::Monolithic(state) => {
+            words.push(KIND_MONOLITHIC);
+            encode_state_body(&mut words, state)?;
+        }
+        RunState::Archipelago(state) => {
+            words.push(KIND_ARCHIPELAGO);
+            encode_config(&mut words, &state.config);
+            words.push(state.seed);
+            words.push(state.generation);
+            // Redundant epoch word, cross-checked on decode (module docs).
+            words.push(state.generation / state.config.migration_interval.max(1) as u64);
+            words.push(state.workload_state);
+            words.push(state.islands.len() as u64);
+            for island in &state.islands {
+                encode_state_body(&mut words, island)?;
+            }
+        }
     }
     Ok(seal_envelope(words))
 }
@@ -503,6 +557,9 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
     let min_species_size = c.take_usize()?;
     let species_representative_cap = c.take_usize()?;
     let eval_batch = c.take_usize()?;
+    let islands = c.take_usize()?;
+    let migration_interval = c.take_usize()?;
+    let migration_k = c.take_usize()?;
     let n_act = c.take_count(1)?;
     let mut activation_options = Vec::with_capacity(n_act);
     for _ in 0..n_act {
@@ -568,6 +625,9 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
         min_species_size,
         species_representative_cap,
         eval_batch,
+        islands,
+        migration_interval,
+        migration_k,
         activation_options,
         aggregation_options,
         target_fitness,
@@ -653,17 +713,11 @@ fn decode_species_record(
     })
 }
 
-/// Deserializes a snapshot image produced by [`encode_snapshot`],
-/// verifying magic, version, declared length and checksum, and
-/// re-validating the decoded state's cross-field invariants.
-///
-/// # Errors
-///
-/// Any malformed, truncated or corrupted input returns a typed
-/// [`SnapshotError`]; this function never panics on adversarial bytes.
-pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
-    let mut c = open_envelope(words, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
-    let config = decode_config(&mut c)?;
+/// Decodes one [`EvolutionState`] body (the inverse of
+/// [`encode_state_body`]). Cross-field validation happens at the
+/// [`RunState`] level once the whole image is consumed.
+fn decode_state_body(c: &mut Cursor<'_>) -> Result<EvolutionState, SnapshotError> {
+    let config = decode_config(c)?;
     let seed = c.take()?;
     let generation = c.take()?;
     let next_key = c.take()?;
@@ -691,7 +745,7 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
     let mut genomes = Vec::with_capacity(n_genomes);
     for _ in 0..n_genomes {
         genomes.push(decode_genome_record(
-            &mut c,
+            c,
             config.num_inputs,
             config.num_outputs,
         )?);
@@ -701,7 +755,7 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
     let mut species = Vec::with_capacity(n_species);
     for _ in 0..n_species {
         species.push(decode_species_record(
-            &mut c,
+            c,
             config.num_inputs,
             config.num_outputs,
         )?);
@@ -709,15 +763,13 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
     let best_ever = match c.take()? {
         0 => None,
         1 => Some(decode_genome_record(
-            &mut c,
+            c,
             config.num_inputs,
             config.num_outputs,
         )?),
         _ => return Err(SnapshotError::Malformed("best-genome flag")),
     };
-    close_envelope(&c)?;
-
-    let state = EvolutionState {
+    Ok(EvolutionState {
         config,
         genomes,
         species,
@@ -729,7 +781,49 @@ pub fn decode_snapshot(words: &[u64]) -> Result<EvolutionState, SnapshotError> {
         next_key,
         best_ever,
         workload_state,
+    })
+}
+
+/// Deserializes a snapshot image produced by [`encode_snapshot`],
+/// verifying magic, version, declared length, checksum and the
+/// archipelago epoch cross-check, and re-validating the decoded state's
+/// cross-field invariants.
+///
+/// # Errors
+///
+/// Any malformed, truncated or corrupted input returns a typed
+/// [`SnapshotError`]; this function never panics on adversarial bytes.
+pub fn decode_snapshot(words: &[u64]) -> Result<RunState, SnapshotError> {
+    let mut c = open_envelope(words, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+    let state = match c.take()? {
+        KIND_MONOLITHIC => RunState::Monolithic(decode_state_body(&mut c)?),
+        KIND_ARCHIPELAGO => {
+            let config = decode_config(&mut c)?;
+            let seed = c.take()?;
+            let generation = c.take()?;
+            let epoch = c.take()?;
+            if epoch != generation / config.migration_interval.max(1) as u64 {
+                return Err(SnapshotError::Malformed("migration epoch"));
+            }
+            let workload_state = c.take()?;
+            // Minimum island body: a config (dozens of words) + counters;
+            // 10 is a safe lower bound for the count sanity check.
+            let n_islands = c.take_count(10)?;
+            let mut islands = Vec::with_capacity(n_islands);
+            for _ in 0..n_islands {
+                islands.push(decode_state_body(&mut c)?);
+            }
+            RunState::Archipelago(ArchipelagoState {
+                config,
+                seed,
+                generation,
+                islands,
+                workload_state,
+            })
+        }
+        _ => return Err(SnapshotError::Malformed("state kind")),
     };
+    close_envelope(&c)?;
     state
         .validate()
         .map_err(|e: SessionError| SnapshotError::InvalidState(e.to_string()))?;
@@ -765,7 +859,7 @@ fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, SnapshotError> {
 /// # Errors
 ///
 /// See [`encode_snapshot`].
-pub fn snapshot_to_bytes(state: &EvolutionState) -> Result<Vec<u8>, SnapshotError> {
+pub fn snapshot_to_bytes(state: &RunState) -> Result<Vec<u8>, SnapshotError> {
     Ok(words_to_bytes(&encode_snapshot(state)?))
 }
 
@@ -775,8 +869,105 @@ pub fn snapshot_to_bytes(state: &EvolutionState) -> Result<Vec<u8>, SnapshotErro
 ///
 /// Returns [`SnapshotError::Truncated`] if the length is not a whole
 /// number of words; otherwise see [`decode_snapshot`].
-pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<EvolutionState, SnapshotError> {
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<RunState, SnapshotError> {
     decode_snapshot(&bytes_to_words(bytes)?)
+}
+
+// ---------------------------------------------------------------------------
+// Migrant batches: the multi-process wire form of an island migration.
+// In-process archipelagos hand `Genome` values across directly
+// (`genesys_neat::island`); a distributed deployment ships this image on
+// the ring edge instead. See `docs/islands.md`.
+
+/// One island-migration payload: the ring edge it travels
+/// (`from_island → to_island` at `epoch`) plus the emigrant genomes,
+/// encoded as snapshot gene records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrantBatch {
+    /// Migration epoch (`generation / migration_interval`) the batch
+    /// belongs to.
+    pub epoch: u64,
+    /// Ring index of the sending island.
+    pub from_island: u64,
+    /// Ring index of the receiving island (`(from + 1) % islands`).
+    pub to_island: u64,
+    /// Genome input arity (genome records do not carry the interface).
+    pub num_inputs: usize,
+    /// Genome output arity.
+    pub num_outputs: usize,
+    /// The emigrants, best-first as selected by the sending island.
+    pub genomes: Vec<Genome>,
+}
+
+/// Serializes a migrant batch into a self-describing word image sharing
+/// the snapshot envelope (magic [`MIGRANT_MAGIC`], version
+/// [`SNAPSHOT_VERSION`], declared length, FNV-1a checksum).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::NodeIdOverflow`] if a genome exceeds the
+/// snapshot gene word's 31-bit node-id space.
+pub fn encode_migrant_batch(batch: &MigrantBatch) -> Result<Vec<u64>, SnapshotError> {
+    let mut words = vec![MIGRANT_MAGIC, SNAPSHOT_VERSION, 0];
+    words.push(batch.epoch);
+    words.push(batch.from_island);
+    words.push(batch.to_island);
+    words.push(batch.num_inputs as u64);
+    words.push(batch.num_outputs as u64);
+    words.push(batch.genomes.len() as u64);
+    for g in &batch.genomes {
+        encode_genome_record(&mut words, g)?;
+    }
+    Ok(seal_envelope(words))
+}
+
+/// Deserializes a migrant batch produced by [`encode_migrant_batch`],
+/// verifying the envelope and every genome record.
+///
+/// # Errors
+///
+/// Any malformed, truncated or corrupted input returns a typed
+/// [`SnapshotError`]; this function never panics on adversarial bytes.
+pub fn decode_migrant_batch(words: &[u64]) -> Result<MigrantBatch, SnapshotError> {
+    let mut c = open_envelope(words, MIGRANT_MAGIC, SNAPSHOT_VERSION)?;
+    let epoch = c.take()?;
+    let from_island = c.take()?;
+    let to_island = c.take()?;
+    let num_inputs = c.take_usize()?;
+    let num_outputs = c.take_usize()?;
+    // Minimum genome record: key + shape + fitness flag/bits = 4 words.
+    let n = c.take_count(4)?;
+    let mut genomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        genomes.push(decode_genome_record(&mut c, num_inputs, num_outputs)?);
+    }
+    close_envelope(&c)?;
+    Ok(MigrantBatch {
+        epoch,
+        from_island,
+        to_island,
+        num_inputs,
+        num_outputs,
+        genomes,
+    })
+}
+
+/// Byte form of [`encode_migrant_batch`] (little-endian words).
+///
+/// # Errors
+///
+/// See [`encode_migrant_batch`].
+pub fn migrant_batch_to_bytes(batch: &MigrantBatch) -> Result<Vec<u8>, SnapshotError> {
+    Ok(words_to_bytes(&encode_migrant_batch(batch)?))
+}
+
+/// Byte form of [`decode_migrant_batch`].
+///
+/// # Errors
+///
+/// See [`decode_migrant_batch`].
+pub fn migrant_batch_from_bytes(bytes: &[u8]) -> Result<MigrantBatch, SnapshotError> {
+    decode_migrant_batch(&bytes_to_words(bytes)?)
 }
 
 // ---------------------------------------------------------------------------
@@ -1027,24 +1218,35 @@ mod tests {
     use super::*;
     use genesys_neat::{EvalContext, Network, Session};
 
-    fn evolved_state(seed: u64, generations: usize) -> EvolutionState {
-        let config = NeatConfig::builder(3, 2)
+    fn test_config(islands: usize) -> NeatConfig {
+        NeatConfig::builder(3, 2)
             .pop_size(14)
+            .islands(islands)
+            .migration_interval(2)
+            .migration_k(1)
             .node_add_prob(0.6)
             .conn_add_prob(0.6)
             .target_fitness(Some(1e9))
             .build()
-            .unwrap();
-        let fitness = |ctx: EvalContext, net: &Network| {
-            let x = (ctx.seed() % 13) as f64 / 13.0;
-            net.activate(&[x, 0.5, 1.0 - x]).iter().sum()
-        };
-        let mut s = Session::builder(config, seed)
             .unwrap()
-            .workload(fitness)
+    }
+
+    fn test_fitness(ctx: EvalContext, net: &Network) -> f64 {
+        let x = (ctx.seed() % 13) as f64 / 13.0;
+        net.activate(&[x, 0.5, 1.0 - x]).iter().sum()
+    }
+
+    fn evolved_run_state(seed: u64, generations: usize, islands: usize) -> RunState {
+        let mut s = Session::builder(test_config(islands), seed)
+            .unwrap()
+            .workload(test_fitness)
             .build();
         s.run(generations);
         s.export_state()
+    }
+
+    fn evolved_state(seed: u64, generations: usize) -> RunState {
+        evolved_run_state(seed, generations, 1)
     }
 
     #[test]
@@ -1133,7 +1335,10 @@ mod tests {
 
     /// `state.genomes[0]` with an extra hidden node of the given id,
     /// installed as `best_ever`.
-    fn with_forged_id(mut state: EvolutionState, id: u32) -> EvolutionState {
+    fn with_forged_id(state: RunState, id: u32) -> RunState {
+        let RunState::Monolithic(mut state) = state else {
+            panic!("forged-id helper expects a monolithic state");
+        };
         let config = &state.config;
         let forged = Genome::from_parts(
             999,
@@ -1146,7 +1351,7 @@ mod tests {
         )
         .unwrap();
         state.best_ever = Some(forged);
-        state
+        RunState::Monolithic(state)
     }
 
     #[test]
@@ -1188,6 +1393,112 @@ mod tests {
     }
 
     #[test]
+    fn v2_images_are_rejected() {
+        // v2 predates the state kind word and the island config knobs, so
+        // it is rejected like v1, not migrated.
+        let state = evolved_state(6, 2);
+        let mut words = encode_snapshot(&state).unwrap();
+        words[1] = 2;
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::UnsupportedVersion(2)
+        );
+    }
+
+    #[test]
+    fn archipelago_snapshot_roundtrips_and_resumes() {
+        let state = evolved_run_state(19, 3, 3);
+        assert!(state.as_archipelago().is_some());
+        let words = encode_snapshot(&state).unwrap();
+        let back = decode_snapshot(&words).unwrap();
+        assert_eq!(state, back);
+        assert_eq!(words, encode_snapshot(&back).unwrap());
+        // Truncation and bit flips stay typed errors for the new body.
+        for len in (0..words.len()).step_by(11) {
+            assert!(decode_snapshot(&words[..len]).is_err());
+        }
+        for (i, bit) in (0..words.len()).map(|i| (i, (i * 13) % 64)) {
+            let mut corrupt = words.clone();
+            corrupt[i] ^= 1u64 << bit;
+            assert!(decode_snapshot(&corrupt).is_err());
+        }
+        // A decoded archipelago checkpoint resumes bit-identically.
+        let mut resumed = Session::resume(back)
+            .unwrap()
+            .workload(test_fitness)
+            .build();
+        let mut full = Session::builder(test_config(3), 19)
+            .unwrap()
+            .workload(test_fitness)
+            .build();
+        full.run(3 + 2);
+        resumed.run(2);
+        assert_eq!(full.genomes(), resumed.genomes());
+    }
+
+    #[test]
+    fn archipelago_epoch_cross_check_is_enforced() {
+        let state = evolved_run_state(19, 3, 3);
+        let words = encode_snapshot(&state).unwrap();
+        // The epoch word sits right after config/seed/generation in the
+        // archipelago body; find it by re-encoding with a poked epoch.
+        let config_len = {
+            let mut w = Vec::new();
+            encode_config(&mut w, state.config());
+            w.len()
+        };
+        let epoch_index = 3 + 1 + config_len + 2;
+        let mut corrupt = words.clone();
+        corrupt[epoch_index] += 1;
+        let n = corrupt.len();
+        corrupt[n - 1] = fnv1a(&corrupt[..n - 1]);
+        assert_eq!(
+            decode_snapshot(&corrupt).unwrap_err(),
+            SnapshotError::Malformed("migration epoch")
+        );
+    }
+
+    #[test]
+    fn unknown_state_kind_is_rejected() {
+        let state = evolved_state(5, 1);
+        let mut words = encode_snapshot(&state).unwrap();
+        words[3] = 9;
+        let n = words.len();
+        words[n - 1] = fnv1a(&words[..n - 1]);
+        assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::Malformed("state kind")
+        );
+    }
+
+    #[test]
+    fn migrant_batch_roundtrips() {
+        let state = evolved_state(12, 2);
+        let state = state.as_monolithic().unwrap();
+        let batch = MigrantBatch {
+            epoch: 4,
+            from_island: 2,
+            to_island: 3,
+            num_inputs: state.config.num_inputs,
+            num_outputs: state.config.num_outputs,
+            genomes: state.genomes[..3].to_vec(),
+        };
+        let words = encode_migrant_batch(&batch).unwrap();
+        assert_eq!(decode_migrant_batch(&words).unwrap(), batch);
+        assert_eq!(
+            migrant_batch_from_bytes(&migrant_batch_to_bytes(&batch).unwrap()).unwrap(),
+            batch
+        );
+        // A migrant batch is not a snapshot (magic distinguishes).
+        assert_eq!(
+            decode_snapshot(&words).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
     fn trailing_garbage_is_rejected() {
         let state = evolved_state(4, 2);
         let mut words = encode_snapshot(&state).unwrap();
@@ -1197,7 +1508,7 @@ mod tests {
 
     #[test]
     fn config_image_roundtrips_and_rejects_corruption() {
-        let config = evolved_state(8, 1).config;
+        let config = evolved_state(8, 1).config().clone();
         let words = encode_config_image(&config);
         assert_eq!(decode_config_image(&words).unwrap(), config);
         assert_eq!(
@@ -1235,6 +1546,7 @@ mod tests {
     #[test]
     fn event_image_roundtrips_and_rejects_corruption() {
         let state = evolved_state(15, 3);
+        let state = state.as_monolithic().unwrap();
         let best = state.best_ever.as_ref().unwrap();
         let mut event = OwnedGenerationEvent {
             stats: GenerationStats::collect(2, &state.genomes, state.species.len(), None, 77),

@@ -27,7 +27,7 @@ use genesys_gym::{episode_into, Environment, RolloutScratch};
 use genesys_neat::trace::OpCounters;
 use genesys_neat::{
     Backend, EvalContext, Evaluator, EvolutionState, GenerationStats, Genome, NeatConfig, Network,
-    SessionError, SpeciesSet, XorWow,
+    RunState, SessionError, SpeciesSet, XorWow,
 };
 
 /// Inference-phase accounting (walkthrough steps 1–6).
@@ -130,15 +130,17 @@ impl GenesysSoc {
         }
     }
 
-    /// Boots the SoC from a checkpointed [`EvolutionState`] (e.g. decoded
-    /// by [`crate::snapshot`]) instead of generation 0 — the power-cycle
+    /// Boots the SoC from a checkpointed [`RunState`] (e.g. decoded by
+    /// [`crate::snapshot`]) instead of generation 0 — the power-cycle
     /// half of the continuous-learning story: the genome buffer contents,
     /// species state and PRNG stream continue exactly where they stopped.
     ///
     /// # Errors
     ///
-    /// Returns a [`SessionError`] if the state fails validation.
-    pub fn from_state(soc: SocConfig, state: EvolutionState) -> Result<Self, SessionError> {
+    /// Returns a [`SessionError`] if the state fails validation, or
+    /// [`SessionError::BackendMismatch`] for an archipelago checkpoint
+    /// (the SoC models one shared genome buffer).
+    pub fn from_state(soc: SocConfig, state: RunState) -> Result<Self, SessionError> {
         let neat = NeatConfig::builder(1, 1).build().expect("placeholder");
         let mut booted = GenesysSoc {
             soc,
@@ -444,7 +446,7 @@ impl Backend for GenesysSoc {
         &self.neat
     }
 
-    fn export_state(&self) -> EvolutionState {
+    fn export_state(&self) -> RunState {
         // The SoC has no global innovation tracker — the EvE PEs assign
         // node ids from the gene words themselves — so the persisted
         // counter is the witness of every id in the state: the resident
@@ -463,7 +465,7 @@ impl Backend for GenesysSoc {
             .map_or(self.neat.first_hidden_id(), |id| {
                 (id + 1).max(self.neat.first_hidden_id())
             });
-        EvolutionState {
+        RunState::Monolithic(EvolutionState {
             config: self.neat.clone(),
             genomes: self.genomes.clone(),
             species: self.species.iter().cloned().collect(),
@@ -475,10 +477,15 @@ impl Backend for GenesysSoc {
             next_key: self.next_key,
             best_ever: self.best_ever.clone(),
             workload_state: 0,
-        }
+        })
     }
 
-    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError> {
+    fn import_state(&mut self, state: RunState) -> Result<(), SessionError> {
+        // The SoC models one shared genome buffer; archipelago
+        // checkpoints have no hardware equivalent yet.
+        let RunState::Monolithic(state) = state else {
+            return Err(SessionError::BackendMismatch);
+        };
         state.validate()?;
         self.neat = state.config;
         self.genomes = state.genomes;
@@ -628,7 +635,7 @@ mod tests {
             .build();
         head.run(2);
         let state = head.export_state();
-        let seed = state.seed;
+        let seed = state.seed();
         let restored = GenesysSoc::from_state(soc_config(), state).expect("valid state");
         let mut tail = Session::on(restored, seed).workload(workload()).build();
         let tail_report = tail.run(2);

@@ -364,7 +364,7 @@ mod tests {
             .build();
         head.run(3);
         let state = head.export_state();
-        assert_eq!(state.workload_state, 17, "drift phase serialized");
+        assert_eq!(state.workload_state(), 17, "drift phase serialized");
         // Resume with a *default-phase* evaluator: the checkpoint restores
         // the offset.
         let mut resumed = Session::resume(state)

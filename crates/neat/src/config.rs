@@ -157,6 +157,24 @@ pub struct NeatConfig {
     /// to the scalar path, so this knob trades nothing but memory.
     pub eval_batch: usize,
 
+    // -- islands -----------------------------------------------------------
+    /// Number of islands the population is sharded into by the
+    /// [`Archipelago`](crate::island::Archipelago) backend.
+    ///
+    /// `1` (the default) keeps the monolithic single-population engine;
+    /// larger values split `pop_size` into that many independently
+    /// evolving islands (own species sets, innovation trackers and RNG
+    /// streams) with periodic ring migration. See `docs/islands.md` for
+    /// the topology and determinism contract.
+    pub islands: usize,
+    /// Generations between migration epochs: every `migration_interval`-th
+    /// generation each island sends its top [`migration_k`](Self::migration_k)
+    /// genomes to its ring successor.
+    pub migration_interval: usize,
+    /// Emigrants per island per migration epoch (selected by fitness via
+    /// `total_cmp`; they replace the destination's worst genomes).
+    pub migration_k: usize,
+
     // -- termination -------------------------------------------------------
     /// Evolution stops once the best raw fitness reaches this value (if set).
     pub target_fitness: Option<f64>,
@@ -213,6 +231,9 @@ impl NeatConfig {
             min_species_size: 2,
             crossover_prob: 0.75,
             eval_batch: 1,
+            islands: 1,
+            migration_interval: 8,
+            migration_k: 2,
             target_fitness: None,
         }
     }
@@ -317,6 +338,21 @@ impl NeatConfig {
                 field: "eval_batch",
             });
         }
+        if self.islands == 0 || self.islands > self.pop_size {
+            return Err(ConfigError::InvalidBound { field: "islands" });
+        }
+        if self.migration_interval == 0 {
+            return Err(ConfigError::InvalidBound {
+                field: "migration_interval",
+            });
+        }
+        // Every island must keep at least one resident genome after
+        // receiving k migrants; the smallest island holds pop/islands.
+        if self.islands > 1 && self.migration_k >= self.pop_size / self.islands {
+            return Err(ConfigError::InvalidBound {
+                field: "migration_k",
+            });
+        }
         Ok(())
     }
 
@@ -409,6 +445,12 @@ impl NeatConfigBuilder {
         crossover_prob: f64,
         /// Sets the batched-evaluation lane count.
         eval_batch: usize,
+        /// Sets the island count for the archipelago backend.
+        islands: usize,
+        /// Sets the generations between migration epochs.
+        migration_interval: usize,
+        /// Sets the emigrants per island per migration epoch.
+        migration_k: usize,
         /// Sets the target fitness for convergence.
         target_fitness: Option<f64>,
     }
@@ -511,6 +553,55 @@ mod tests {
         let c = NeatConfig::builder(2, 1).build().unwrap();
         assert_eq!(c.species_representative_cap, 64);
         assert_eq!(c.eval_batch, 1);
+    }
+
+    #[test]
+    fn island_knobs_default_to_monolithic() {
+        let c = NeatConfig::builder(2, 1).build().unwrap();
+        assert_eq!(c.islands, 1);
+        assert_eq!(c.migration_interval, 8);
+        assert_eq!(c.migration_k, 2);
+    }
+
+    #[test]
+    fn bad_island_knobs_rejected() {
+        let err = NeatConfig::builder(2, 1).islands(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::InvalidBound { field: "islands" });
+        let err = NeatConfig::builder(2, 1)
+            .pop_size(8)
+            .islands(9)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidBound { field: "islands" });
+        let err = NeatConfig::builder(2, 1)
+            .migration_interval(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidBound {
+                field: "migration_interval"
+            }
+        );
+        // k must leave at least one resident on the smallest island.
+        let err = NeatConfig::builder(2, 1)
+            .pop_size(16)
+            .islands(4)
+            .migration_k(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidBound {
+                field: "migration_k"
+            }
+        );
+        // Monolithic runs ignore migration_k entirely.
+        assert!(NeatConfig::builder(2, 1)
+            .pop_size(16)
+            .migration_k(99)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl InnovationSource for SplitRecorder {
 #[derive(Debug, Clone)]
 pub struct InnovationTracker {
     next_node: u32,
+    /// Distance between consecutive fresh ids. 1 for a monolithic
+    /// population; in an archipelago, island `i` of `n` uses stride `n`
+    /// with `next_node ≡ first_hidden_id + i (mod n)`, so the islands'
+    /// hidden-node id spaces are disjoint and migrant genomes can never
+    /// carry an id a future local split would reuse for a different node.
+    stride: u32,
     split_memo: HashMap<ConnKey, NodeId>,
 }
 
@@ -108,7 +114,32 @@ impl InnovationTracker {
     pub fn new(first_hidden_id: u32) -> Self {
         InnovationTracker {
             next_node: first_hidden_id,
+            stride: 1,
             split_memo: HashMap::new(),
+        }
+    }
+
+    /// Restricts fresh ids to the residue class of `first` modulo
+    /// `stride`, advancing the counter to the smallest in-class id not
+    /// already handed out. Used by the archipelago backend to give each
+    /// island a disjoint hidden-node id space (`first = first_hidden_id +
+    /// island`, `stride = num_islands`); a counter restored from a
+    /// checkpoint is already in class, so re-applying the stride after
+    /// [`crate::Population::from_state`] is a no-op on the counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn set_stride(&mut self, first: u32, stride: u32) {
+        assert!(stride > 0, "innovation stride must be positive");
+        self.stride = stride;
+        if self.next_node < first {
+            self.next_node = first;
+        } else {
+            let over = (self.next_node - first) % stride;
+            if over != 0 {
+                self.next_node += stride - over;
+            }
         }
     }
 
@@ -123,10 +154,11 @@ impl InnovationTracker {
         id
     }
 
-    /// Unconditionally allocates a fresh node id.
+    /// Unconditionally allocates a fresh node id (the next id in this
+    /// tracker's residue class).
     pub fn fresh_node(&mut self) -> NodeId {
         let id = NodeId(self.next_node);
-        self.next_node += 1;
+        self.next_node += self.stride;
         id
     }
 
@@ -142,10 +174,12 @@ impl InnovationTracker {
     }
 
     /// Ensures the counter is beyond `id` (used when genomes are imported
-    /// from outside, e.g. decoded from the hardware genome buffer).
+    /// from outside, e.g. decoded from the hardware genome buffer),
+    /// staying within the tracker's residue class.
     pub fn witness(&mut self, id: NodeId) {
         if id.0 >= self.next_node {
-            self.next_node = id.0 + 1;
+            let steps = (id.0 - self.next_node) / self.stride + 1;
+            self.next_node += steps * self.stride;
         }
     }
 }
@@ -166,6 +200,25 @@ mod tests {
         assert_eq!(t.fresh_node(), NodeId(10));
         assert_eq!(t.fresh_node(), NodeId(11));
         assert_eq!(t.next_node_id(), 12);
+    }
+
+    #[test]
+    fn strided_trackers_hand_out_disjoint_ids() {
+        let mut a = InnovationTracker::new(10);
+        a.set_stride(10, 3);
+        let mut b = InnovationTracker::new(10);
+        b.set_stride(11, 3);
+        assert_eq!(a.fresh_node(), NodeId(10));
+        assert_eq!(a.fresh_node(), NodeId(13));
+        assert_eq!(b.fresh_node(), NodeId(11));
+        assert_eq!(b.fresh_node(), NodeId(14));
+        // Witnessing a foreign-class id advances to the next in-class id.
+        a.witness(NodeId(17));
+        assert_eq!(a.fresh_node(), NodeId(19));
+        // A counter already in class survives a stride re-apply unchanged.
+        let next = b.next_node_id();
+        b.set_stride(11, 3);
+        assert_eq!(b.next_node_id(), next);
     }
 
     #[test]

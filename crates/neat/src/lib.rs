@@ -24,6 +24,10 @@
 //! * [`population`] — the outer evolutionary loop with optional
 //!   population-level parallelism (PLP) over evaluation, speciation and
 //!   reproduction.
+//! * [`island`] — asynchronous island evolution: the population split
+//!   into self-contained islands, each scheduled as one whole-generation
+//!   job on the shared executor (no cross-island phase barrier), with
+//!   deterministic ring migration on an epoch schedule.
 //! * [`executor`] — the persistent work-stealing worker pool that backs
 //!   PLP: threads are spawned once and reused across generations, and
 //!   index-keyed jobs (genome evaluations, distance-matrix rows, child
@@ -72,6 +76,7 @@ pub mod gene;
 pub mod genome;
 pub mod hyperneat;
 pub mod innovation;
+pub mod island;
 pub mod layers;
 pub mod network;
 pub mod population;
@@ -93,14 +98,15 @@ pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
 pub use genome::Genome;
 pub use hyperneat::{HyperNeat, Substrate};
 pub use innovation::{InnovationSource, InnovationTracker, SplitRecorder};
+pub use island::{island_seed, Archipelago, ArchipelagoState, EvolutionBackend};
 pub use layers::{LayerConfig, LayerGene, LayerGenome};
-pub use network::{BatchScratch, Network, Scratch};
+pub use network::{BatchScratch, Network, NetworkPlan, Scratch};
 pub use population::{Population, RunOutcome, RunResult};
 pub use reproduction::{ChildKind, ChildPlan, ReproductionReport};
 pub use rng::XorWow;
 pub use session::{
     Backend, BestSummary, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent,
-    OwnedGenerationEvent, Session, SessionBuilder, SessionError, SessionReport,
+    OwnedGenerationEvent, RunState, Session, SessionBuilder, SessionError, SessionReport,
 };
 pub use species::{Species, SpeciesId, SpeciesSet};
 pub use stats::GenerationStats;

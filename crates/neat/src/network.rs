@@ -92,6 +92,70 @@ impl BatchScratch {
     }
 }
 
+/// Reusable compilation workspace for [`Network::compile_into`]: a
+/// compiled [`Network`] plus every internal buffer the compiler needs.
+///
+/// Compiling a genome through a plan produces exactly the network
+/// [`Network::from_genome`] would, but all buffers — the plan's SoA
+/// arrays and the compiler's CSR adjacency / wavefront scratch — are
+/// retained and reused across compiles, so recompiling a same-shaped
+/// genome (an unchanged elite carried into the next generation) performs
+/// **zero heap allocation** in steady state (proved by
+/// `tests/zero_alloc.rs`).
+///
+/// # Ownership rules
+///
+/// Same as [`Scratch`]: one instance may be reused across genomes of any
+/// shape (buffers grow to the largest genome seen), must not be shared
+/// between concurrent compiles (give each worker its own, e.g. via
+/// `crate::executor::WorkerLocal`), and carries no information between
+/// calls — reuse affects performance only, never results.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkPlan {
+    /// The compiled network (meaningful after a successful compile).
+    net: Network,
+    /// Per-slot remaining in-degree during Kahn layering.
+    indegree: Vec<usize>,
+    /// CSR offsets into `out_targets` per source slot (`num_nodes + 1`).
+    out_offsets: Vec<usize>,
+    /// Destination slots of enabled edges, grouped by source slot.
+    out_targets: Vec<usize>,
+    /// CSR offsets into `in_edges` per destination slot (`num_nodes + 1`).
+    in_offsets: Vec<usize>,
+    /// `(source slot, weight)` edges grouped by destination slot, in
+    /// genome connection order within each group.
+    in_edges: Vec<(usize, f64)>,
+    /// `(src slot, dst slot, weight)` per enabled connection, in genome
+    /// connection order.
+    conn_slots: Vec<(usize, usize, f64)>,
+    /// CSR fill cursors.
+    cursor: Vec<usize>,
+    /// Current Kahn wavefront (slot indices; slot order == id order).
+    frontier: Vec<usize>,
+    /// Next Kahn wavefront.
+    next: Vec<usize>,
+    /// Inner layer vectors reclaimed from the previous compile.
+    spare_layers: Vec<Vec<NodeId>>,
+}
+
+impl NetworkPlan {
+    /// Creates an empty plan (buffers grow on first compile).
+    pub fn new() -> NetworkPlan {
+        NetworkPlan::default()
+    }
+
+    /// The most recently compiled network. A fresh plan holds an empty
+    /// network; after a failed compile the contents are unspecified.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Consumes the plan, keeping only the compiled network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+}
+
 /// A compiled, immutable, reusable phenotype.
 ///
 /// ```
@@ -107,7 +171,7 @@ impl BatchScratch {
 /// assert_eq!(net.activate(&[0.5, -0.5]), out);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Network {
     num_inputs: usize,
     num_outputs: usize,
@@ -135,6 +199,12 @@ pub struct Network {
 impl Network {
     /// Compiles a genome into a network.
     ///
+    /// Convenience wrapper over [`Network::compile_into`]: builds a fresh
+    /// [`NetworkPlan`] per call. Hot loops that recompile genomes every
+    /// generation (the evaluation fan-out) should hold a per-worker plan
+    /// and call `compile_into` directly — recompiling a same-shaped genome
+    /// through a warm plan allocates nothing.
+    ///
     /// # Errors
     ///
     /// Returns [`GenomeError::Cycle`] if the enabled connection graph is not
@@ -142,119 +212,164 @@ impl Network {
     /// maintain the feed-forward invariant, but hardware-decoded genomes go
     /// through here too).
     pub fn from_genome(genome: &Genome) -> Result<Network, GenomeError> {
-        let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
-        for (slot, node) in genome.nodes().enumerate() {
-            slot_of.insert(node.id, slot);
-        }
+        let mut plan = NetworkPlan::new();
+        Network::compile_into(&mut plan, genome)?;
+        Ok(plan.into_network())
+    }
 
-        // Enabled-edge adjacency and in-degrees for Kahn layering.
-        let mut indegree: HashMap<NodeId, usize> = genome.nodes().map(|n| (n.id, 0)).collect();
-        let mut out_edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        let mut incoming: HashMap<NodeId, Vec<(usize, f64)>> = HashMap::new();
+    /// Compiles `genome` into `plan`'s retained buffers — the buffer-reuse
+    /// counterpart of [`Network::from_genome`], producing a bit-identical
+    /// plan (same slots, edges, wavefronts and fold order) without the
+    /// per-call HashMaps and `Vec`-of-`Vec` adjacency the one-shot
+    /// compiler allocates. Node lookup is a binary search over the
+    /// genome's id-sorted gene cluster; adjacency lives in two reusable
+    /// CSR buffers filled in genome connection order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::Cycle`] if the enabled connection graph is
+    /// not acyclic. On error the plan's network contents are unspecified,
+    /// but the plan itself stays reusable.
+    pub fn compile_into(plan: &mut NetworkPlan, genome: &Genome) -> Result<(), GenomeError> {
+        let nodes = genome.node_genes();
+        let n = nodes.len();
+        // The gene cluster is sorted by id, so slot order == id order and
+        // lookup is a binary search (no hash map).
+        let slot_of = |id: NodeId| -> usize {
+            nodes
+                .binary_search_by_key(&id, |node| node.id)
+                .expect("validated genome: every edge endpoint is a node")
+        };
+
+        let NetworkPlan {
+            net,
+            indegree,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_edges,
+            conn_slots,
+            cursor,
+            frontier,
+            next,
+            spare_layers,
+        } = plan;
+
+        // Pass 1 over enabled connections: CSR histograms + slot/weight
+        // triples (so pass 2 never re-searches the gene cluster).
+        indegree.clear();
+        indegree.resize(n, 0);
+        out_offsets.clear();
+        out_offsets.resize(n + 1, 0);
+        in_offsets.clear();
+        in_offsets.resize(n + 1, 0);
+        conn_slots.clear();
         let mut num_macs = 0u64;
         for conn in genome.conns().filter(|c| c.enabled) {
-            *indegree.get_mut(&conn.key.dst).expect("validated genome") += 1;
-            out_edges
-                .entry(conn.key.src)
-                .or_default()
-                .push(conn.key.dst);
-            incoming
-                .entry(conn.key.dst)
-                .or_default()
-                .push((slot_of[&conn.key.src], conn.weight));
+            let src = slot_of(conn.key.src);
+            let dst = slot_of(conn.key.dst);
+            conn_slots.push((src, dst, conn.weight));
+            out_offsets[src + 1] += 1;
+            in_offsets[dst + 1] += 1;
+            indegree[dst] += 1;
             num_macs += 1;
         }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
 
-        // Wavefront 0 holds the inputs plus any source-free node.
-        let mut frontier: Vec<NodeId> = genome
-            .nodes()
-            .filter(|n| indegree[&n.id] == 0)
-            .map(|n| n.id)
-            .collect();
-        frontier.sort_unstable();
-        let mut layers: Vec<Vec<NodeId>> = Vec::new();
+        // Pass 2: stable CSR fills. Per-destination edge order is exactly
+        // the genome's connection order (bit-identical aggregation folds
+        // versus the reference interpreter).
+        out_targets.clear();
+        out_targets.resize(num_macs as usize, 0);
+        in_edges.clear();
+        in_edges.resize(num_macs as usize, (0, 0.0));
+        cursor.clear();
+        cursor.extend_from_slice(&out_offsets[..n]);
+        for &(src, dst, _) in conn_slots.iter() {
+            out_targets[cursor[src]] = dst;
+            cursor[src] += 1;
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&in_offsets[..n]);
+        for &(src, dst, weight) in conn_slots.iter() {
+            in_edges[cursor[dst]] = (src, weight);
+            cursor[dst] += 1;
+        }
+
+        // Reclaim the previous compile's layer vectors, then reset the
+        // compiled arrays (capacity retained).
+        spare_layers.append(&mut net.layers);
+        net.slots.clear();
+        net.biases.clear();
+        net.responses.clear();
+        net.activations.clear();
+        net.aggregations.clear();
+        net.edge_offsets.clear();
+        net.edges.clear();
+        net.layer_ranges.clear();
+        net.output_slots.clear();
+        net.edge_offsets.push(0);
+
+        // Kahn wavefronts over slots. Sorting slots reproduces the NodeId
+        // sort of the one-shot compiler (slot order == id order), and each
+        // wavefront is flattened straight into the SoA plan.
+        frontier.clear();
+        for (slot, d) in indegree.iter().enumerate() {
+            if *d == 0 {
+                frontier.push(slot);
+            }
+        }
         let mut processed = 0usize;
         while !frontier.is_empty() {
-            let mut next: Vec<NodeId> = Vec::new();
-            for &id in &frontier {
+            next.clear();
+            let start = net.slots.len();
+            let mut layer = spare_layers.pop().unwrap_or_default();
+            layer.clear();
+            for &slot in frontier.iter() {
                 processed += 1;
-                if let Some(dsts) = out_edges.get(&id) {
-                    for &dst in dsts {
-                        let d = indegree.get_mut(&dst).expect("node present");
-                        *d -= 1;
-                        if *d == 0 {
-                            next.push(dst);
-                        }
+                for &dst in &out_targets[out_offsets[slot]..out_offsets[slot + 1]] {
+                    indegree[dst] -= 1;
+                    if indegree[dst] == 0 {
+                        next.push(dst);
                     }
                 }
-            }
-            next.sort_unstable();
-            layers.push(std::mem::take(&mut frontier));
-            frontier = next;
-        }
-        if processed != genome.num_nodes() {
-            return Err(GenomeError::Cycle);
-        }
-
-        // Flatten the topological order into the SoA plan. Per-node edge
-        // order is exactly the genome's connection order (bit-identical
-        // aggregation folds versus the reference interpreter).
-        let eval_count = genome.num_nodes().saturating_sub(genome.num_inputs());
-        let mut slots = Vec::with_capacity(eval_count);
-        let mut biases = Vec::with_capacity(eval_count);
-        let mut responses = Vec::with_capacity(eval_count);
-        let mut activations = Vec::with_capacity(eval_count);
-        let mut aggregations = Vec::with_capacity(eval_count);
-        let mut edge_offsets = Vec::with_capacity(eval_count + 1);
-        let mut edges: Vec<(usize, f64)> = Vec::with_capacity(num_macs as usize);
-        let mut layer_ranges = Vec::with_capacity(layers.len());
-        edge_offsets.push(0);
-        for layer in &layers {
-            let start = slots.len();
-            for id in layer {
-                let node = genome.node(*id).expect("node present");
+                let node = &nodes[slot];
+                layer.push(node.id);
                 if node.node_type == NodeType::Input {
                     continue;
                 }
-                slots.push(slot_of[id]);
-                biases.push(node.bias);
-                responses.push(node.response);
-                activations.push(node.activation);
-                aggregations.push(node.aggregation);
-                if let Some(inc) = incoming.remove(id) {
-                    edges.extend(inc);
-                }
-                edge_offsets.push(edges.len());
+                net.slots.push(slot);
+                net.biases.push(node.bias);
+                net.responses.push(node.response);
+                net.activations.push(node.activation);
+                net.aggregations.push(node.aggregation);
+                net.edges
+                    .extend_from_slice(&in_edges[in_offsets[slot]..in_offsets[slot + 1]]);
+                net.edge_offsets.push(net.edges.len());
             }
-            layer_ranges.push((start, slots.len()));
+            net.layer_ranges.push((start, net.slots.len()));
+            net.layers.push(layer);
+            next.sort_unstable();
+            std::mem::swap(frontier, next);
+        }
+        if processed != n {
+            return Err(GenomeError::Cycle);
         }
 
-        let output_slots: Vec<usize> = (0..genome.num_outputs())
-            .map(|o| slot_of[&NodeId((genome.num_inputs() + o) as u32)])
-            .collect();
-        // Input nodes occupy the first ids; map observation k to its slot.
-        let mut input_slots: Vec<usize> = (0..genome.num_inputs())
-            .map(|i| slot_of[&NodeId(i as u32)])
-            .collect();
-        input_slots.sort_unstable();
-        debug_assert!(input_slots.windows(2).all(|w| w[1] == w[0] + 1));
-
-        Ok(Network {
-            num_inputs: genome.num_inputs(),
-            num_outputs: genome.num_outputs(),
-            total_slots: genome.num_nodes(),
-            slots,
-            biases,
-            responses,
-            activations,
-            aggregations,
-            edge_offsets,
-            edges,
-            layer_ranges,
-            output_slots,
-            layers,
-            num_macs,
-        })
+        net.num_inputs = genome.num_inputs();
+        net.num_outputs = genome.num_outputs();
+        net.total_slots = n;
+        net.num_macs = num_macs;
+        for o in 0..genome.num_outputs() {
+            net.output_slots
+                .push(slot_of(NodeId((genome.num_inputs() + o) as u32)));
+        }
+        // Input nodes occupy the first ids; slot i == input i.
+        debug_assert!((0..genome.num_inputs()).all(|i| slot_of(NodeId(i as u32)) == i));
+        Ok(())
     }
 
     /// Evaluates the network on one observation, writing the output node
@@ -1051,6 +1166,49 @@ mod tests {
         let g = Genome::initial(0, &cfg(), &mut XorWow::seed_from_u64_value(1));
         let net = Network::from_genome(&g).unwrap();
         net.activate_batch_into(&mut BatchScratch::new(), 2, &[1.0, 2.0], &mut [0.0, 0.0]);
+    }
+
+    /// The buffer-reuse compiler must produce exactly the network the
+    /// one-shot compiler does — same plan arrays, wavefronts and edge
+    /// order — for arbitrary evolved genomes, with one plan reused across
+    /// all of them.
+    #[test]
+    fn compile_into_matches_from_genome_with_reused_plan() {
+        let mut c = cfg();
+        c.initial_weights = InitialWeights::Uniform { lo: -2.0, hi: 2.0 };
+        c.activation_options = Activation::ALL.to_vec();
+        c.aggregation_options = Aggregation::ALL.to_vec();
+        c.activation_mutate_rate = 0.4;
+        c.aggregation_mutate_rate = 0.4;
+        let mut r = XorWow::seed_from_u64_value(13);
+        let mut innov = InnovationTracker::new(c.first_hidden_id());
+        let mut g = Genome::initial(0, &c, &mut r);
+        let mut ops = OpCounters::new();
+        let mut plan = NetworkPlan::new();
+        for _ in 0..150 {
+            g.mutate(&c, &mut innov, &mut r, &mut ops);
+            Network::compile_into(&mut plan, &g).unwrap();
+            let fresh = Network::from_genome(&g).unwrap();
+            assert_eq!(plan.network(), &fresh, "reused plan vs one-shot compile");
+        }
+    }
+
+    #[test]
+    fn plan_reuse_across_interface_shapes_leaves_no_stale_state() {
+        // Shrinking the genome between compiles must not leak the larger
+        // plan's slots, layers or edges into the smaller network.
+        let big_cfg = NeatConfig::builder(7, 3).build().unwrap();
+        let small_cfg = cfg();
+        let mut r = XorWow::seed_from_u64_value(8);
+        let big = Genome::initial(0, &big_cfg, &mut r);
+        let small = Genome::initial(1, &small_cfg, &mut r);
+        let mut plan = NetworkPlan::new();
+        for g in [&big, &small, &big, &small] {
+            Network::compile_into(&mut plan, g).unwrap();
+            assert_eq!(plan.network(), &Network::from_genome(g).unwrap());
+        }
+        assert_eq!(plan.network().num_inputs(), 2);
+        assert_eq!(plan.network().num_nodes(), small.num_nodes());
     }
 
     #[test]

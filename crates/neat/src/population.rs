@@ -7,10 +7,10 @@
 //! [`GenerationTrace`] that drives the hardware model.
 
 use crate::config::NeatConfig;
-use crate::executor::Executor;
+use crate::executor::{Executor, WorkerLocal};
 use crate::genome::Genome;
 use crate::innovation::InnovationTracker;
-use crate::network::Network;
+use crate::network::{Network, NetworkPlan};
 use crate::reproduction::reproduce_into;
 use crate::rng::XorWow;
 use crate::session::{EvolutionState, SessionError};
@@ -70,6 +70,12 @@ pub struct Population {
     /// shells, recycled as the next generation's child buffers so
     /// reproduction reuses gene storage instead of allocating per child.
     arena: Vec<Genome>,
+    /// Per-worker compiled-plan scratch: evaluation recompiles each genome
+    /// through a checked-out [`NetworkPlan`] instead of building a fresh
+    /// [`Network`] per genome per generation, so unchanged elites cost no
+    /// heap allocation. Pure cache — never serialized, no effect on
+    /// results.
+    plans: WorkerLocal<NetworkPlan>,
 }
 
 impl Population {
@@ -100,6 +106,7 @@ impl Population {
             last_trace: None,
             best_ever: None,
             arena: Vec::new(),
+            plans: WorkerLocal::new(NetworkPlan::new),
         }
     }
 
@@ -168,6 +175,7 @@ impl Population {
             last_trace: None,
             best_ever: None,
             arena: Vec::new(),
+            plans: WorkerLocal::new(NetworkPlan::new),
         }
     }
 
@@ -229,7 +237,18 @@ impl Population {
             last_trace: None,
             best_ever,
             arena: Vec::new(),
+            plans: WorkerLocal::new(NetworkPlan::new),
         })
+    }
+
+    /// Restricts this population's fresh hidden-node ids to island
+    /// `island`'s residue class modulo `islands`, so that the id spaces of
+    /// the islands in an archipelago are disjoint and migrants can never
+    /// collide with locally assigned ids. Idempotent on a counter restored
+    /// from a checkpoint (it is already in class).
+    pub(crate) fn set_innovation_stride(&mut self, island: u32, islands: u32) {
+        self.innovations
+            .set_stride(self.config.first_hidden_id() + island, islands);
     }
 
     /// Current generation index (0 before the first [`Population::evolve_once`]).
@@ -282,34 +301,39 @@ impl Population {
     where
         F: Fn(usize, &Network) -> f64 + Sync,
     {
-        let nets: Vec<Network> = self
-            .genomes
-            .iter()
-            .map(|g| Network::from_genome(g).expect("population genomes are valid"))
-            .collect();
-        let macs: u64 = nets.iter().map(Network::num_macs).sum();
-        let n = nets.len();
+        let n = self.genomes.len();
+        let genomes = &self.genomes;
+        let plans = &self.plans;
+        // Compile through a checked-out per-worker NetworkPlan: recompiling
+        // a same-shaped genome (an unchanged elite) through a warm plan
+        // allocates nothing, versus a fresh `Network::from_genome` per
+        // genome per generation.
+        let job = |i: usize| -> (f64, u64) {
+            plans.with(|plan| {
+                Network::compile_into(plan, &genomes[i]).expect("population genomes are valid");
+                let net = plan.network();
+                (fitness_fn(i, net), net.num_macs())
+            })
+        };
         // The persistent pool pulls genome jobs from a work-stealing deque:
         // no per-generation thread spawn, and stragglers (deep genomes,
         // long gym episodes) get backfilled instead of serializing a chunk.
-        let fitness: Vec<f64> = match &self.executor {
-            Some(pool) => pool.map(n, |i| fitness_fn(i, &nets[i])),
-            None => nets
-                .iter()
-                .enumerate()
-                .map(|(i, net)| fitness_fn(i, net))
-                .collect(),
+        let results: Vec<(f64, u64)> = match &self.executor {
+            Some(pool) => pool.map(n, job),
+            None => (0..n).map(job).collect(),
         };
-        for (g, f) in self.genomes.iter_mut().zip(fitness.iter()) {
-            g.set_fitness(*f);
+        // Index-ordered sum: identical at any worker count.
+        let macs: u64 = results.iter().map(|&(_, m)| m).sum();
+        for (g, &(f, _)) in self.genomes.iter_mut().zip(results.iter()) {
+            g.set_fitness(f);
         }
         // Track the best-ever genome (NaN-tolerant total order).
-        if let Some(best_idx) = (0..n).max_by(|&a, &b| fitness[a].total_cmp(&fitness[b])) {
+        if let Some(best_idx) = (0..n).max_by(|&a, &b| results[a].0.total_cmp(&results[b].0)) {
             let better = self
                 .best_ever
                 .as_ref()
                 .and_then(Genome::fitness)
-                .is_none_or(|prev| fitness[best_idx] > prev);
+                .is_none_or(|prev| results[best_idx].0 > prev);
             if better {
                 self.best_ever = Some(self.genomes[best_idx].clone());
             }
@@ -342,6 +366,19 @@ impl Population {
         F: Fn(usize, &Network) -> f64 + Sync,
     {
         let macs = self.evaluate_indexed(fitness_fn);
+        self.finish_generation(macs)
+    }
+
+    /// The post-evaluation half of a generation: speciate → stagnation →
+    /// fitness sharing → reproduce → advance the generation counter.
+    /// `macs` is the inference MAC count returned by
+    /// [`Population::evaluate_indexed`], threaded into the stats.
+    ///
+    /// Split out so the archipelago backend (`crate::island`) can run its
+    /// deterministic migration exchange between evaluation and
+    /// reproduction on migration epochs; every other caller goes through
+    /// [`Population::evolve_once_indexed`].
+    pub(crate) fn finish_generation(&mut self, macs: u64) -> GenerationStats {
         let pool = self.executor.clone();
         let pool = pool.as_deref();
         self.species
@@ -375,6 +412,44 @@ impl Population {
         std::mem::swap(&mut self.genomes, &mut self.arena);
         self.generation += 1;
         stats
+    }
+
+    /// Clones this island's top `k` genomes — the migration emigrants —
+    /// ranked by fitness (`total_cmp` descending, index ascending on
+    /// ties). RNG-free and scheduling-independent, so migrant selection is
+    /// bit-identical at any worker count. Call after evaluation, while
+    /// every genome carries a fitness.
+    pub(crate) fn select_emigrants(&self, k: usize) -> Vec<Genome> {
+        let mut order: Vec<usize> = (0..self.genomes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = self.genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+            let fb = self.genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+            fb.total_cmp(&fa).then(a.cmp(&b))
+        });
+        order
+            .into_iter()
+            .take(k)
+            .map(|i| self.genomes[i].clone())
+            .collect()
+    }
+
+    /// Integrates immigrant genomes: each replaces one of this island's
+    /// worst residents (fitness `total_cmp` ascending, index ascending on
+    /// ties), keeping its evaluated fitness but re-keyed from this
+    /// island's key counter so genome keys stay island-unique.
+    pub(crate) fn integrate_migrants(&mut self, migrants: &[Genome]) {
+        let mut order: Vec<usize> = (0..self.genomes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = self.genomes[a].fitness().unwrap_or(f64::NEG_INFINITY);
+            let fb = self.genomes[b].fitness().unwrap_or(f64::NEG_INFINITY);
+            fa.total_cmp(&fb).then(a.cmp(&b))
+        });
+        for (slot, migrant) in order.into_iter().zip(migrants.iter()) {
+            // Buffer-reusing clone into the displaced resident's storage.
+            self.genomes[slot].clone_from(migrant);
+            self.genomes[slot].set_key(self.next_key);
+            self.next_key += 1;
+        }
     }
 
     /// Runs evolution until the configured target fitness is reached or

@@ -76,6 +76,23 @@
 //! generations, while `Session::run(n)` may stop early on
 //! `target_fitness` — convergence gating is the client's call, made from
 //! the observed event stream.
+//!
+//! The island backend ([`crate::island`]) makes the seed-derivation trade
+//! a fourth time, at **epoch granularity**: an [`crate::Archipelago`]
+//! splits the run seed into per-island streams via
+//! [`crate::island_seed`]`(seed, island)`, and every downstream seed — a
+//! genome's evaluation episode, a child's reproduction stream — derives
+//! from the island-local `(island_seed, generation, index)` triple
+//! instead of the global one. Trajectories therefore differ from a
+//! monolithic run of the same seed at `islands > 1` (different islands,
+//! different streams), but remain reproducible, worker-count-invariant
+//! and checkpoint/resume-exact; migration is RNG-free (fitness-ranked
+//! emigrants on a schedule that is a pure function of the generation
+//! index), and island 0 keeps the run seed unchanged, so `islands = 1`
+//! collapses the trade entirely — bit-identical to the monolithic
+//! backend. The buy: islands schedule as whole-generation jobs with no
+//! cross-island phase barrier, the multi-worker win quantified by the
+//! `islands` bench.
 
 use crate::config::NeatConfig;
 use crate::executor::Executor;

@@ -30,12 +30,14 @@
 //!
 //! # Save and resume
 //!
-//! [`Session::export_state`] captures the complete evolution state (the
-//! [`EvolutionState`]: genomes, species, innovation counter, RNG, seed
-//! bookkeeping, generation counter, workload phase) and
-//! [`Session::resume`] rebuilds a process-equivalent session from it.
-//! `genesys_core::snapshot` serializes an [`EvolutionState`] to a
-//! versioned binary image for on-disk checkpoints.
+//! [`Session::export_state`] captures the complete evolution state (a
+//! [`RunState`]: one [`EvolutionState`] — genomes, species, innovation
+//! counter, RNG, seed bookkeeping, generation counter, workload phase —
+//! per population, so one for the monolithic backend and one per island
+//! for an archipelago) and [`Session::resume`] rebuilds a
+//! process-equivalent session from it. `genesys_core::snapshot`
+//! serializes a [`RunState`] to a versioned binary image for on-disk
+//! checkpoints.
 //!
 //! ```
 //! use genesys_neat::{EvalContext, NeatConfig, Network, Session};
@@ -68,6 +70,7 @@ use crate::config::NeatConfig;
 use crate::error::ConfigError;
 use crate::executor::Executor;
 use crate::genome::Genome;
+use crate::island::{ArchipelagoState, EvolutionBackend};
 use crate::network::Network;
 use crate::population::{Population, RunOutcome};
 use crate::species::Species;
@@ -154,8 +157,9 @@ where
 /// this state and running N more generations produces exactly the bytes an
 /// uninterrupted run would have, at any worker count.
 ///
-/// Produced by [`Session::export_state`] / [`Backend::export_state`];
-/// consumed by [`Session::resume`] / [`Backend::import_state`].
+/// Carried inside a [`RunState`] — one per population — produced by
+/// [`Session::export_state`] / [`Backend::export_state`] and consumed by
+/// [`Session::resume`] / [`Backend::import_state`].
 /// `genesys_core::snapshot` defines the versioned binary wire format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvolutionState {
@@ -231,6 +235,98 @@ impl EvolutionState {
     }
 }
 
+/// The complete checkpoint of any backend — what [`Session::export_state`]
+/// captures and [`Session::resume`] consumes. Monolithic backends (the
+/// shared [`Population`], the SoC model) carry one [`EvolutionState`];
+/// the island backend ([`crate::island::Archipelago`]) carries one per
+/// island plus the global schedule counters. `genesys_core::snapshot`
+/// serializes either kind into one versioned binary format (a kind word
+/// selects the body).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunState {
+    /// A single-population backend's state.
+    Monolithic(EvolutionState),
+    /// An island-model backend's state.
+    Archipelago(ArchipelagoState),
+}
+
+impl RunState {
+    /// Generation counter (the next generation to evaluate).
+    pub fn generation(&self) -> u64 {
+        match self {
+            RunState::Monolithic(s) => s.generation,
+            RunState::Archipelago(s) => s.generation,
+        }
+    }
+
+    /// The run's base seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            RunState::Monolithic(s) => s.seed,
+            RunState::Archipelago(s) => s.seed,
+        }
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &NeatConfig {
+        match self {
+            RunState::Monolithic(s) => &s.config,
+            RunState::Archipelago(s) => &s.config,
+        }
+    }
+
+    /// Opaque workload state ([`Evaluator::state`]).
+    pub fn workload_state(&self) -> u64 {
+        match self {
+            RunState::Monolithic(s) => s.workload_state,
+            RunState::Archipelago(s) => s.workload_state,
+        }
+    }
+
+    /// Overwrites the workload state (done by [`Session::export_state`]
+    /// just before checkpointing).
+    pub fn set_workload_state(&mut self, state: u64) {
+        match self {
+            RunState::Monolithic(s) => s.workload_state = state,
+            RunState::Archipelago(s) => s.workload_state = state,
+        }
+    }
+
+    /// The monolithic state, if this is one.
+    pub fn as_monolithic(&self) -> Option<&EvolutionState> {
+        match self {
+            RunState::Monolithic(s) => Some(s),
+            RunState::Archipelago(_) => None,
+        }
+    }
+
+    /// The archipelago state, if this is one.
+    pub fn as_archipelago(&self) -> Option<&ArchipelagoState> {
+        match self {
+            RunState::Monolithic(_) => None,
+            RunState::Archipelago(s) => Some(s),
+        }
+    }
+
+    /// Validates internal consistency of whichever kind this is.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`SessionError`].
+    pub fn validate(&self) -> Result<(), SessionError> {
+        match self {
+            RunState::Monolithic(s) => s.validate(),
+            RunState::Archipelago(s) => s.validate(),
+        }
+    }
+}
+
+impl From<EvolutionState> for RunState {
+    fn from(state: EvolutionState) -> Self {
+        RunState::Monolithic(state)
+    }
+}
+
 /// Errors raised by session construction and state restore.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
@@ -263,6 +359,9 @@ pub enum SessionError {
         /// Population size.
         population: usize,
     },
+    /// A [`RunState`] kind was imported into a backend of the other kind
+    /// (e.g. an archipelago checkpoint into a monolithic population).
+    BackendMismatch,
 }
 
 impl fmt::Display for SessionError {
@@ -290,6 +389,9 @@ impl fmt::Display for SessionError {
                 f,
                 "species s{species} references member {member} outside population of {population}"
             ),
+            SessionError::BackendMismatch => {
+                write!(f, "state kind does not match the backend kind")
+            }
         }
     }
 }
@@ -337,15 +439,17 @@ pub trait Backend {
     fn set_executor(&mut self, _pool: Arc<Executor>) {}
 
     /// Captures the complete evolution state at the current generation
-    /// boundary (see [`EvolutionState`]).
-    fn export_state(&self) -> EvolutionState;
+    /// boundary (see [`RunState`]).
+    fn export_state(&self) -> RunState;
 
     /// Replaces this backend's state with a previously exported one.
     ///
     /// # Errors
     ///
-    /// Returns a [`SessionError`] if the state fails validation.
-    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError>;
+    /// Returns a [`SessionError`] if the state fails validation, or
+    /// [`SessionError::BackendMismatch`] if the state kind belongs to the
+    /// other backend kind and this backend cannot switch.
+    fn import_state(&mut self, state: RunState) -> Result<(), SessionError>;
 }
 
 impl Backend for Population {
@@ -390,13 +494,18 @@ impl Backend for Population {
         Population::set_executor(self, pool);
     }
 
-    fn export_state(&self) -> EvolutionState {
-        Population::export_state(self)
+    fn export_state(&self) -> RunState {
+        RunState::Monolithic(Population::export_state(self))
     }
 
-    fn import_state(&mut self, state: EvolutionState) -> Result<(), SessionError> {
-        *self = Population::from_state(state)?;
-        Ok(())
+    fn import_state(&mut self, state: RunState) -> Result<(), SessionError> {
+        match state {
+            RunState::Monolithic(state) => {
+                *self = Population::from_state(state)?;
+                Ok(())
+            }
+            RunState::Archipelago(_) => Err(SessionError::BackendMismatch),
+        }
     }
 }
 
@@ -512,7 +621,7 @@ impl SessionReport {
 /// See the [module docs](self) for the full tour; construct via
 /// [`Session::builder`] (software), [`Session::on`] (any backend) or
 /// [`Session::resume`] (from a checkpoint).
-pub struct Session<W = NoWorkload, B = Population> {
+pub struct Session<W = NoWorkload, B = EvolutionBackend> {
     backend: B,
     workload: W,
     base_seed: u64,
@@ -532,7 +641,7 @@ impl<W: fmt::Debug, B: fmt::Debug> fmt::Debug for Session<W, B> {
 }
 
 /// Builder for [`Session`]; see [`Session::builder`].
-pub struct SessionBuilder<B = Population, W = NoWorkload> {
+pub struct SessionBuilder<B = EvolutionBackend, W = NoWorkload> {
     backend: B,
     workload: W,
     base_seed: u64,
@@ -554,30 +663,36 @@ impl<B: fmt::Debug, W: fmt::Debug> fmt::Debug for SessionBuilder<B, W> {
 }
 
 impl Session {
-    /// Starts a software session: a fresh [`Population`] built from
-    /// `config`, seeded with `seed` (which also serves as the base of
-    /// every evaluation seed).
+    /// Starts a software session: a fresh [`EvolutionBackend`] built from
+    /// `config` (a shared [`Population`], or a
+    /// [`crate::island::Archipelago`] when `config.islands > 1`), seeded
+    /// with `seed` (which also serves as the base of every evaluation
+    /// seed).
     ///
     /// # Errors
     ///
     /// Returns [`SessionError::Config`] if `config` fails validation.
     pub fn builder(config: NeatConfig, seed: u64) -> Result<SessionBuilder, SessionError> {
         config.validate().map_err(SessionError::Config)?;
-        Ok(SessionBuilder::new(Population::new(config, seed), seed))
+        Ok(SessionBuilder::new(
+            EvolutionBackend::new(config, seed),
+            seed,
+        ))
     }
 
-    /// Resumes a software session from a previously exported state.
-    /// Combined with a deterministic workload, the resumed session is
-    /// bit-identical to one that never stopped.
+    /// Resumes a software session from a previously exported state (the
+    /// state kind selects the backend kind). Combined with a deterministic
+    /// workload, the resumed session is bit-identical to one that never
+    /// stopped.
     ///
     /// # Errors
     ///
     /// Returns a [`SessionError`] if the state fails validation.
-    pub fn resume(state: EvolutionState) -> Result<SessionBuilder, SessionError> {
-        let seed = state.seed;
-        let workload_state = state.workload_state;
-        let population = Population::from_state(state)?;
-        let mut builder = SessionBuilder::new(population, seed);
+    pub fn resume(state: RunState) -> Result<SessionBuilder, SessionError> {
+        let seed = state.seed();
+        let workload_state = state.workload_state();
+        let backend = EvolutionBackend::from_state(state)?;
+        let mut builder = SessionBuilder::new(backend, seed);
         builder.restored_workload_state = Some(workload_state);
         Ok(builder)
     }
@@ -733,9 +848,9 @@ impl<W: Evaluator, B: Backend> Session<W, B> {
     /// Captures the complete session state — evolution state plus the
     /// workload's phase — for checkpointing. Serialize it with
     /// `genesys_core::snapshot` and rebuild with [`Session::resume`].
-    pub fn export_state(&self) -> EvolutionState {
+    pub fn export_state(&self) -> RunState {
         let mut state = self.backend.export_state();
-        state.workload_state = self.workload.state();
+        state.set_workload_state(self.workload.state());
         state
     }
 
@@ -875,6 +990,7 @@ mod tests {
             s.run(3);
             s.export_state()
         };
+        let reference = reference.as_monolithic().unwrap();
         for workers in [1usize, 4] {
             let mut resumed = Session::resume(checkpoint.clone())
                 .unwrap()
@@ -883,6 +999,7 @@ mod tests {
                 .build();
             resumed.run(3);
             let state = resumed.export_state();
+            let state = state.as_monolithic().unwrap();
             assert_eq!(state.genomes, reference.genomes, "workers={workers}");
             assert_eq!(state.rng_state, reference.rng_state, "workers={workers}");
             assert_eq!(state.next_key, reference.next_key, "workers={workers}");
@@ -901,8 +1018,11 @@ mod tests {
             .workload(proxy)
             .build();
         s.run(2);
-        let good = s.export_state();
-        assert!(good.validate().is_ok());
+        let exported = s.export_state();
+        assert!(exported.validate().is_ok());
+        let RunState::Monolithic(good) = exported else {
+            panic!("monolithic config exports a monolithic state");
+        };
 
         let mut truncated = good.clone();
         truncated.genomes.pop();
@@ -1003,7 +1123,7 @@ mod tests {
             .build();
         s.step();
         let state = s.export_state();
-        assert_eq!(state.workload_state, 7);
+        assert_eq!(state.workload_state(), 7);
         let resumed = Session::resume(state)
             .unwrap()
             .workload(Phased { phase: 0 })

@@ -143,6 +143,7 @@ impl ServeError {
                 SessionError::PopulationSizeMismatch { .. } => 402,
                 SessionError::InterfaceMismatch { .. } => 403,
                 SessionError::MemberOutOfRange { .. } => 404,
+                SessionError::BackendMismatch => 405,
             },
             ServeError::Io(_) => 500,
             ServeError::Disconnected => 501,

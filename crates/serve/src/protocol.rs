@@ -42,8 +42,9 @@ use genesys_core::snapshot::{
 use genesys_neat::{NeatConfig, OwnedGenerationEvent};
 
 /// Protocol version byte; bumped on any wire layout change, other
-/// versions rejected (the snapshot version policy).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// versions rejected (the snapshot version policy). v2 added the
+/// `dropped_events` counter to the `stats` reply.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Hard cap on one frame's body. Large enough for megapopulation
 /// snapshot images, small enough that a hostile length prefix cannot
 /// balloon memory.
@@ -173,6 +174,12 @@ pub struct ServerStats {
     pub max_sessions: u64,
     /// The cap on resident sessions.
     pub max_resident: u64,
+    /// Generation events silently dropped from per-session observe rings
+    /// because no `observe` call drained them before the ring wrapped.
+    /// A nonzero, growing value means observers are polling too slowly
+    /// (or the `event_buffer` is too small) and the event stream they see
+    /// has holes.
+    pub dropped_events: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -521,6 +528,7 @@ pub fn encode_reply(request_id: u32, result: &Result<Reply, ServeError>) -> Vec<
                 s.rehydrations,
                 s.max_sessions,
                 s.max_resident,
+                s.dropped_events,
             ] {
                 w.put_u64(v);
             }
@@ -593,7 +601,7 @@ pub fn decode_reply(body: &[u8]) -> Result<(u32, Result<Reply, ServeError>), Ser
             session: r.take_u64()?,
         }),
         TAG_STATS => {
-            let mut vals = [0u64; 8];
+            let mut vals = [0u64; 9];
             for v in &mut vals {
                 *v = r.take_u64()?;
             }
@@ -606,6 +614,7 @@ pub fn decode_reply(body: &[u8]) -> Result<(u32, Result<Reply, ServeError>), Ser
                 rehydrations: vals[5],
                 max_sessions: vals[6],
                 max_resident: vals[7],
+                dropped_events: vals[8],
             }))
         }
         other => return Err(ServeError::Frame(FrameError::UnknownTag(other))),
@@ -669,12 +678,21 @@ mod tests {
             let id = i as u32 + 10;
             let frame = encode_request(id, &request);
             let mut buf = frame.clone();
-            let body = take_frame(&mut buf).unwrap().expect("complete frame");
+            let body = take_complete_frame(&mut buf);
             assert!(buf.is_empty());
             assert_eq!(request_id_of(&body), Some(id));
             let (got_id, got) = decode_request(&body).unwrap();
             assert_eq!(got_id, id);
             assert_eq!(got, request);
+        }
+    }
+
+    /// Takes exactly one complete frame off `buf`, failing the test on
+    /// a wire error or an incomplete buffer alike.
+    fn take_complete_frame(buf: &mut Vec<u8>) -> Vec<u8> {
+        match take_frame(buf) {
+            Ok(Some(body)) => body,
+            other => panic!("expected one complete frame, got {other:?}"),
         }
     }
 
@@ -750,6 +768,7 @@ mod tests {
                 rehydrations: 2,
                 max_sessions: 64,
                 max_resident: 8,
+                dropped_events: 5,
             })),
             Err(ServeError::UnknownSession(77)),
         ];
@@ -777,7 +796,7 @@ mod tests {
             buf.extend_from_slice(&encode_request(id, &Request::Stats));
         }
         for id in 0..4u32 {
-            let body = take_frame(&mut buf).unwrap().expect("frame present");
+            let body = take_complete_frame(&mut buf);
             assert_eq!(decode_request(&body).unwrap().0, id);
         }
         assert_eq!(take_frame(&mut buf).unwrap(), None);

@@ -40,7 +40,7 @@ use crate::error::ServeError;
 use crate::protocol::{Reply, Request, ServerStats};
 use crate::workload::{ServeWorkload, WorkloadSpec};
 use genesys_core::snapshot::{snapshot_from_bytes, snapshot_to_bytes};
-use genesys_neat::{Executor, OwnedGenerationEvent, Population, Session};
+use genesys_neat::{EvolutionBackend, Executor, OwnedGenerationEvent, Session};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
@@ -186,6 +186,7 @@ impl Server {
             next_id: 1,
             clock: 0,
             generations: 0,
+            dropped_events: 0,
             evictions: 0,
             rehydrations: 0,
         };
@@ -223,7 +224,7 @@ struct Ticket {
     reply: ReplyFn,
 }
 
-type ServeSession = Session<ServeWorkload, Population>;
+type ServeSession = Session<ServeWorkload, EvolutionBackend>;
 
 struct Entry {
     spec: WorkloadSpec,
@@ -251,6 +252,9 @@ struct Scheduler {
     generations: u64,
     evictions: u64,
     rehydrations: u64,
+    /// Observe-ring overflow drops, summed across sessions (surfaced in
+    /// [`ServerStats::dropped_events`]).
+    dropped_events: u64,
 }
 
 impl Scheduler {
@@ -319,7 +323,7 @@ impl Scheduler {
                 self.admit()?;
                 self.make_room(None)?;
                 let state = snapshot_from_bytes(&snapshot)?;
-                let generation = state.generation;
+                let generation = state.generation();
                 let session = Session::resume(state)?;
                 let session = self.finish_build(session.workload(workload.build()));
                 let id = self.alloc_id();
@@ -398,8 +402,10 @@ impl Scheduler {
         entry.spilled = false; // disk image (if any) is now stale
         entry.touch = touch;
         entry.events.push_back(event.clone());
+        let mut dropped = 0u64;
         while entry.events.len() > event_buffer {
             entry.events.pop_front();
+            dropped += 1;
         }
         let generation = entry.generation;
         if let Some(ticket) = entry.tickets.front_mut() {
@@ -419,6 +425,7 @@ impl Scheduler {
             self.ready.push_back(sid);
         }
         self.generations += 1;
+        self.dropped_events += dropped;
     }
 
     fn admit(&self) -> Result<(), ServeError> {
@@ -439,7 +446,7 @@ impl Scheduler {
 
     fn finish_build(
         &self,
-        builder: genesys_neat::SessionBuilder<Population, ServeWorkload>,
+        builder: genesys_neat::SessionBuilder<EvolutionBackend, ServeWorkload>,
     ) -> Box<ServeSession> {
         let builder = match &self.pool {
             Some(pool) => builder.executor(Arc::clone(pool)),
@@ -574,6 +581,7 @@ impl Scheduler {
             rehydrations: self.rehydrations,
             max_sessions: self.config.max_sessions as u64,
             max_resident: self.config.max_resident as u64,
+            dropped_events: self.dropped_events,
         }
     }
 }
@@ -748,6 +756,30 @@ mod tests {
             panic!("expected events");
         };
         assert!(events.is_empty(), "observe drains");
+    }
+
+    #[test]
+    fn overflow_drops_are_counted_in_stats() {
+        let server = Server::start(ServerConfig::new(temp_dir("dropped")).event_buffer(2)).unwrap();
+        let client = server.client();
+        let sid = submit(&client, 5);
+        // 5 generations into a 2-slot ring with no observer: 3 events
+        // silently fall off the front — the stats counter must say so.
+        step(&client, sid, 5);
+        let Reply::Stats(stats) = client.call(Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.dropped_events, 3);
+        // Draining resets nothing: the counter is cumulative.
+        let _ = client.call(Request::Observe {
+            session: sid,
+            max: 10,
+        });
+        step(&client, sid, 1);
+        let Reply::Stats(stats) = client.call(Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.dropped_events, 3, "drained ring does not drop");
     }
 
     #[test]

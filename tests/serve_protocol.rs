@@ -117,6 +117,7 @@ impl Strategy for ArbReply {
                 rehydrations: rng.next_u64(),
                 max_sessions: 4096,
                 max_resident: 256,
+                dropped_events: rng.next_u64(),
             }),
         }
     }

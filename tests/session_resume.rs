@@ -8,7 +8,7 @@
 //! *different* worker counts before and after the power cycle.
 
 use genesys::gym::{DriftingEvaluator, EnvKind, EpisodeEvaluator};
-use genesys::neat::{Evaluator, EvolutionState, NeatConfig, Session};
+use genesys::neat::{Evaluator, NeatConfig, RunState, Session};
 use genesys::soc::{encode_population, snapshot_from_bytes, snapshot_to_bytes};
 
 const G: usize = 3;
@@ -43,7 +43,11 @@ fn assert_resume_bit_identical<W: Evaluator>(
         .workload(make_workload())
         .build();
     let full_report = full.run(G + N);
-    let full_state = full.export_state();
+    let full_state = full
+        .export_state()
+        .as_monolithic()
+        .cloned()
+        .expect("monolithic run");
 
     // Checkpointed run: G generations, snapshot to *bytes*, drop, restore.
     let mut head = Session::builder(config, seed)
@@ -55,14 +59,18 @@ fn assert_resume_bit_identical<W: Evaluator>(
     let bytes = snapshot_to_bytes(&head.export_state()).expect("encodable");
     drop(head);
 
-    let restored: EvolutionState = snapshot_from_bytes(&bytes).expect("decodable");
+    let restored: RunState = snapshot_from_bytes(&bytes).expect("decodable");
     let mut tail = Session::resume(restored)
         .unwrap()
         .workload(make_workload())
         .threads(tail_workers)
         .build();
     let tail_report = tail.run(N);
-    let tail_state = tail.export_state();
+    let tail_state = tail
+        .export_state()
+        .as_monolithic()
+        .cloned()
+        .expect("monolithic run");
 
     // Fitness history: head + tail == uninterrupted, element-exact.
     assert_eq!(
@@ -196,7 +204,7 @@ fn drift_phase_offset_survives_the_snapshot() {
     head.run(2);
     let bytes = snapshot_to_bytes(&head.export_state()).unwrap();
     let state = snapshot_from_bytes(&bytes).unwrap();
-    assert_eq!(state.workload_state, 123, "offset rides in the snapshot");
+    assert_eq!(state.workload_state(), 123, "offset rides in the snapshot");
     // Resume with a *fresh* evaluator (offset 0): the snapshot restores it.
     let mut tail = Session::resume(state)
         .unwrap()

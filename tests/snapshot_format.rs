@@ -5,11 +5,12 @@
 
 use genesys::gym::{DriftingEvaluator, EnvKind, EpisodeEvaluator};
 use genesys::neat::{
-    EvalContext, EvolutionState, Genome, NeatConfig, Network, NodeGene, NodeId, Session,
+    EvalContext, Genome, NeatConfig, Network, NodeGene, NodeId, RunState, Session,
 };
 use genesys::soc::{
-    decode_snapshot, encode_snapshot, snapshot_from_bytes, snapshot_to_bytes, SnapshotError,
-    SNAPSHOT_MAX_NODE_ID, SNAPSHOT_VERSION,
+    decode_migrant_batch, decode_snapshot, encode_migrant_batch, encode_snapshot,
+    migrant_batch_from_bytes, migrant_batch_to_bytes, snapshot_from_bytes, snapshot_to_bytes,
+    MigrantBatch, SnapshotError, SNAPSHOT_MAX_NODE_ID, SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -30,7 +31,7 @@ fn fnv1a(words: &[u64]) -> u64 {
 /// best-ever genome) from a handful of generator-chosen knobs. Three
 /// workload shapes keep it fast while exercising drift phase serialization
 /// and env-step accounting.
-fn evolved_state(seed: u64, generations: usize, pop: usize, workload: u8) -> EvolutionState {
+fn evolved_state(seed: u64, generations: usize, pop: usize, workload: u8) -> RunState {
     let config = NeatConfig::builder(3, 1)
         .pop_size(pop)
         .node_add_prob(0.5)
@@ -71,6 +72,45 @@ fn evolved_state(seed: u64, generations: usize, pop: usize, workload: u8) -> Evo
             s.run(generations.min(3));
             s.export_state()
         }
+    }
+}
+
+/// An evolved archipelago checkpoint: `islands` islands with ring
+/// migration mid-schedule, so v3 images carry real per-island state.
+fn evolved_archipelago(seed: u64, generations: usize, pop: usize, islands: usize) -> RunState {
+    let config = NeatConfig::builder(3, 1)
+        .pop_size(pop)
+        .islands(islands)
+        .migration_interval(2)
+        .migration_k(1)
+        .node_add_prob(0.5)
+        .conn_add_prob(0.5)
+        .build()
+        .unwrap();
+    let fitness = |ctx: EvalContext, net: &Network| {
+        let x = (ctx.seed() % 17) as f64 / 17.0;
+        net.activate(&[x, 0.5, 1.0 - x])[0]
+    };
+    let mut s = Session::builder(config, seed)
+        .unwrap()
+        .workload(fitness)
+        .build();
+    s.run(generations);
+    s.export_state()
+}
+
+/// A migrant batch cloned off a real evolved population, as the ring
+/// exchange would emit it.
+fn migrant_batch(seed: u64, k: usize) -> MigrantBatch {
+    let state = evolved_state(seed, 2, 10, 0);
+    let state = state.as_monolithic().expect("monolithic workload");
+    MigrantBatch {
+        epoch: seed % 7,
+        from_island: seed % 5,
+        to_island: (seed % 5 + 1) % 5,
+        num_inputs: state.config.num_inputs,
+        num_outputs: state.config.num_outputs,
+        genomes: state.genomes[..k.min(state.genomes.len())].to_vec(),
     }
 }
 
@@ -134,7 +174,8 @@ proptest! {
         seed in any::<u64>(),
         id in (1u32 << 14)..SNAPSHOT_MAX_NODE_ID,
     ) {
-        let mut state = evolved_state(seed, 1, 8, 0);
+        let state = evolved_state(seed, 1, 8, 0);
+        let mut state = state.as_monolithic().expect("monolithic workload").clone();
         let forged = Genome::from_parts(
             999,
             state.config.num_inputs,
@@ -147,8 +188,9 @@ proptest! {
         )
         .unwrap();
         state.best_ever = Some(forged.clone());
-        let words = encode_snapshot(&state).expect("31-bit ids encode");
-        prop_assert_eq!(decode_snapshot(&words).unwrap(), state.clone());
+        let wrapped = RunState::Monolithic(state.clone());
+        let words = encode_snapshot(&wrapped).expect("31-bit ids encode");
+        prop_assert_eq!(decode_snapshot(&words).unwrap(), wrapped);
 
         let overflowed = Genome::from_parts(
             999,
@@ -163,7 +205,7 @@ proptest! {
         .unwrap();
         state.best_ever = Some(overflowed);
         prop_assert!(matches!(
-            encode_snapshot(&state),
+            encode_snapshot(&RunState::Monolithic(state)),
             Err(SnapshotError::NodeIdOverflow { .. })
         ));
     }
@@ -188,6 +230,80 @@ proptest! {
         );
     }
 
+    /// Archipelago (v3, kind 1) images are a fixed point too: per-island
+    /// state, migration bookkeeping and workload state all ride along.
+    #[test]
+    fn archipelago_encode_decode_is_a_fixed_point(
+        seed in any::<u64>(),
+        generations in 1usize..5,
+        pop in 8usize..24,
+        islands in 2usize..5,
+    ) {
+        let state = evolved_archipelago(seed, generations, pop, islands);
+        prop_assert!(state.as_archipelago().is_some());
+        let words = encode_snapshot(&state).expect("archipelago states encode");
+        let decoded = decode_snapshot(&words).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &state);
+        prop_assert_eq!(encode_snapshot(&decoded).unwrap(), words.clone());
+        let bytes = snapshot_to_bytes(&state).unwrap();
+        prop_assert_eq!(snapshot_from_bytes(&bytes).unwrap(), state);
+    }
+
+    /// Corrupt archipelago images — truncation or bit flips anywhere —
+    /// return a typed error and never panic.
+    #[test]
+    fn archipelago_corruption_always_errors(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        bit in 0u32..64,
+    ) {
+        let state = evolved_archipelago(seed, 2, 12, 3);
+        let words = encode_snapshot(&state).unwrap();
+        let len = (cut as usize) % words.len();
+        prop_assert!(decode_snapshot(&words[..len]).is_err());
+        let mut flipped = words.clone();
+        let i = (cut as usize) % words.len();
+        flipped[i] ^= 1u64 << bit;
+        prop_assert!(decode_snapshot(&flipped).is_err(), "flip bit {} of word {}", bit, i);
+    }
+
+    /// encode ∘ decode is a fixed point for migrant batches, in both the
+    /// word and byte forms.
+    #[test]
+    fn migrant_batches_roundtrip(
+        seed in any::<u64>(),
+        k in 1usize..5,
+    ) {
+        let batch = migrant_batch(seed, k);
+        let words = encode_migrant_batch(&batch).expect("batches encode");
+        let decoded = decode_migrant_batch(&words).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &batch);
+        prop_assert_eq!(encode_migrant_batch(&decoded).unwrap(), words);
+        let bytes = migrant_batch_to_bytes(&batch).unwrap();
+        prop_assert_eq!(migrant_batch_from_bytes(&bytes).unwrap(), batch);
+    }
+
+    /// Every truncation and every single-bit flip of a migrant batch is a
+    /// typed [`SnapshotError`] — never a panic.
+    #[test]
+    fn migrant_batch_corruption_always_errors(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        bit in 0u32..64,
+    ) {
+        let batch = migrant_batch(seed, 3);
+        let words = encode_migrant_batch(&batch).unwrap();
+        let len = (cut as usize) % words.len();
+        prop_assert!(decode_migrant_batch(&words[..len]).is_err());
+        let mut flipped = words.clone();
+        let i = (cut as usize) % words.len();
+        flipped[i] ^= 1u64 << bit;
+        prop_assert!(decode_migrant_batch(&flipped).is_err(), "flip bit {} of word {}", bit, i);
+        let bytes = migrant_batch_to_bytes(&batch).unwrap();
+        let blen = (cut as usize) % bytes.len();
+        prop_assert!(migrant_batch_from_bytes(&bytes[..blen]).is_err());
+    }
+
     /// Random garbage never decodes and never panics.
     #[test]
     fn garbage_never_decodes(
@@ -199,6 +315,25 @@ proptest! {
             .map(|_| (u64::from(rng.next_u32_value()) << 32) | u64::from(rng.next_u32_value()))
             .collect();
         prop_assert!(decode_snapshot(&words).is_err());
+    }
+}
+
+#[test]
+fn prior_versions_are_rejected_for_both_state_kinds() {
+    // v1 predates the snapshot gene words, v2 predates the state kind
+    // word and the island knobs: both are rejected outright, for
+    // monolithic (kind 0) and archipelago (kind 1) images alike.
+    for state in [evolved_state(3, 2, 10, 0), evolved_archipelago(3, 2, 12, 3)] {
+        for version in [1u64, 2] {
+            let mut words = encode_snapshot(&state).unwrap();
+            words[1] = version;
+            let n = words.len();
+            words[n - 1] = fnv1a(&words[..n - 1]);
+            assert_eq!(
+                decode_snapshot(&words).unwrap_err(),
+                SnapshotError::UnsupportedVersion(version)
+            );
+        }
     }
 }
 

@@ -11,8 +11,8 @@ use genesys::gym::{
 };
 use genesys::neat::trace::OpCounters;
 use genesys::neat::{
-    Activation, Aggregation, ConnGene, Genome, InnovationTracker, Network, NodeGene, NodeId,
-    Scratch, XorWow,
+    Activation, Aggregation, ConnGene, Genome, InnovationTracker, Network, NetworkPlan, NodeGene,
+    NodeId, Scratch, XorWow,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -236,5 +236,47 @@ fn steady_state_rollout_does_not_allocate() {
     assert_eq!(
         leaked, 0,
         "median fold at fan-in {FAN_IN} must not allocate in steady state"
+    );
+
+    // ---- elite recompilation through a warmed NetworkPlan ---------------
+    // The evaluation fan-out recompiles every genome every generation.
+    // Before plan reuse, each recompile was a fresh `Network::from_genome`
+    // (HashMaps + a dozen Vecs per genome — including for unchanged
+    // elites). Through a warm per-worker plan, recompiling the same
+    // genome performs ZERO heap allocations, and the compiled plan is
+    // bit-identical to the one-shot compiler's.
+    let config = EnvKind::CartPole.neat_config();
+    let mut rng = XorWow::seed_from_u64_value(23);
+    let mut innov = InnovationTracker::new(config.first_hidden_id());
+    let mut elite = Genome::initial(0, &config, &mut rng);
+    let mut ops = OpCounters::new();
+    for _ in 0..4 {
+        elite.mutate_add_node(&mut innov, &mut rng, &mut ops);
+        elite.mutate_add_conn(&mut rng, &mut ops);
+        elite.mutate_attributes(&config, &mut rng, &mut ops);
+    }
+    let mut plan = NetworkPlan::new();
+    Network::compile_into(&mut plan, &elite).expect("elite compiles"); // warm
+    let reference = plan.network().clone();
+    let leaked = measured_delta(|| {
+        let before = allocations();
+        for _ in 0..100 {
+            Network::compile_into(&mut plan, &elite).expect("elite compiles");
+        }
+        let after = allocations();
+        after - before
+    });
+    assert_eq!(
+        leaked, 0,
+        "recompiling an unchanged elite through a warm plan must not allocate"
+    );
+    assert_eq!(
+        plan.network(),
+        &reference,
+        "plan reuse never changes the compiled network"
+    );
+    assert_eq!(
+        plan.network(),
+        &Network::from_genome(&elite).expect("compiles")
     );
 }
