@@ -22,6 +22,10 @@
 //! * `--update`    rewrite the baseline from the results instead of comparing
 //! * `--no-calibration` skip cross-machine rescaling (see below)
 //!
+//! Benchmarks that pass but sit within 5 percentage points of the
+//! threshold are listed as **near misses**, so a slow drift is visible
+//! before it trips the gate.
+//!
 //! Benchmarks present only in the results (newly added) pass with a note
 //! and are counted, so the summary makes a stale baseline obvious.
 //! Benchmarks present only in the baseline (removed, renamed, or silently
@@ -208,6 +212,7 @@ fn main() -> ExitCode {
     };
 
     let mut regressions = Vec::new();
+    let mut near_misses = Vec::new();
     let mut compared = 0usize;
     let mut exempted = 0usize;
     let mut added = 0usize;
@@ -249,6 +254,10 @@ fn main() -> ExitCode {
                 compared += 1;
                 if delta * 100.0 > threshold_pct {
                     regressions.push((id.clone(), delta));
+                } else if delta * 100.0 > threshold_pct - 5.0 {
+                    // Passing, but within 5 points of the gate: surface it
+                    // so a slow drift is visible before it trips the gate.
+                    near_misses.push((id.clone(), delta));
                 }
             }
         }
@@ -262,6 +271,12 @@ fn main() -> ExitCode {
         .collect();
     for id in &missing {
         println!("MISSING: {id} present in baseline but absent from results");
+    }
+    if !near_misses.is_empty() {
+        println!("\nnear misses (passing, but within 5 points of the +{threshold_pct}% gate):");
+        for (id, delta) in &near_misses {
+            println!("  {id} {:+.1}%", delta * 100.0);
+        }
     }
     println!(
         "\ncompared {compared} benchmarks against {baseline_path} (threshold +{threshold_pct}% on min{}); {added} new, {} missing",

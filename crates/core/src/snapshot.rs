@@ -48,13 +48,14 @@
 //!
 //! [`SNAPSHOT_VERSION`] is bumped on any layout change; decoders reject
 //! images from other versions with [`SnapshotError::UnsupportedVersion`]
-//! rather than guessing. **Both prior versions are rejected, not
+//! rather than guessing. **All prior versions are rejected, not
 //! migrated**: v1 reused the quantized hardware gene word (14-bit ids)
 //! and predates the megapopulation config knobs
 //! (`species_representative_cap`, `eval_batch`); v2 predates the state
 //! kind word and the island config knobs
 //! (`islands`/`migration_interval`/`migration_k`), so a v2 image cannot
-//! say which backend it checkpoints. Decoding either returns
+//! say which backend it checkpoints; v3 predates the `speciate_exact`
+//! speciation-kernel toggle. Decoding any of them returns
 //! `UnsupportedVersion(v)`. Corrupt input of any shape — truncation, bit
 //! flips (caught by the checksum), garbage — returns a typed
 //! [`SnapshotError`] and never panics.
@@ -97,9 +98,9 @@ use std::fmt;
 /// First word of every snapshot image: `"GENESNAP"` in ASCII.
 pub const SNAPSHOT_MAGIC: u64 = 0x4745_4E45_534E_4150;
 /// Current wire-format version. Bumped on any layout change; see the
-/// module docs for the compatibility policy (v1 and v2 images are
+/// module docs for the compatibility policy (v1–v3 images are
 /// rejected).
-pub const SNAPSHOT_VERSION: u64 = 3;
+pub const SNAPSHOT_VERSION: u64 = 4;
 /// First word of every standalone config image: `"GENECONF"` in ASCII.
 /// Config images share the snapshot envelope (magic, version, declared
 /// length, FNV-1a checksum) and version with the full snapshot format —
@@ -117,8 +118,9 @@ pub const MIGRANT_MAGIC: u64 = 0x4745_4E45_4D49_4752;
 /// Wire-format version of serialized generation events. Independent of
 /// [`SNAPSHOT_VERSION`] (events carry statistics, not genomes); the same
 /// policy applies — any layout change bumps it, other versions are
-/// rejected with [`SnapshotError::UnsupportedVersion`].
-pub const EVENT_VERSION: u64 = 1;
+/// rejected with [`SnapshotError::UnsupportedVersion`]. v1 predates the
+/// per-phase timing words (`speciate_ns`/`reproduce_ns`/`eval_ns`).
+pub const EVENT_VERSION: u64 = 2;
 /// Largest node id the snapshot gene words can carry (31-bit id fields —
 /// far beyond the hardware codec's 14-bit `codec::MAX_NODE_ID`, so
 /// megapopulation runs checkpoint without overflow).
@@ -367,6 +369,7 @@ fn encode_config(words: &mut Vec<u64>, c: &NeatConfig) {
             words.push(0);
         }
     }
+    words.push(u64::from(c.speciate_exact));
 }
 
 fn encode_genome_record(words: &mut Vec<u64>, g: &Genome) -> Result<(), SnapshotError> {
@@ -586,6 +589,11 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
         1 => Some(c.take_f64()?),
         _ => return Err(SnapshotError::Malformed("target-fitness flag")),
     };
+    let speciate_exact = match c.take()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Malformed("speciate-exact flag")),
+    };
     Ok(NeatConfig {
         num_inputs,
         num_outputs,
@@ -631,6 +639,7 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<NeatConfig, SnapshotError> {
         activation_options,
         aggregation_options,
         target_fitness,
+        speciate_exact,
     })
 }
 
@@ -1073,7 +1082,7 @@ pub fn config_from_bytes(bytes: &[u8]) -> Result<NeatConfig, SnapshotError> {
 
 /// Serializes an [`OwnedGenerationEvent`] into a self-describing word
 /// image — the push-channel payload of `genesys_serve`'s `observe` verb.
-/// The image is fixed-size (27 or 32 words): events are allocation-bounded
+/// The image is fixed-size (30 or 35 words): events are allocation-bounded
 /// by design, so the wire form is too.
 pub fn encode_event(event: &OwnedGenerationEvent) -> Vec<u64> {
     let mut words = vec![EVENT_MAGIC, EVENT_VERSION, 0];
@@ -1102,6 +1111,9 @@ pub fn encode_event(event: &OwnedGenerationEvent) -> Vec<u64> {
         s.ops.delete_conn,
         s.inference_macs,
         s.env_steps,
+        s.speciate_ns,
+        s.reproduce_ns,
+        s.eval_ns,
     ] {
         words.push(v);
     }
@@ -1156,6 +1168,9 @@ pub fn decode_event(words: &[u64]) -> Result<OwnedGenerationEvent, SnapshotError
     };
     let inference_macs = c.take()?;
     let env_steps = c.take()?;
+    let speciate_ns = c.take()?;
+    let reproduce_ns = c.take()?;
+    let eval_ns = c.take()?;
     let best = match c.take()? {
         0 => None,
         1 => {
@@ -1194,6 +1209,9 @@ pub fn decode_event(words: &[u64]) -> Result<OwnedGenerationEvent, SnapshotError
             fittest_parent_reuse,
             inference_macs,
             env_steps,
+            speciate_ns,
+            reproduce_ns,
+            eval_ns,
         },
         best,
     })

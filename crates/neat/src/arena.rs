@@ -16,7 +16,7 @@
 //! and per-genome paths are bit-identical by construction.
 
 use crate::config::NeatConfig;
-use crate::gene::{ConnGene, NodeGene};
+use crate::gene::{ConnGene, ConnKey, NodeGene, NodeId};
 use crate::genome::{Genome, GENE_BYTES};
 
 /// Borrowed view of one genome's two sorted gene clusters — either a slice
@@ -127,6 +127,369 @@ impl PopulationArena {
     /// Total memory footprint in the 64-bit hardware gene encoding.
     pub fn memory_bytes(&self) -> usize {
         self.total_genes() * GENE_BYTES
+    }
+}
+
+/// Lanes per [`RepColumns`] block: one genome is scanned against up to
+/// this many representatives in a single merge-join pass.
+pub const REP_BLOCK: usize = 16;
+
+/// Columnar pack of up to [`REP_BLOCK`] representative genomes, laid out
+/// for the one-genome-versus-K distance scan of the speciation fold.
+///
+/// The block stores each gene cluster as a CSR over the **sorted union**
+/// of the representatives' gene keys: a distinct-key list, an offset
+/// table, and `(lane, gene)` entries. [`RepColumns::scan`] then
+/// merge-joins one genome's sorted genes against the union *once*,
+/// touching each distinct key a single time instead of re-walking every
+/// representative's stream — on converged populations whose
+/// representatives share most structure this cuts the per-genome gene
+/// traffic by roughly the representative count.
+///
+/// Bit-identity: per lane, entries appear in ascending key order (a
+/// subsequence of the union order), each matched entry contributes
+/// `genome_gene.attribute_distance(rep_gene) * weight_coeff` exactly as
+/// the scalar [`gene_distance`] does with the representative on the `b`
+/// side, and the closing `(acc + cd·disjoint) / max` uses the same
+/// operations in the same order — so every lane's distance is
+/// bit-identical to the scalar kernel, NaN patterns included.
+#[derive(Debug, Clone, Default)]
+pub struct RepColumns {
+    lanes: usize,
+    node_lens: [usize; REP_BLOCK],
+    conn_lens: [usize; REP_BLOCK],
+    node_keys: Vec<NodeId>,
+    node_off: Vec<u32>,
+    /// Owning lane of entry `i` — split from the attribute arrays so the
+    /// disjoint (miss) path touches one byte per entry, not a whole gene.
+    node_lane: Vec<u8>,
+    /// Per-entry attributes, one array per field so the matched (hit)
+    /// path is unit-stride f64 arithmetic the compiler can vectorize.
+    /// Discrete attributes are stored as their integer codes widened to
+    /// f64: the codes are small distinct integers, so f64 equality is
+    /// exact and `|code_a - code_b|`-style compares stay branch-free.
+    node_bias: Vec<f64>,
+    node_resp: Vec<f64>,
+    node_act: Vec<f64>,
+    node_agg: Vec<f64>,
+    conn_keys: Vec<ConnKey>,
+    conn_off: Vec<u32>,
+    conn_lane: Vec<u8>,
+    conn_weight: Vec<f64>,
+    /// Enabled flag as `0.0`/`1.0`: `|a - b|` is then exactly the
+    /// `+1.0`-if-different term of [`ConnGene::attribute_distance`].
+    conn_enabled: Vec<f64>,
+}
+
+impl RepColumns {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        RepColumns::default()
+    }
+
+    /// Number of packed lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Packs `views` (at most [`REP_BLOCK`] of them) into the block,
+    /// reusing buffer capacity across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views.len() > REP_BLOCK`.
+    pub fn build(&mut self, views: &[GenomeView<'_>]) {
+        assert!(views.len() <= REP_BLOCK, "block overflow: {}", views.len());
+        self.lanes = views.len();
+        self.node_keys.clear();
+        self.node_off.clear();
+        self.node_lane.clear();
+        self.node_bias.clear();
+        self.node_resp.clear();
+        self.node_act.clear();
+        self.node_agg.clear();
+        self.conn_keys.clear();
+        self.conn_off.clear();
+        self.conn_lane.clear();
+        self.conn_weight.clear();
+        self.conn_enabled.clear();
+        let mut node_entries: Vec<(u8, NodeGene)> = Vec::new();
+        let mut conn_entries: Vec<(u8, ConnGene)> = Vec::new();
+        for (lane, v) in views.iter().enumerate() {
+            self.node_lens[lane] = v.nodes.len();
+            self.conn_lens[lane] = v.conns.len();
+            node_entries.extend(v.nodes.iter().map(|n| (lane as u8, *n)));
+            conn_entries.extend(v.conns.iter().map(|c| (lane as u8, *c)));
+        }
+        // (key, lane) pairs are unique, so unstable sort is deterministic.
+        node_entries.sort_unstable_by_key(|&(lane, ref n)| (n.id, lane));
+        conn_entries.sort_unstable_by_key(|&(lane, ref c)| (c.key, lane));
+        for (i, &(lane, ref n)) in node_entries.iter().enumerate() {
+            if self.node_keys.last() != Some(&n.id) {
+                self.node_keys.push(n.id);
+                self.node_off.push(i as u32);
+            }
+            self.node_lane.push(lane);
+            self.node_bias.push(n.bias);
+            self.node_resp.push(n.response);
+            self.node_act.push(f64::from(n.activation as u8));
+            self.node_agg.push(f64::from(n.aggregation as u8));
+        }
+        self.node_off.push(node_entries.len() as u32);
+        for (i, &(lane, ref c)) in conn_entries.iter().enumerate() {
+            if self.conn_keys.last() != Some(&c.key) {
+                self.conn_keys.push(c.key);
+                self.conn_off.push(i as u32);
+            }
+            self.conn_lane.push(lane);
+            self.conn_weight.push(c.weight);
+            self.conn_enabled.push(f64::from(u8::from(c.enabled)));
+        }
+        self.conn_off.push(conn_entries.len() as u32);
+    }
+
+    /// Computes the compatibility distance of `genome` to every packed
+    /// lane whose bit is set in `active`, writing results into `out`
+    /// (inactive lanes get `+inf`). Each active lane's value is
+    /// bit-identical to `gene_distance(genome, lane)`.
+    pub fn scan(
+        &self,
+        genome: GenomeView<'_>,
+        active: u16,
+        config: &NeatConfig,
+        out: &mut [f64; REP_BLOCK],
+    ) {
+        // Runtime ISA dispatch: the scan is element-wise IEEE adds and
+        // multiplies with no reassociation or contraction, so wider
+        // vectors change throughput, never bits (detection is cached —
+        // one atomic load per call).
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                // SAFETY: AVX-512 F/VL/DQ support was just verified.
+                unsafe { self.scan_avx512(genome, active, config, out) };
+                return;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                unsafe { self.scan_avx2(genome, active, config, out) };
+                return;
+            }
+        }
+        self.scan_body(genome, active, config, out);
+    }
+
+    /// [`RepColumns::scan`] compiled with AVX2 enabled, so the dense-key
+    /// per-field loops vectorize at 4 f64 lanes instead of 2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn scan_avx2(
+        &self,
+        genome: GenomeView<'_>,
+        active: u16,
+        config: &NeatConfig,
+        out: &mut [f64; REP_BLOCK],
+    ) {
+        self.scan_body(genome, active, config, out);
+    }
+
+    /// [`RepColumns::scan`] compiled with AVX-512 F/VL/DQ enabled —
+    /// wider vectors and per-lane masks for the same element-wise IEEE
+    /// operations.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+    unsafe fn scan_avx512(
+        &self,
+        genome: GenomeView<'_>,
+        active: u16,
+        config: &NeatConfig,
+        out: &mut [f64; REP_BLOCK],
+    ) {
+        self.scan_body(genome, active, config, out);
+    }
+
+    #[inline(always)]
+    fn scan_body(
+        &self,
+        genome: GenomeView<'_>,
+        active: u16,
+        config: &NeatConfig,
+        out: &mut [f64; REP_BLOCK],
+    ) {
+        let cd = config.compatibility_disjoint_coefficient;
+        let cw = config.compatibility_weight_coefficient;
+        out.fill(f64::INFINITY);
+        if active == 0 || self.lanes == 0 {
+            return;
+        }
+
+        // All lanes active? Then a key present in every lane ("dense") has
+        // exactly one entry per lane in ascending lane order, so entry `i`
+        // belongs to lane `i` — the hot loop is unit-stride f64 arithmetic
+        // with no mask tests, no lane indirection, and no counter updates
+        // (a scalar `dense_hits` stands in for every lane's `matched`
+        // increment). `matched`/`disjoint` of *inactive* lanes are dead
+        // values (their outputs stay +inf), so the masked paths only guard
+        // the arithmetic, never the counters.
+        //
+        // Bit-identity of the branch-free attribute terms: the `+1.0` per
+        // differing discrete attribute becomes `+ t` with `t ∈ {0.0, 1.0}`.
+        // When `t == 1.0` it is the scalar op verbatim; when `t == 0.0`,
+        // `d + 0.0` is bitwise `d` (d is non-negative or a quiet NaN —
+        // never `-0.0` — and x86/LLVM addition preserves both).
+        let full = active.count_ones() as usize == self.lanes;
+
+        let mut acc = [0.0f64; REP_BLOCK];
+        let mut matched = [0u32; REP_BLOCK];
+        let mut disjoint = [0u32; REP_BLOCK];
+        let mut dense_hits = 0u32;
+        let mut gi = 0usize;
+        for (k, &key) in self.node_keys.iter().enumerate() {
+            while gi < genome.nodes.len() && genome.nodes[gi].id < key {
+                gi += 1;
+            }
+            let hit = gi < genome.nodes.len() && genome.nodes[gi].id == key;
+            let span = self.node_off[k] as usize..self.node_off[k + 1] as usize;
+            if hit {
+                let g = &genome.nodes[gi];
+                let (gb, gr) = (g.bias, g.response);
+                let ga = f64::from(g.activation as u8);
+                let gg = f64::from(g.aggregation as u8);
+                if full && span.len() == self.lanes {
+                    dense_hits += 1;
+                    if self.lanes == REP_BLOCK {
+                        // Fixed trip count: full blocks (the common case at
+                        // scale) get exact-length arrays, so the compiler
+                        // unrolls and vectorizes without tail loops.
+                        let bias: &[f64; REP_BLOCK] =
+                            self.node_bias[span.clone()].try_into().unwrap();
+                        let resp: &[f64; REP_BLOCK] =
+                            self.node_resp[span.clone()].try_into().unwrap();
+                        let act: &[f64; REP_BLOCK] =
+                            self.node_act[span.clone()].try_into().unwrap();
+                        let agg: &[f64; REP_BLOCK] = self.node_agg[span].try_into().unwrap();
+                        for i in 0..REP_BLOCK {
+                            let mut d = (gb - bias[i]).abs() + (gr - resp[i]).abs();
+                            d += f64::from(u8::from(ga != act[i]));
+                            d += f64::from(u8::from(gg != agg[i]));
+                            acc[i] += d * cw;
+                        }
+                    } else {
+                        let bias = &self.node_bias[span.clone()];
+                        let resp = &self.node_resp[span.clone()];
+                        let act = &self.node_act[span.clone()];
+                        let agg = &self.node_agg[span];
+                        for ((((a, &b), &r), &av), &gv) in acc[..bias.len()]
+                            .iter_mut()
+                            .zip(bias)
+                            .zip(resp)
+                            .zip(act)
+                            .zip(agg)
+                        {
+                            let mut d = (gb - b).abs() + (gr - r).abs();
+                            d += f64::from(u8::from(ga != av));
+                            d += f64::from(u8::from(gg != gv));
+                            *a += d * cw;
+                        }
+                    }
+                } else {
+                    for (j, &lane) in self.node_lane[span.clone()].iter().enumerate() {
+                        let lane = lane as usize;
+                        if active & (1u16 << lane) != 0 {
+                            let e = span.start + j;
+                            let mut d =
+                                (gb - self.node_bias[e]).abs() + (gr - self.node_resp[e]).abs();
+                            d += f64::from(u8::from(ga != self.node_act[e]));
+                            d += f64::from(u8::from(gg != self.node_agg[e]));
+                            acc[lane] += d * cw;
+                        }
+                        matched[lane] += 1;
+                    }
+                }
+            } else {
+                for &lane in &self.node_lane[span] {
+                    disjoint[lane as usize] += 1;
+                }
+            }
+        }
+        // Finish loops run branch-free over every lane: the counters are
+        // maintained unconditionally in all paths, so inactive lanes hold
+        // valid counts (only `acc` is mask-guarded) — their results are
+        // well-defined garbage that the final select discards for `+inf`.
+        let mut node_dist = [0.0f64; REP_BLOCK];
+        for lane in 0..self.lanes {
+            let dis = disjoint[lane] + (genome.nodes.len() as u32 - matched[lane] - dense_hits);
+            let max_nodes = genome.nodes.len().max(self.node_lens[lane]).max(1);
+            node_dist[lane] = (acc[lane] + cd * f64::from(dis)) / max_nodes as f64;
+        }
+
+        acc = [0.0f64; REP_BLOCK];
+        matched = [0u32; REP_BLOCK];
+        disjoint = [0u32; REP_BLOCK];
+        dense_hits = 0;
+        let mut gi = 0usize;
+        for (k, &key) in self.conn_keys.iter().enumerate() {
+            while gi < genome.conns.len() && genome.conns[gi].key < key {
+                gi += 1;
+            }
+            let hit = gi < genome.conns.len() && genome.conns[gi].key == key;
+            let span = self.conn_off[k] as usize..self.conn_off[k + 1] as usize;
+            if hit {
+                let g = &genome.conns[gi];
+                let gw = g.weight;
+                let ge = f64::from(u8::from(g.enabled));
+                if full && span.len() == self.lanes {
+                    dense_hits += 1;
+                    if self.lanes == REP_BLOCK {
+                        let weight: &[f64; REP_BLOCK] =
+                            self.conn_weight[span.clone()].try_into().unwrap();
+                        let enabled: &[f64; REP_BLOCK] =
+                            self.conn_enabled[span].try_into().unwrap();
+                        for i in 0..REP_BLOCK {
+                            let d = (gw - weight[i]).abs() + (ge - enabled[i]).abs();
+                            acc[i] += d * cw;
+                        }
+                    } else {
+                        let weight = &self.conn_weight[span.clone()];
+                        let enabled = &self.conn_enabled[span];
+                        for ((a, &w), &en) in
+                            acc[..weight.len()].iter_mut().zip(weight).zip(enabled)
+                        {
+                            let d = (gw - w).abs() + (ge - en).abs();
+                            *a += d * cw;
+                        }
+                    }
+                } else {
+                    for (j, &lane) in self.conn_lane[span.clone()].iter().enumerate() {
+                        let lane = lane as usize;
+                        if active & (1u16 << lane) != 0 {
+                            let e = span.start + j;
+                            let d = (gw - self.conn_weight[e]).abs()
+                                + (ge - self.conn_enabled[e]).abs();
+                            acc[lane] += d * cw;
+                        }
+                        matched[lane] += 1;
+                    }
+                }
+            } else {
+                for &lane in &self.conn_lane[span] {
+                    disjoint[lane as usize] += 1;
+                }
+            }
+        }
+        for lane in 0..self.lanes {
+            let dis = disjoint[lane] + (genome.conns.len() as u32 - matched[lane] - dense_hits);
+            let max_conns = genome.conns.len().max(self.conn_lens[lane]).max(1);
+            let d = node_dist[lane] + (acc[lane] + cd * f64::from(dis)) / max_conns as f64;
+            out[lane] = if active & (1u16 << lane) != 0 {
+                d
+            } else {
+                f64::INFINITY
+            };
+        }
     }
 }
 
@@ -245,6 +608,59 @@ mod tests {
                 let mixed = GenomeView::of(&genomes[i]).distance(arena.view(j), &c);
                 assert_eq!(direct.to_bits(), via_arena.to_bits(), "{i} vs {j}");
                 assert_eq!(direct.to_bits(), mixed.to_bits(), "{i} vs {j} mixed");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_scan_is_bit_identical_to_scalar_distances() {
+        let (mut genomes, c) = evolved_population(24);
+        // Poison one representative and one probe with NaN/inf weights so
+        // the lane-wise accumulation is checked under non-finite values.
+        let nodes: Vec<NodeGene> = genomes[3].node_genes().to_vec();
+        let mut conns: Vec<ConnGene> = genomes[3].conn_genes().to_vec();
+        conns[0].weight = f64::NAN;
+        conns[1].weight = f64::INFINITY;
+        genomes[3] = Genome::from_parts(3, 3, 2, nodes, conns).unwrap();
+
+        let mut arena = PopulationArena::new();
+        arena.pack(genomes.iter().take(REP_BLOCK));
+        let views: Vec<GenomeView<'_>> = (0..arena.len()).map(|i| arena.view(i)).collect();
+        for lanes in [1usize, 2, 5, REP_BLOCK] {
+            let mut cols = RepColumns::new();
+            cols.build(&views[..lanes]);
+            assert_eq!(cols.lanes(), lanes);
+            let full: u16 = if lanes == 16 {
+                u16::MAX
+            } else {
+                (1u16 << lanes) - 1
+            };
+            for g in &genomes {
+                let mut out = [0.0f64; REP_BLOCK];
+                cols.scan(GenomeView::of(g), full, &c, &mut out);
+                for (lane, want) in genomes.iter().take(lanes).enumerate() {
+                    let scalar = g.distance(want, &c);
+                    assert_eq!(
+                        out[lane].to_bits(),
+                        scalar.to_bits(),
+                        "genome {} lane {lane}",
+                        g.key()
+                    );
+                }
+            }
+        }
+        // Partial masks: inactive lanes report +inf, active lanes exact.
+        let mut cols = RepColumns::new();
+        cols.build(&views[..8]);
+        let mask = 0b1010_0101u16;
+        let mut out = [0.0f64; REP_BLOCK];
+        cols.scan(GenomeView::of(&genomes[20]), mask, &c, &mut out);
+        for lane in 0..8 {
+            if mask & (1 << lane) != 0 {
+                let scalar = genomes[20].distance(&genomes[lane], &c);
+                assert_eq!(out[lane].to_bits(), scalar.to_bits(), "lane {lane}");
+            } else {
+                assert_eq!(out[lane], f64::INFINITY, "masked lane {lane}");
             }
         }
     }

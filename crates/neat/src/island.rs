@@ -324,6 +324,9 @@ impl Archipelago {
             fittest_parent_reuse: 0,
             inference_macs: 0,
             env_steps: 0,
+            speciate_ns: 0,
+            reproduce_ns: 0,
+            eval_ns: 0,
         };
         let mut weighted_sum = 0.0;
         let mut total_pop = 0usize;
@@ -349,6 +352,9 @@ impl Archipelago {
                 merged.fittest_parent_reuse.max(stats.fittest_parent_reuse);
             merged.inference_macs += stats.inference_macs;
             merged.env_steps += stats.env_steps;
+            merged.speciate_ns += stats.speciate_ns;
+            merged.reproduce_ns += stats.reproduce_ns;
+            merged.eval_ns += stats.eval_ns;
         }
         merged.mean_fitness = weighted_sum / total_pop.max(1) as f64;
         merged
@@ -364,7 +370,8 @@ fn evaluate_island(
     workload: &dyn Evaluator,
     island_base: u64,
     generation: u64,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
+    let eval_start = std::time::Instant::now();
     let env_steps = AtomicU64::new(0);
     let macs = island.evaluate_indexed(|index, net| {
         let evaluation = workload.evaluate(
@@ -378,7 +385,11 @@ fn evaluate_island(
         env_steps.fetch_add(evaluation.env_steps, Ordering::Relaxed);
         evaluation.fitness
     });
-    (macs, env_steps.load(Ordering::Relaxed))
+    (
+        macs,
+        env_steps.load(Ordering::Relaxed),
+        eval_start.elapsed().as_nanos() as u64,
+    )
 }
 
 impl Backend for Archipelago {
@@ -394,8 +405,8 @@ impl Backend for Archipelago {
             });
             self.migrate();
             self.run_islands(|i, island| {
-                let (macs, env_steps) = evals[i];
-                let mut stats = island.finish_generation(macs);
+                let (macs, env_steps, eval_ns) = evals[i];
+                let mut stats = island.finish_generation(macs, eval_ns);
                 stats.env_steps = env_steps;
                 stats
             })
@@ -403,9 +414,9 @@ impl Backend for Archipelago {
             // Common case: one indivisible job per island, no cross-island
             // barrier between evaluation and reproduction.
             self.run_islands(|i, island| {
-                let (macs, env_steps) =
+                let (macs, env_steps, eval_ns) =
                     evaluate_island(island, workload, island_seed(base_seed, i), generation);
-                let mut stats = island.finish_generation(macs);
+                let mut stats = island.finish_generation(macs, eval_ns);
                 stats.env_steps = env_steps;
                 stats
             })

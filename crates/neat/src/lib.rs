@@ -90,12 +90,12 @@ pub mod tuning;
 
 pub use activation::Activation;
 pub use aggregation::Aggregation;
-pub use arena::{GenomeView, PopulationArena};
+pub use arena::{GenomeView, PopulationArena, RepColumns, REP_BLOCK};
 pub use config::{InitialWeights, NeatConfig, NeatConfigBuilder};
 pub use error::{ConfigError, GenomeError};
 pub use executor::{Executor, WorkerLocal};
 pub use gene::{ConnGene, ConnKey, NodeGene, NodeId, NodeType};
-pub use genome::Genome;
+pub use genome::{Genome, GenomeSignature};
 pub use hyperneat::{HyperNeat, Substrate};
 pub use innovation::{InnovationSource, InnovationTracker, SplitRecorder};
 pub use island::{island_seed, Archipelago, ArchipelagoState, EvolutionBackend};
@@ -108,7 +108,7 @@ pub use session::{
     Backend, BestSummary, EvalContext, Evaluation, Evaluator, EvolutionState, GenerationEvent,
     OwnedGenerationEvent, RunState, Session, SessionBuilder, SessionError, SessionReport,
 };
-pub use species::{Species, SpeciesId, SpeciesSet};
+pub use species::{SpeciateScanStats, Species, SpeciesId, SpeciesSet};
 pub use stats::GenerationStats;
 pub use trace::{GenerationTrace, OpKind, ReproductionOp};
 pub use tuning::{tune_weights, TuningConfig, TuningResult};

@@ -14,10 +14,11 @@ use crate::network::{Network, NetworkPlan};
 use crate::reproduction::reproduce_into;
 use crate::rng::XorWow;
 use crate::session::{EvolutionState, SessionError};
-use crate::species::SpeciesSet;
+use crate::species::{SpeciesId, SpeciesSet};
 use crate::stats::GenerationStats;
 use crate::trace::GenerationTrace;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why an evolution run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,13 @@ pub struct Population {
     /// heap allocation. Pure cache — never serialized, no effect on
     /// results.
     plans: WorkerLocal<NetworkPlan>,
+    /// Speciation hints for the *current* genomes: each child's parent
+    /// species, recorded by the reproduction step that built it (entry
+    /// `i` hints genome `i`). Advisory warm-start only — speciation
+    /// verifies every hint with an exact distance check, so assignments
+    /// are bit-identical with or without them. Never serialized; empty
+    /// after a resume or restore (an empty/misaligned vector is ignored).
+    pending_hints: Vec<Option<SpeciesId>>,
 }
 
 impl Population {
@@ -107,6 +115,7 @@ impl Population {
             best_ever: None,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
+            pending_hints: Vec::new(),
         }
     }
 
@@ -176,6 +185,7 @@ impl Population {
             best_ever: None,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
+            pending_hints: Vec::new(),
         }
     }
 
@@ -183,8 +193,10 @@ impl Population {
     /// boundary — the [`EvolutionState`] a [`crate::session::Session`]
     /// checkpoints. Restoring it via [`Population::from_state`] and
     /// evolving N more generations is bit-identical to never stopping
-    /// (the reproduction arena and distance scratch are warm-start caches
-    /// with no influence on results, so they are not captured).
+    /// (the reproduction arena, the speciation scan scratch and the
+    /// speciation hints are warm-start caches with no influence on
+    /// results, so they are not captured; genome signatures are
+    /// recomputed from the genes on restore).
     pub fn export_state(&self) -> EvolutionState {
         EvolutionState {
             config: self.config.clone(),
@@ -238,6 +250,7 @@ impl Population {
             best_ever,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
+            pending_hints: Vec::new(),
         })
     }
 
@@ -365,28 +378,40 @@ impl Population {
     where
         F: Fn(usize, &Network) -> f64 + Sync,
     {
+        let eval_start = Instant::now();
         let macs = self.evaluate_indexed(fitness_fn);
-        self.finish_generation(macs)
+        let eval_ns = eval_start.elapsed().as_nanos() as u64;
+        self.finish_generation(macs, eval_ns)
     }
 
     /// The post-evaluation half of a generation: speciate → stagnation →
     /// fitness sharing → reproduce → advance the generation counter.
     /// `macs` is the inference MAC count returned by
-    /// [`Population::evaluate_indexed`], threaded into the stats.
+    /// [`Population::evaluate_indexed`] and `eval_ns` the wall-clock
+    /// nanoseconds the caller spent evaluating, both threaded into the
+    /// stats.
     ///
     /// Split out so the archipelago backend (`crate::island`) can run its
     /// deterministic migration exchange between evaluation and
     /// reproduction on migration epochs; every other caller goes through
     /// [`Population::evolve_once_indexed`].
-    pub(crate) fn finish_generation(&mut self, macs: u64) -> GenerationStats {
+    pub(crate) fn finish_generation(&mut self, macs: u64, eval_ns: u64) -> GenerationStats {
         let pool = self.executor.clone();
         let pool = pool.as_deref();
-        self.species
-            .speciate_on(&self.genomes, &self.config, self.generation, pool);
+        let speciate_start = Instant::now();
+        self.species.speciate_with_hints(
+            &self.genomes,
+            &self.config,
+            self.generation,
+            pool,
+            Some(&self.pending_hints),
+        );
         self.species
             .remove_stagnant(&self.genomes, &self.config, self.generation);
         self.species.share_fitness(&self.genomes);
+        let speciate_ns = speciate_start.elapsed().as_nanos() as u64;
 
+        let reproduce_start = Instant::now();
         let trace = reproduce_into(
             &self.genomes,
             &self.species,
@@ -398,14 +423,19 @@ impl Population {
             self.seed,
             pool,
             &mut self.arena,
+            Some(&mut self.pending_hints),
         );
-        let stats = GenerationStats::collect(
+        let reproduce_ns = reproduce_start.elapsed().as_nanos() as u64;
+        let mut stats = GenerationStats::collect(
             self.generation,
             &self.genomes,
             self.species.len(),
             Some(&trace),
             macs,
         );
+        stats.speciate_ns = speciate_ns;
+        stats.reproduce_ns = reproduce_ns;
+        stats.eval_ns = eval_ns;
         self.last_trace = Some(trace);
         // The arena now holds the new generation; the old generation's
         // shells become the next reproduction's child buffers.
@@ -449,6 +479,13 @@ impl Population {
             self.genomes[slot].clone_from(migrant);
             self.genomes[slot].set_key(self.next_key);
             self.next_key += 1;
+            // The displaced resident's speciation hint described a genome
+            // that no longer sits in this slot; the immigrant's species id
+            // belongs to another island's id space. Drop the hint (hints
+            // are advisory, so this only costs scan order, never bits).
+            if let Some(hint) = self.pending_hints.get_mut(slot) {
+                *hint = None;
+            }
         }
     }
 

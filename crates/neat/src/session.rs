@@ -242,6 +242,9 @@ impl EvolutionState {
 /// island plus the global schedule counters. `genesys_core::snapshot`
 /// serializes either kind into one versioned binary format (a kind word
 /// selects the body).
+// One `RunState` exists per export/resume round-trip — never stored in
+// bulk — so boxing the larger variant would buy nothing and churn the API.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunState {
     /// A single-population backend's state.

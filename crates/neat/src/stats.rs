@@ -6,7 +6,11 @@ use crate::trace::{GenerationTrace, OpCounters};
 use std::fmt;
 
 /// Summary of one generation: fitness, structure and operation counts.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the wall-clock phase timings (`speciate_ns`,
+/// `reproduce_ns`, `eval_ns`): two bit-identical runs produce equal
+/// stats even though their clocks differ.
+#[derive(Debug, Clone)]
 pub struct GenerationStats {
     /// Generation index (0-based).
     pub generation: usize,
@@ -40,6 +44,37 @@ pub struct GenerationStats {
     /// order-insensitively across the population (0 for synthetic fitness
     /// functions that report no steps). Filled in by the session backends.
     pub env_steps: u64,
+    /// Wall-clock nanoseconds spent in the speciation phase (speciate +
+    /// stagnation removal + fitness sharing) of the step that produced
+    /// the *next* generation. Excluded from equality.
+    pub speciate_ns: u64,
+    /// Wall-clock nanoseconds spent in the reproduction phase of the
+    /// step that produced the *next* generation. Excluded from equality.
+    pub reproduce_ns: u64,
+    /// Wall-clock nanoseconds spent evaluating this generation's
+    /// genomes. Excluded from equality.
+    pub eval_ns: u64,
+}
+
+impl PartialEq for GenerationStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the phase timings: timings are wall-clock
+        // measurements and differ between bit-identical runs.
+        self.generation == other.generation
+            && self.max_fitness == other.max_fitness
+            && self.mean_fitness == other.mean_fitness
+            && self.min_fitness == other.min_fitness
+            && self.num_species == other.num_species
+            && self.total_nodes == other.total_nodes
+            && self.total_conns == other.total_conns
+            && self.total_genes == other.total_genes
+            && self.max_genome_genes == other.max_genome_genes
+            && self.memory_bytes == other.memory_bytes
+            && self.ops == other.ops
+            && self.fittest_parent_reuse == other.fittest_parent_reuse
+            && self.inference_macs == other.inference_macs
+            && self.env_steps == other.env_steps
+    }
 }
 
 impl GenerationStats {
@@ -85,6 +120,9 @@ impl GenerationStats {
             fittest_parent_reuse: trace.map(|t| t.fittest_parent_reuse()).unwrap_or(0),
             inference_macs,
             env_steps: 0,
+            speciate_ns: 0,
+            reproduce_ns: 0,
+            eval_ns: 0,
         }
     }
 }

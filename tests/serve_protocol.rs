@@ -151,6 +151,9 @@ fn arb_event(rng: &mut TestRng) -> OwnedGenerationEvent {
         fittest_parent_reuse: (rng.next_u64() % 32) as usize,
         inference_macs: rng.next_u64() % (1 << 40),
         env_steps: rng.next_u64() % (1 << 30),
+        speciate_ns: rng.next_u64() % (1 << 34),
+        reproduce_ns: rng.next_u64() % (1 << 34),
+        eval_ns: rng.next_u64() % (1 << 34),
     };
     let best = (rng.next_u64().is_multiple_of(2)).then(|| BestSummary {
         key: rng.next_u64(),

@@ -1,0 +1,142 @@
+//! Exact-vs-pruned speciation A/B, end to end: the signature-pruned
+//! two-tier scan (`speciate_exact = false`, the default) must produce
+//! **bit-identical** evolution — genomes, species membership,
+//! representatives, RNG streams — to the exact reference path
+//! (`speciate_exact = true`), at every worker count, on both the
+//! monolithic and the archipelago backend. The pruning lower bound and
+//! the parent-species hints are pure accelerations; any divergence here
+//! means a candidate was skipped that could have changed an assignment.
+//!
+//! Configs deliberately differ between the two arms (the `speciate_exact`
+//! flag itself), so the comparisons cover everything *except* the config:
+//! never compare exported states wholesale here.
+
+use genesys::neat::{EvalContext, Executor, Genome, NeatConfig, Network, Population, Session};
+use std::sync::Arc;
+
+const GENERATIONS: usize = 8;
+
+fn config(pop: usize, exact: bool) -> NeatConfig {
+    NeatConfig::builder(4, 2)
+        .pop_size(pop)
+        .node_add_prob(0.4)
+        .conn_add_prob(0.4)
+        .speciate_exact(exact)
+        .build()
+        .expect("valid config")
+}
+
+/// Index-seeded fitness: deterministic and order-independent.
+fn indexed_fitness(index: usize, net: &Network) -> f64 {
+    let inputs: Vec<f64> = (0..net.num_inputs())
+        .map(|i| ((index + i) % 7) as f64 * 0.3 - 0.9)
+        .collect();
+    net.activate(&inputs).iter().sum::<f64>() + (index % 13) as f64 * 1e-3
+}
+
+/// Per-species digest: identity, membership, shared fitness bits, and
+/// the retained representative genome.
+type SpeciesFingerprint = (u32, Vec<usize>, u64, Genome);
+
+/// Per-island digest: genomes, RNG stream state, and the key counter.
+type IslandFingerprint = (Vec<Genome>, ([u32; 5], u32), u64);
+
+/// Everything speciation decides, per species: identity, membership,
+/// shared fitness bits, and the retained representative genome.
+fn species_fingerprint(pop: &Population) -> Vec<SpeciesFingerprint> {
+    pop.species()
+        .iter()
+        .map(|s| {
+            (
+                s.id.0,
+                s.members.clone(),
+                s.adjusted_fitness.to_bits(),
+                s.representative.clone(),
+            )
+        })
+        .collect()
+}
+
+fn run_monolithic(exact: bool, workers: Option<usize>) -> (Vec<Genome>, Vec<SpeciesFingerprint>) {
+    // Populations below the blocked-scan cutoff (128) take the scalar scan
+    // in both arms; 192 keeps the pruned arm on the blocked path so the
+    // A/B actually exercises the lower bound and the columnar kernel.
+    let mut pop = Population::new(config(192, exact), 2024);
+    if let Some(w) = workers {
+        pop.set_executor(Arc::new(Executor::new(w)));
+    }
+    for _ in 0..GENERATIONS {
+        pop.evolve_once_indexed(indexed_fitness);
+    }
+    (pop.genomes().to_vec(), species_fingerprint(&pop))
+}
+
+/// Monolithic backend: pruned ≡ exact at serial, 1, 4 and 8 workers.
+#[test]
+fn pruned_speciation_is_bit_identical_monolithic_1_4_8_workers() {
+    let (ref_genomes, ref_species) = run_monolithic(true, None);
+    for workers in [None, Some(1), Some(4), Some(8)] {
+        for exact in [true, false] {
+            let (genomes, species) = run_monolithic(exact, workers);
+            assert_eq!(
+                ref_genomes, genomes,
+                "genomes diverged (exact={exact}, workers={workers:?})"
+            );
+            assert_eq!(
+                ref_species, species,
+                "species diverged (exact={exact}, workers={workers:?})"
+            );
+        }
+    }
+}
+
+fn run_archipelago(exact: bool, workers: Option<usize>) -> Vec<IslandFingerprint> {
+    // 3 islands × 144 genomes: each island's population stays above the
+    // blocked-scan cutoff (128), so per-island speciation runs the pruned
+    // path in the non-exact arm.
+    let config = NeatConfig::builder(3, 1)
+        .pop_size(432)
+        .islands(3)
+        .migration_interval(2)
+        .migration_k(1)
+        .node_add_prob(0.5)
+        .conn_add_prob(0.5)
+        .speciate_exact(exact)
+        .build()
+        .expect("valid config");
+    let fitness = |ctx: EvalContext, net: &Network| {
+        let x = (ctx.seed() % 17) as f64 / 17.0;
+        net.activate(&[x, 0.5, 1.0 - x])[0]
+    };
+    let mut builder = Session::builder(config, 99).expect("valid session");
+    if let Some(w) = workers {
+        builder = builder.executor(Arc::new(Executor::new(w)));
+    }
+    let mut session = builder.workload(fitness).build();
+    session.run(GENERATIONS);
+    let state = session.export_state();
+    let state = state.as_archipelago().expect("archipelago backend");
+    state
+        .islands
+        .iter()
+        .map(|island| (island.genomes.clone(), island.rng_state, island.next_key))
+        .collect()
+}
+
+/// Archipelago backend (3 islands, mid-schedule ring migration): pruned
+/// ≡ exact at serial, 1, 4 and 8 workers, down to each island's RNG
+/// stream — migration re-speciates migrants, so a pruning divergence
+/// would compound across islands.
+#[test]
+fn pruned_speciation_is_bit_identical_archipelago_1_4_8_workers() {
+    let reference = run_archipelago(true, None);
+    for workers in [None, Some(1), Some(4), Some(8)] {
+        for exact in [true, false] {
+            let islands = run_archipelago(exact, workers);
+            assert_eq!(
+                reference, islands,
+                "island states diverged (exact={exact}, workers={workers:?})"
+            );
+        }
+    }
+}

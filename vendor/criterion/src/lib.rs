@@ -130,10 +130,13 @@ impl Bencher {
     /// individually-timed iterations (each its own sample, so min/mean/p95
     /// are well-defined). The batch is cut short once it exceeds the
     /// per-benchmark time budget so heavy routines (whole NEAT
-    /// generations) stay tractable.
+    /// generations) stay tractable. The budget is sized so that even
+    /// ~50 ms routines collect a full sample set: the regression gate
+    /// compares *minimum* times, and a minimum over a handful of samples
+    /// is easily poisoned by one scheduler burst on a shared runner.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine());
-        let budget = Duration::from_millis(200);
+        let budget = Duration::from_millis(1000);
         let start = Instant::now();
         self.samples.clear();
         for _ in 0..self.sample_size {
