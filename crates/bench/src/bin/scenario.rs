@@ -1,0 +1,228 @@
+//! Continual-learning scenario smoke run: a three-family curriculum
+//! (CartPole → Acrobot with sudden drift → LunarLander) through
+//! `genesys_scenario`, **asserting the subsystem's contracts** end to
+//! end:
+//!
+//! * serial vs `--threads N`: bit-identical generation events (with
+//!   population diagnostics), continual metrics and final genome bytes —
+//!   worker count never leaks into the record;
+//! * checkpoint mid-sequence through the binary snapshot wire and
+//!   resume: bit-identical to the run that never stopped, with one
+//!   metrics recorder spanning the power cycle;
+//! * population-diagnostics overhead: `PopulationDiagnostics::collect`
+//!   over a pop-10⁴ generation costs **< 5 % of that generation's
+//!   evaluation time** (the observability budget pinned in
+//!   `docs/scenarios.md`).
+//!
+//! ```text
+//! scenario [--pop N] [--generations N] [--threads N] [--seed N]
+//! ```
+//!
+//! Defaults: `--pop 1024 --generations 6 --threads 4 --seed 21`. CI runs
+//! this as the scenario smoke job.
+
+use genesys_bench::ExperimentArgs;
+use genesys_core::{encode_population, snapshot_from_bytes, snapshot_to_bytes};
+use genesys_gym::EnvKind;
+use genesys_neat::{
+    InitialWeights, NeatConfig, OwnedGenerationEvent, PopulationDiagnostics, Session,
+};
+use genesys_scenario::{
+    ContinualMetrics, DriftSchedule, MetricsRecorder, RecoveryThreshold, Task, TaskPlan,
+    TaskSequence,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Pinned population for the diagnostics-overhead budget check.
+const DIAG_POP: usize = 10_000;
+/// Diagnostics may cost at most this fraction of evaluation time.
+const DIAG_BUDGET: f64 = 0.05;
+
+fn plan(generations: usize) -> TaskPlan {
+    let phase = (generations as u64 / 3).max(1);
+    TaskPlan::new(
+        77,
+        vec![
+            Task::new(EnvKind::CartPole, phase),
+            Task::new(EnvKind::Acrobot, phase).with_drift(DriftSchedule::Sudden { at: phase / 2 }),
+            Task::new(EnvKind::LunarLander, phase),
+        ],
+    )
+}
+
+fn config(plan: &TaskPlan, pop: usize) -> NeatConfig {
+    let mut config = plan.neat_config();
+    config.pop_size = pop;
+    config.initial_weights = InitialWeights::Uniform { lo: -1.0, hi: 1.0 };
+    config.target_fitness = None;
+    config
+}
+
+/// The full observable record of one scenario run.
+struct Record {
+    events: Vec<OwnedGenerationEvent>,
+    metrics: ContinualMetrics,
+    genome_bytes: Vec<u64>,
+}
+
+fn run(plan: &TaskPlan, pop: usize, generations: usize, seed: u64, threads: usize) -> Record {
+    let recorder =
+        MetricsRecorder::new(plan.clone(), RecoveryThreshold::WithinFraction(0.5)).probe(2, 9);
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let mut session = Session::builder(config(plan, pop), seed)
+        .expect("valid scenario config")
+        .workload(TaskSequence::new(plan.clone()))
+        .threads(threads)
+        .observe(move |event| sink.lock().unwrap().push(event.to_owned()))
+        .observe(recorder.observer())
+        .build();
+    session.run(generations);
+    let genome_bytes = encode_population(session.genomes());
+    drop(session);
+    Record {
+        events: Arc::try_unwrap(events).unwrap().into_inner().unwrap(),
+        metrics: recorder.snapshot(),
+        genome_bytes,
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let pop = args.pop_or(1024);
+    let generations = args.generations_or(6).max(3);
+    let threads = args.threads_or(4);
+    let seed = args.base_seed(21);
+    let plan = plan(generations);
+
+    println!(
+        "scenario: CartPole -> Acrobot (drifting) -> LunarLander, pop {pop}, \
+         {generations} generations, seed {seed}"
+    );
+
+    // ---- Worker invariance -------------------------------------------
+    let t0 = Instant::now();
+    let serial = run(&plan, pop, generations, seed, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!(
+        "serial: {serial_s:.2}s total, {} events, {} probe rows, {} drift events",
+        serial.events.len(),
+        serial.metrics.probes.len(),
+        serial.metrics.drift_events.len()
+    );
+    assert_eq!(serial.events.len(), generations);
+    assert!(
+        serial
+            .events
+            .iter()
+            .all(|e| e.stats.diagnostics.unique_genomes > 0),
+        "population diagnostics must be populated on every event"
+    );
+    if threads > 1 {
+        let t0 = Instant::now();
+        let parallel = run(&plan, pop, generations, seed, threads);
+        let parallel_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            serial.events, parallel.events,
+            "events diverged between serial and {threads}-worker runs"
+        );
+        assert_eq!(
+            serial.metrics, parallel.metrics,
+            "continual metrics diverged between serial and {threads}-worker runs"
+        );
+        assert_eq!(
+            serial.genome_bytes, parallel.genome_bytes,
+            "genome bytes diverged between serial and {threads}-worker runs"
+        );
+        println!(
+            "determinism: {threads}-worker record is bit-identical to serial \
+             ({parallel_s:.2}s, {:.2}x)",
+            serial_s / parallel_s.max(1e-9)
+        );
+    }
+
+    // ---- Checkpoint mid-sequence, resume, compare --------------------
+    let checkpoint_at = generations / 2;
+    let recorder =
+        MetricsRecorder::new(plan.clone(), RecoveryThreshold::WithinFraction(0.5)).probe(2, 9);
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let mut head = Session::builder(config(&plan, pop), seed)
+        .expect("valid scenario config")
+        .workload(TaskSequence::new(plan.clone()))
+        .threads(threads)
+        .observe(move |event| sink.lock().unwrap().push(event.to_owned()))
+        .observe(recorder.observer())
+        .build();
+    head.run(checkpoint_at);
+    let bytes = snapshot_to_bytes(&head.export_state()).expect("encodable state");
+    drop(head);
+    let sink = Arc::clone(&events);
+    let mut tail = Session::resume(snapshot_from_bytes(&bytes).expect("valid checkpoint"))
+        .expect("restorable state")
+        .workload(TaskSequence::new(plan.clone()))
+        .threads(1) // resume on a different worker count on purpose
+        .observe(move |event| sink.lock().unwrap().push(event.to_owned()))
+        .observe(recorder.observer())
+        .build();
+    tail.run(generations - checkpoint_at);
+    let tail_genomes = encode_population(tail.genomes());
+    drop(tail);
+    let events = Arc::try_unwrap(events).unwrap().into_inner().unwrap();
+    assert_eq!(serial.events, events, "resume event stream diverged");
+    assert_eq!(
+        serial.metrics,
+        recorder.snapshot(),
+        "continual metrics diverged across the power cycle"
+    );
+    assert_eq!(serial.genome_bytes, tail_genomes, "resume genomes diverged");
+    println!(
+        "resume: {} B checkpoint at generation {checkpoint_at} resumes bit-identically",
+        bytes.len()
+    );
+
+    // ---- Diagnostics-overhead budget at pop 10⁴ ----------------------
+    // One evaluated generation at the pinned population, at the suite's
+    // 2-episode evaluation convention (the same count the metrics
+    // probes use); the eval clock comes from the generation's own
+    // stats, the diagnostics clock from re-running the collector on the
+    // same genome buffer (min of a few passes, so one scheduler burst
+    // cannot inflate it).
+    let diag_plan = TaskPlan::new(77, vec![Task::new(EnvKind::LunarLander, 1_000_000)]);
+    let mut session = Session::builder(config(&diag_plan, DIAG_POP), seed)
+        .expect("valid scenario config")
+        .workload(TaskSequence::new(diag_plan).with_episodes(2))
+        .threads(1)
+        .build();
+    let stats = session.step();
+    let eval_s = stats.eval_ns as f64 / 1e9;
+    let diag_s = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(PopulationDiagnostics::collect(session.genomes()));
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    let ratio = diag_s / eval_s.max(1e-12);
+    println!(
+        "diagnostics overhead at pop {DIAG_POP}: {:.2}ms vs {:.0}ms eval \
+         ({:.2}% of eval time, budget {:.0}%)",
+        diag_s * 1e3,
+        eval_s * 1e3,
+        ratio * 1e2,
+        DIAG_BUDGET * 1e2
+    );
+    assert!(
+        ratio < DIAG_BUDGET,
+        "population diagnostics cost {:.2}% of evaluation time at pop {DIAG_POP} \
+         (budget {:.0}%)",
+        ratio * 1e2,
+        DIAG_BUDGET * 1e2
+    );
+
+    println!(
+        "scenario smoke: worker invariance, mid-sequence resume and the \
+         diagnostics budget all hold"
+    );
+}

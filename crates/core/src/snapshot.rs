@@ -89,8 +89,8 @@ use genesys_neat::gene::{ConnGene, ConnKey, NodeGene, NodeType};
 use genesys_neat::trace::OpCounters;
 use genesys_neat::{
     Activation, Aggregation, ArchipelagoState, BestSummary, EvolutionState, GenerationStats,
-    Genome, InitialWeights, NeatConfig, NodeId, OwnedGenerationEvent, RunState, SessionError,
-    Species, SpeciesId,
+    Genome, InitialWeights, NeatConfig, NodeId, OwnedGenerationEvent, PopulationDiagnostics,
+    RunState, SessionError, Species, SpeciesId,
 };
 use std::error::Error;
 use std::fmt;
@@ -119,8 +119,10 @@ pub const MIGRANT_MAGIC: u64 = 0x4745_4E45_4D49_4752;
 /// [`SNAPSHOT_VERSION`] (events carry statistics, not genomes); the same
 /// policy applies — any layout change bumps it, other versions are
 /// rejected with [`SnapshotError::UnsupportedVersion`]. v1 predates the
-/// per-phase timing words (`speciate_ns`/`reproduce_ns`/`eval_ns`).
-pub const EVENT_VERSION: u64 = 2;
+/// per-phase timing words (`speciate_ns`/`reproduce_ns`/`eval_ns`); v2
+/// predates the population-diagnostics words (`high_order_entropy`,
+/// `unique_genomes`, `species_entropy`, `largest_species`).
+pub const EVENT_VERSION: u64 = 3;
 /// Largest node id the snapshot gene words can carry (31-bit id fields —
 /// far beyond the hardware codec's 14-bit `codec::MAX_NODE_ID`, so
 /// megapopulation runs checkpoint without overflow).
@@ -805,7 +807,7 @@ fn decode_state_body(c: &mut Cursor<'_>) -> Result<EvolutionState, SnapshotError
 pub fn decode_snapshot(words: &[u64]) -> Result<RunState, SnapshotError> {
     let mut c = open_envelope(words, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
     let state = match c.take()? {
-        KIND_MONOLITHIC => RunState::Monolithic(decode_state_body(&mut c)?),
+        KIND_MONOLITHIC => RunState::Monolithic(Box::new(decode_state_body(&mut c)?)),
         KIND_ARCHIPELAGO => {
             let config = decode_config(&mut c)?;
             let seed = c.take()?;
@@ -822,13 +824,13 @@ pub fn decode_snapshot(words: &[u64]) -> Result<RunState, SnapshotError> {
             for _ in 0..n_islands {
                 islands.push(decode_state_body(&mut c)?);
             }
-            RunState::Archipelago(ArchipelagoState {
+            RunState::Archipelago(Box::new(ArchipelagoState {
                 config,
                 seed,
                 generation,
                 islands,
                 workload_state,
-            })
+            }))
         }
         _ => return Err(SnapshotError::Malformed("state kind")),
     };
@@ -1082,7 +1084,7 @@ pub fn config_from_bytes(bytes: &[u8]) -> Result<NeatConfig, SnapshotError> {
 
 /// Serializes an [`OwnedGenerationEvent`] into a self-describing word
 /// image — the push-channel payload of `genesys_serve`'s `observe` verb.
-/// The image is fixed-size (30 or 35 words): events are allocation-bounded
+/// The image is fixed-size (34 or 39 words): events are allocation-bounded
 /// by design, so the wire form is too.
 pub fn encode_event(event: &OwnedGenerationEvent) -> Vec<u64> {
     let mut words = vec![EVENT_MAGIC, EVENT_VERSION, 0];
@@ -1117,6 +1119,10 @@ pub fn encode_event(event: &OwnedGenerationEvent) -> Vec<u64> {
     ] {
         words.push(v);
     }
+    push_f64(&mut words, s.diagnostics.high_order_entropy);
+    words.push(s.diagnostics.unique_genomes as u64);
+    push_f64(&mut words, s.diagnostics.species_entropy);
+    words.push(s.diagnostics.largest_species as u64);
     match &event.best {
         Some(b) => {
             words.push(1);
@@ -1171,6 +1177,12 @@ pub fn decode_event(words: &[u64]) -> Result<OwnedGenerationEvent, SnapshotError
     let speciate_ns = c.take()?;
     let reproduce_ns = c.take()?;
     let eval_ns = c.take()?;
+    let diagnostics = PopulationDiagnostics {
+        high_order_entropy: c.take_f64()?,
+        unique_genomes: c.take_usize()?,
+        species_entropy: c.take_f64()?,
+        largest_species: c.take_usize()?,
+    };
     let best = match c.take()? {
         0 => None,
         1 => {
@@ -1209,6 +1221,7 @@ pub fn decode_event(words: &[u64]) -> Result<OwnedGenerationEvent, SnapshotError
             fittest_parent_reuse,
             inference_macs,
             env_steps,
+            diagnostics,
             speciate_ns,
             reproduce_ns,
             eval_ns,

@@ -357,6 +357,9 @@ impl GenesysSoc {
         );
         stats.ops = result.evolution.ops;
         stats.env_steps = result.inference.env_steps;
+        stats
+            .diagnostics
+            .set_species_sizes(self.species.iter().map(|s| s.members.len()));
         stats.fittest_parent_reuse = {
             // Same statistic GenerationTrace::fittest_parent_reuse reports
             // for the software path, computed from the mating plans.
@@ -465,7 +468,7 @@ impl Backend for GenesysSoc {
             .map_or(self.neat.first_hidden_id(), |id| {
                 (id + 1).max(self.neat.first_hidden_id())
             });
-        RunState::Monolithic(EvolutionState {
+        RunState::Monolithic(Box::new(EvolutionState {
             config: self.neat.clone(),
             genomes: self.genomes.clone(),
             species: self.species.iter().cloned().collect(),
@@ -477,7 +480,7 @@ impl Backend for GenesysSoc {
             next_key: self.next_key,
             best_ever: self.best_ever.clone(),
             workload_state: 0,
-        })
+        }))
     }
 
     fn import_state(&mut self, state: RunState) -> Result<(), SessionError> {

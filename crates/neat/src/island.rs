@@ -324,12 +324,17 @@ impl Archipelago {
             fittest_parent_reuse: 0,
             inference_macs: 0,
             env_steps: 0,
+            diagnostics: crate::stats::PopulationDiagnostics::default(),
             speciate_ns: 0,
             reproduce_ns: 0,
             eval_ns: 0,
         };
         let mut weighted_sum = 0.0;
         let mut total_pop = 0usize;
+        // Entropies merge as population-weighted means of the per-island
+        // values (a within-island signal; see `docs/scenarios.md`).
+        let mut entropy_sum = 0.0;
+        let mut species_entropy_sum = 0.0;
         for (stats, island) in per_island.iter().zip(self.islands.iter()) {
             let pop = island.genomes().len();
             merged.max_fitness = merged.max_fitness.max(stats.max_fitness);
@@ -352,11 +357,29 @@ impl Archipelago {
                 merged.fittest_parent_reuse.max(stats.fittest_parent_reuse);
             merged.inference_macs += stats.inference_macs;
             merged.env_steps += stats.env_steps;
+            merged.diagnostics.unique_genomes += stats.diagnostics.unique_genomes;
+            merged.diagnostics.largest_species = merged
+                .diagnostics
+                .largest_species
+                .max(stats.diagnostics.largest_species);
+            entropy_sum += stats.diagnostics.high_order_entropy * pop as f64;
+            species_entropy_sum += stats.diagnostics.species_entropy * pop as f64;
             merged.speciate_ns += stats.speciate_ns;
             merged.reproduce_ns += stats.reproduce_ns;
             merged.eval_ns += stats.eval_ns;
         }
         merged.mean_fitness = weighted_sum / total_pop.max(1) as f64;
+        if per_island.len() == 1 {
+            // Exactly one island: copy its entropies bit-for-bit instead
+            // of round-tripping through the weighting (×pop/÷pop is not
+            // exact in floating point, and `--islands 1` must stay
+            // bit-identical to the monolithic backend).
+            merged.diagnostics.high_order_entropy = per_island[0].diagnostics.high_order_entropy;
+            merged.diagnostics.species_entropy = per_island[0].diagnostics.species_entropy;
+        } else {
+            merged.diagnostics.high_order_entropy = entropy_sum / total_pop.max(1) as f64;
+            merged.diagnostics.species_entropy = species_entropy_sum / total_pop.max(1) as f64;
+        }
         merged
     }
 }
@@ -456,6 +479,27 @@ impl Backend for Archipelago {
         best
     }
 
+    fn champion(&self) -> Option<&Genome> {
+        // Same strict-`>` fold as `best_genome`: the first island wins
+        // ties, independent of scheduling order.
+        let mut champion: Option<&Genome> = None;
+        for island in &self.islands {
+            if let Some(candidate) = island.champion() {
+                let better = match champion {
+                    None => true,
+                    Some(current) => {
+                        candidate.fitness().unwrap_or(f64::NEG_INFINITY)
+                            > current.fitness().unwrap_or(f64::NEG_INFINITY)
+                    }
+                };
+                if better {
+                    champion = Some(candidate);
+                }
+            }
+        }
+        champion
+    }
+
     fn neat_config(&self) -> &NeatConfig {
         &self.config
     }
@@ -465,20 +509,20 @@ impl Backend for Archipelago {
     }
 
     fn export_state(&self) -> RunState {
-        RunState::Archipelago(ArchipelagoState {
+        RunState::Archipelago(Box::new(ArchipelagoState {
             config: self.config.clone(),
             seed: self.seed,
             generation: self.generation,
             islands: self.islands.iter().map(Population::export_state).collect(),
             workload_state: 0,
-        })
+        }))
     }
 
     fn import_state(&mut self, state: RunState) -> Result<(), SessionError> {
         match state {
             RunState::Archipelago(state) => {
                 let executor = self.executor.take();
-                *self = Archipelago::from_state(state)?;
+                *self = Archipelago::from_state(*state)?;
                 self.executor = executor;
                 Ok(())
             }
@@ -527,9 +571,11 @@ impl EvolutionBackend {
     /// Returns a [`SessionError`] if the state fails validation.
     pub fn from_state(state: RunState) -> Result<Self, SessionError> {
         match state {
-            RunState::Monolithic(s) => Ok(EvolutionBackend::Monolithic(Population::from_state(s)?)),
+            RunState::Monolithic(s) => {
+                Ok(EvolutionBackend::Monolithic(Population::from_state(*s)?))
+            }
             RunState::Archipelago(s) => {
-                Ok(EvolutionBackend::Archipelago(Archipelago::from_state(s)?))
+                Ok(EvolutionBackend::Archipelago(Archipelago::from_state(*s)?))
             }
         }
     }
@@ -570,6 +616,13 @@ impl Backend for EvolutionBackend {
         match self {
             EvolutionBackend::Monolithic(p) => Backend::best_genome(p),
             EvolutionBackend::Archipelago(a) => Backend::best_genome(a),
+        }
+    }
+
+    fn champion(&self) -> Option<&Genome> {
+        match self {
+            EvolutionBackend::Monolithic(p) => Backend::champion(p),
+            EvolutionBackend::Archipelago(a) => Backend::champion(a),
         }
     }
 

@@ -109,6 +109,6 @@ pub use session::{
     OwnedGenerationEvent, RunState, Session, SessionBuilder, SessionError, SessionReport,
 };
 pub use species::{SpeciateScanStats, Species, SpeciesId, SpeciesSet};
-pub use stats::GenerationStats;
+pub use stats::{GenerationStats, PopulationDiagnostics};
 pub use trace::{GenerationTrace, OpKind, ReproductionOp};
 pub use tuning::{tune_weights, TuningConfig, TuningResult};

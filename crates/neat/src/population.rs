@@ -67,6 +67,11 @@ pub struct Population {
     executor: Option<Arc<Executor>>,
     last_trace: Option<GenerationTrace>,
     best_ever: Option<Genome>,
+    /// Champion of the most recently *evaluated* generation (contrast
+    /// `best_ever`, which is monotone across the whole run). Transient
+    /// observability state: not serialized — the first step after a
+    /// restore repopulates it before any observer can see it.
+    last_champion: Option<Genome>,
     /// Generation-scoped child arena: the *outgoing* generation's genome
     /// shells, recycled as the next generation's child buffers so
     /// reproduction reuses gene storage instead of allocating per child.
@@ -113,6 +118,7 @@ impl Population {
             executor: None,
             last_trace: None,
             best_ever: None,
+            last_champion: None,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
             pending_hints: Vec::new(),
@@ -183,6 +189,7 @@ impl Population {
             executor: None,
             last_trace: None,
             best_ever: None,
+            last_champion: None,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
             pending_hints: Vec::new(),
@@ -248,6 +255,7 @@ impl Population {
             executor: None,
             last_trace: None,
             best_ever,
+            last_champion: None,
             arena: Vec::new(),
             plans: WorkerLocal::new(NetworkPlan::new),
             pending_hints: Vec::new(),
@@ -292,6 +300,17 @@ impl Population {
     /// Best genome observed so far (across all generations).
     pub fn best_genome(&self) -> Option<&Genome> {
         self.best_ever.as_ref()
+    }
+
+    /// Champion of the most recently evaluated generation: the genome
+    /// whose fitness is this generation's max (first index wins ties).
+    /// Unlike [`Population::best_genome`] this is *not* monotone — on a
+    /// shifting workload (drift, task sequences) it tracks what the
+    /// population can do *now*, not the stalest high-water mark. `None`
+    /// before the first evaluated generation and right after a restore
+    /// (the next step repopulates it).
+    pub fn champion(&self) -> Option<&Genome> {
+        self.last_champion.as_ref()
     }
 
     /// Evaluates every genome with `fitness_fn`, storing fitness in place.
@@ -436,6 +455,31 @@ impl Population {
         stats.speciate_ns = speciate_ns;
         stats.reproduce_ns = reproduce_ns;
         stats.eval_ns = eval_ns;
+        stats
+            .diagnostics
+            .set_species_sizes(self.species.iter().map(|s| s.members.len()));
+        // Keep the evaluated generation's champion for observers before
+        // the arena swap discards the generation. Computed here (after
+        // any migration exchange) so its fitness matches
+        // `stats.max_fitness` exactly; strict `>` makes the first index
+        // win ties, independent of worker count.
+        let mut champ: Option<usize> = None;
+        for (i, genome) in self.genomes.iter().enumerate() {
+            let fitness = genome.fitness().unwrap_or(f64::NEG_INFINITY);
+            let better = champ
+                .is_none_or(|c| fitness > self.genomes[c].fitness().unwrap_or(f64::NEG_INFINITY));
+            if better {
+                champ = Some(i);
+            }
+        }
+        if let Some(idx) = champ {
+            // Buffer-reusing clone: steady-state champion tracking
+            // allocates nothing once the slot exists.
+            match &mut self.last_champion {
+                Some(current) => current.clone_from(&self.genomes[idx]),
+                None => self.last_champion = Some(self.genomes[idx].clone()),
+            }
+        }
         self.last_trace = Some(trace);
         // The arena now holds the new generation; the old generation's
         // shells become the next reproduction's child buffers.

@@ -242,15 +242,18 @@ impl EvolutionState {
 /// island plus the global schedule counters. `genesys_core::snapshot`
 /// serializes either kind into one versioned binary format (a kind word
 /// selects the body).
-// One `RunState` exists per export/resume round-trip — never stored in
-// bulk — so boxing the larger variant would buy nothing and churn the API.
-#[allow(clippy::large_enum_variant)]
+// Both bodies are boxed: the inline footprints are lopsided (an
+// `EvolutionState` embeds the config *and* the best-ever genome inline;
+// an `ArchipelagoState` only the config), so either variant left inline
+// would re-trip `clippy::large_enum_variant` as the odd one out. A
+// `RunState` exists once per export/resume round-trip, so the extra
+// allocation is noise while the enum itself shrinks to two words.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunState {
     /// A single-population backend's state.
-    Monolithic(EvolutionState),
+    Monolithic(Box<EvolutionState>),
     /// An island-model backend's state.
-    Archipelago(ArchipelagoState),
+    Archipelago(Box<ArchipelagoState>),
 }
 
 impl RunState {
@@ -298,7 +301,7 @@ impl RunState {
     /// The monolithic state, if this is one.
     pub fn as_monolithic(&self) -> Option<&EvolutionState> {
         match self {
-            RunState::Monolithic(s) => Some(s),
+            RunState::Monolithic(s) => Some(s.as_ref()),
             RunState::Archipelago(_) => None,
         }
     }
@@ -307,7 +310,7 @@ impl RunState {
     pub fn as_archipelago(&self) -> Option<&ArchipelagoState> {
         match self {
             RunState::Monolithic(_) => None,
-            RunState::Archipelago(s) => Some(s),
+            RunState::Archipelago(s) => Some(s.as_ref()),
         }
     }
 
@@ -326,7 +329,7 @@ impl RunState {
 
 impl From<EvolutionState> for RunState {
     fn from(state: EvolutionState) -> Self {
-        RunState::Monolithic(state)
+        RunState::Monolithic(Box::new(state))
     }
 }
 
@@ -434,6 +437,17 @@ pub trait Backend {
     /// Best genome observed so far.
     fn best_genome(&self) -> Option<&Genome>;
 
+    /// Champion of the most recently evaluated generation, if the
+    /// backend tracks one (its fitness equals that generation's
+    /// `max_fitness`). Unlike [`Backend::best_genome`] this is not
+    /// monotone: on drifting or task-sequence workloads it follows the
+    /// population's *current* ability instead of a stale high-water
+    /// mark. Default `None` for backends without per-generation
+    /// champion tracking.
+    fn champion(&self) -> Option<&Genome> {
+        None
+    }
+
     /// The NEAT configuration driving evolution.
     fn neat_config(&self) -> &NeatConfig;
 
@@ -489,6 +503,10 @@ impl Backend for Population {
         Population::best_genome(self)
     }
 
+    fn champion(&self) -> Option<&Genome> {
+        Population::champion(self)
+    }
+
     fn neat_config(&self) -> &NeatConfig {
         self.config()
     }
@@ -498,13 +516,13 @@ impl Backend for Population {
     }
 
     fn export_state(&self) -> RunState {
-        RunState::Monolithic(Population::export_state(self))
+        RunState::Monolithic(Box::new(Population::export_state(self)))
     }
 
     fn import_state(&mut self, state: RunState) -> Result<(), SessionError> {
         match state {
             RunState::Monolithic(state) => {
-                *self = Population::from_state(state)?;
+                *self = Population::from_state(*state)?;
                 Ok(())
             }
             RunState::Archipelago(_) => Err(SessionError::BackendMismatch),
@@ -536,6 +554,12 @@ pub struct GenerationEvent<'a> {
     pub stats: &'a GenerationStats,
     /// Best genome observed so far across the whole session.
     pub best: Option<&'a Genome>,
+    /// Champion of the generation that just finished evaluating, if the
+    /// backend tracks one (see [`Backend::champion`]). Borrowed-view
+    /// only: [`GenerationEvent::to_owned`] does not carry it — owned
+    /// events stay O(1) in genome size, and the stats already include
+    /// the champion's fitness as `max_fitness`.
+    pub champion: Option<&'a Genome>,
 }
 
 impl GenerationEvent<'_> {
@@ -813,6 +837,7 @@ impl<W: Evaluator, B: Backend> Session<W, B> {
         let event = GenerationEvent {
             stats: &stats,
             best: backend.best_genome(),
+            champion: backend.champion(),
         };
         for observer in observers.iter_mut() {
             observer(&event);
@@ -870,6 +895,12 @@ impl<W: Evaluator, B: Backend> Session<W, B> {
     /// Best genome observed so far.
     pub fn best_genome(&self) -> Option<&Genome> {
         self.backend.best_genome()
+    }
+
+    /// Champion of the most recently evaluated generation, if the
+    /// backend tracks one (see [`Backend::champion`]).
+    pub fn champion(&self) -> Option<&Genome> {
+        self.backend.champion()
     }
 
     /// The backend, for backend-specific inspection (e.g.
@@ -944,6 +975,25 @@ mod tests {
             .build();
         s.run(3);
         assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn champion_tracks_the_evaluated_generation() {
+        let mut s = Session::builder(small_config(), 7)
+            .unwrap()
+            .workload(proxy)
+            .build();
+        assert!(s.champion().is_none(), "no champion before the first step");
+        for _ in 0..4 {
+            let stats = s.step();
+            let champion = s.champion().expect("champion after a step");
+            // The champion is the evaluated generation's max, exactly.
+            assert_eq!(champion.fitness(), Some(stats.max_fitness));
+        }
+        // `best` is monotone; the champion need not be, but it can never
+        // exceed the session-wide best.
+        let best = s.best_genome().unwrap().fitness().unwrap();
+        assert!(s.champion().unwrap().fitness().unwrap() <= best);
     }
 
     #[test]

@@ -5,6 +5,217 @@ use crate::genome::Genome;
 use crate::trace::{GenerationTrace, OpCounters};
 use std::fmt;
 
+/// Population-health diagnostics streamed on every [`GenerationStats`] (and
+/// therefore on every `OwnedGenerationEvent` a session observer or the
+/// serve layer's `observe` verb sees) — the live operational signal the
+/// continual-learning scenario suite monitors.
+///
+/// All four fields are pure functions of the evaluated generation's
+/// genomes and species assignments, so they are bit-identical at any
+/// worker count and across checkpoint/resume, and they participate in
+/// [`GenerationStats`] equality (unlike the wall-clock phase timings).
+///
+/// Archipelago runs merge per-island values: `unique_genomes` sums
+/// (per-island uniqueness; a genome shared by two islands counts on
+/// both), `largest_species` takes the maximum, and the two entropies are
+/// population-weighted means of the per-island values (a *within-island*
+/// signal by construction — see `docs/scenarios.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PopulationDiagnostics {
+    /// Compressed-size ratio of the population's genome-buffer words
+    /// under a greedy word-level LZ pass (see
+    /// [`PopulationDiagnostics::collect`]): low values mean the gene
+    /// streams are mutually redundant (clones, shared structure), values
+    /// near the literal ceiling mean high-order diversity that plain
+    /// gene counts cannot see. `0.0` for an empty population.
+    pub high_order_entropy: f64,
+    /// Number of distinct genomes, where identity is a hash over the
+    /// sorted gene keys *and* every attribute bit (bias/response/weight
+    /// f64 bits, activation/aggregation/type codes, enabled flags) —
+    /// elites and unmutated crossover copies collapse, any attribute
+    /// perturbation separates.
+    pub unique_genomes: usize,
+    /// Shannon entropy (nats) of the species size distribution: `0.0`
+    /// when one species holds everyone, `ln(k)` when `k` species split
+    /// the population evenly.
+    pub species_entropy: f64,
+    /// Member count of the largest species (0 before speciation).
+    pub largest_species: usize,
+}
+
+/// Hash-table size for the LZ match probe (one `usize` slot per bucket).
+const LZ_TABLE_BITS: u32 = 16;
+
+/// Word budget for the LZ entropy probe: the scan covers at most this
+/// many words of the population stream (a deterministic prefix —
+/// identical runs scan identical words), so the estimate stays O(cap)
+/// when megapopulation gene streams run to millions of words. The cap
+/// spans >1000 genomes at realistic sizes — plenty for a redundancy
+/// estimate, and far past the window a single-probe LZ match reaches
+/// anyway; `docs/scenarios.md` pins it as part of the diagnostics
+/// budget. The unique-genome count is **not** capped: every genome is
+/// hashed.
+const LZ_SCAN_CAP: usize = 1 << 16;
+
+/// FNV-1a offset basis / prime, the same constants the snapshot checksum
+/// uses.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-style fold of one 8-byte word in a single xor-multiply (instead
+/// of the canonical byte-at-a-time loop): the hash only feeds the
+/// unique-genome identity count, where any well-mixing deterministic
+/// function serves, and at pop 10⁴ the stream runs to ~10⁶ words — the
+/// 8× cheaper fold keeps the diagnostics inside their <5 %-of-eval
+/// budget (`docs/scenarios.md`).
+fn fnv1a_word(hash: u64, word: u64) -> u64 {
+    (hash ^ word).wrapping_mul(FNV_PRIME).rotate_left(29)
+}
+
+/// One node gene as diagnostic words — the per-gene layout of the 8-byte
+/// hardware encoding widened to carry the exact attribute bits (key/meta
+/// word, then the attribute payload). Shared by the identity hash and
+/// the LZ entropy probe so the two streams can never drift apart.
+fn node_words(n: &crate::gene::NodeGene) -> [u64; 3] {
+    [
+        ((n.id.value() as u64) << 32)
+            | ((n.node_type.to_code() as u64) << 16)
+            | ((n.activation.to_code() as u64) << 8)
+            | n.aggregation.to_code() as u64,
+        n.bias.to_bits(),
+        n.response.to_bits(),
+    ]
+}
+
+/// One connection gene as diagnostic words (see [`node_words`]).
+fn conn_words(c: &crate::gene::ConnGene) -> [u64; 3] {
+    [
+        ((c.key.src.value() as u64) << 32) | c.key.dst.value() as u64,
+        c.weight.to_bits(),
+        c.enabled as u64,
+    ]
+}
+
+/// Serializes one genome's gene stream into diagnostic words. Genes are
+/// already sorted by key inside a genome, so identical genomes produce
+/// identical streams.
+fn push_genome_words(genome: &Genome, words: &mut Vec<u64>) {
+    for n in genome.node_genes() {
+        words.extend_from_slice(&node_words(n));
+    }
+    for c in genome.conn_genes() {
+        words.extend_from_slice(&conn_words(c));
+    }
+}
+
+/// Identity hash of one genome over exactly the [`push_genome_words`]
+/// stream, folded in place — the hot path of the unique-genome count
+/// never materializes the words.
+fn genome_identity_hash(genome: &Genome) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for n in genome.node_genes() {
+        for w in node_words(n) {
+            hash = fnv1a_word(hash, w);
+        }
+    }
+    for c in genome.conn_genes() {
+        for w in conn_words(c) {
+            hash = fnv1a_word(hash, w);
+        }
+    }
+    hash
+}
+
+/// Greedy single-probe LZ estimate over a word stream: each position
+/// either extends a back-reference run (found through a 2^16-bucket hash
+/// of the word) or emits a literal. Literals are costed at 9 bytes
+/// (flag + word), back-reference tokens at 5 (flag + offset + length) —
+/// the exact token model is pinned in `docs/scenarios.md`. Returns the
+/// estimated compressed byte count.
+fn lz_compressed_bytes(words: &[u64]) -> usize {
+    let mut table = vec![usize::MAX; 1 << LZ_TABLE_BITS];
+    let mut compressed = 0usize;
+    let mut i = 0;
+    while i < words.len() {
+        let h = (words[i]
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_right(32)
+            & ((1 << LZ_TABLE_BITS) - 1)) as usize;
+        let candidate = table[h];
+        table[h] = i;
+        if candidate != usize::MAX && words[candidate] == words[i] {
+            let mut len = 1;
+            while i + len < words.len()
+                && candidate + len < i
+                && words[candidate + len] == words[i + len]
+            {
+                len += 1;
+            }
+            compressed += 5;
+            i += len;
+        } else {
+            compressed += 9;
+            i += 1;
+        }
+    }
+    compressed
+}
+
+impl PopulationDiagnostics {
+    /// Computes the genome-derived diagnostics (`high_order_entropy`,
+    /// `unique_genomes`) over one evaluated population. Species fields
+    /// start at zero; backends that know the species assignments fill
+    /// them with [`PopulationDiagnostics::set_species_sizes`].
+    pub fn collect(genomes: &[Genome]) -> PopulationDiagnostics {
+        // Every genome is hashed for the identity count (folded in
+        // place, no buffer), but only the first `LZ_SCAN_CAP` words are
+        // materialized for the entropy probe — the collector never
+        // builds the multi-megabyte population stream a pop-10⁴
+        // generation would otherwise cost.
+        let mut stream: Vec<u64> = Vec::new();
+        let mut hashes = Vec::with_capacity(genomes.len());
+        for genome in genomes {
+            hashes.push(genome_identity_hash(genome));
+            if stream.len() < LZ_SCAN_CAP {
+                push_genome_words(genome, &mut stream);
+                stream.truncate(LZ_SCAN_CAP);
+            }
+        }
+        let high_order_entropy = if stream.is_empty() {
+            0.0
+        } else {
+            lz_compressed_bytes(&stream) as f64 / (stream.len() * 8) as f64
+        };
+        hashes.sort_unstable();
+        hashes.dedup();
+        PopulationDiagnostics {
+            high_order_entropy,
+            unique_genomes: hashes.len(),
+            species_entropy: 0.0,
+            largest_species: 0,
+        }
+    }
+
+    /// Fills the species-diversity fields from the member counts of the
+    /// evaluated generation's species (empty iterators leave both zero).
+    pub fn set_species_sizes(&mut self, sizes: impl Iterator<Item = usize>) {
+        let sizes: Vec<usize> = sizes.filter(|&s| s > 0).collect();
+        let total: usize = sizes.iter().sum();
+        self.largest_species = sizes.iter().copied().max().unwrap_or(0);
+        self.species_entropy = if total == 0 {
+            0.0
+        } else {
+            -sizes
+                .iter()
+                .map(|&s| {
+                    let p = s as f64 / total as f64;
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        };
+    }
+}
+
 /// Summary of one generation: fitness, structure and operation counts.
 ///
 /// Equality ignores the wall-clock phase timings (`speciate_ns`,
@@ -44,6 +255,9 @@ pub struct GenerationStats {
     /// order-insensitively across the population (0 for synthetic fitness
     /// functions that report no steps). Filled in by the session backends.
     pub env_steps: u64,
+    /// Population-health diagnostics (entropy, uniqueness, species
+    /// diversity). Deterministic, so included in equality.
+    pub diagnostics: PopulationDiagnostics,
     /// Wall-clock nanoseconds spent in the speciation phase (speciate +
     /// stagnation removal + fitness sharing) of the step that produced
     /// the *next* generation. Excluded from equality.
@@ -74,6 +288,7 @@ impl PartialEq for GenerationStats {
             && self.fittest_parent_reuse == other.fittest_parent_reuse
             && self.inference_macs == other.inference_macs
             && self.env_steps == other.env_steps
+            && self.diagnostics == other.diagnostics
     }
 }
 
@@ -120,6 +335,7 @@ impl GenerationStats {
             fittest_parent_reuse: trace.map(|t| t.fittest_parent_reuse()).unwrap_or(0),
             inference_macs,
             env_steps: 0,
+            diagnostics: PopulationDiagnostics::collect(genomes),
             speciate_ns: 0,
             reproduce_ns: 0,
             eval_ns: 0,
@@ -170,6 +386,90 @@ mod tests {
         assert_eq!(s.memory_bytes, 160);
         assert_eq!(s.inference_macs, 100);
         assert_eq!(s.fittest_parent_reuse, 0);
+    }
+
+    #[test]
+    fn clones_compress_and_collapse_to_one_unique_genome() {
+        // Random initial weights: zero-weight initial genomes (the paper
+        // default) are all identical, which is exactly what this test
+        // must tell apart from a varied population.
+        let c = NeatConfig::builder(6, 2)
+            .initial_weights(crate::config::InitialWeights::Uniform { lo: -1.0, hi: 1.0 })
+            .build()
+            .unwrap();
+        let mut r = XorWow::seed_from_u64_value(9);
+        let one = Genome::initial(0, &c, &mut r);
+        let clones: Vec<Genome> = (0..32).map(|_| one.clone()).collect();
+        let d = PopulationDiagnostics::collect(&clones);
+        assert_eq!(d.unique_genomes, 1);
+        // 31 of 32 gene streams are pure back-references.
+        let varied: Vec<Genome> = (0..32)
+            .map(|k| {
+                let mut rk = XorWow::seed_from_u64_value(1000 + k);
+                Genome::initial(k, &c, &mut rk)
+            })
+            .collect();
+        let dv = PopulationDiagnostics::collect(&varied);
+        assert!(
+            d.high_order_entropy < dv.high_order_entropy,
+            "clones must compress harder than varied genomes: {} vs {}",
+            d.high_order_entropy,
+            dv.high_order_entropy
+        );
+        assert!(dv.unique_genomes > 1);
+    }
+
+    #[test]
+    fn unique_genomes_separates_on_any_attribute_bit() {
+        use crate::gene::{ConnGene, NodeGene, NodeId};
+        let build = |weight: f64| {
+            Genome::from_parts(
+                0,
+                1,
+                1,
+                [NodeGene::input(NodeId(0)), NodeGene::output(NodeId(1))],
+                [ConnGene::new(NodeId(0), NodeId(1), weight)],
+            )
+            .unwrap()
+        };
+        let a = build(0.5);
+        // Flip one low-order weight bit: still "equal" to the eye, but a
+        // different genome to the diagnostic.
+        let b = build(f64::from_bits(0.5f64.to_bits() ^ 1));
+        assert_eq!(
+            PopulationDiagnostics::collect(&[a.clone(), a.clone()]).unique_genomes,
+            1
+        );
+        assert_eq!(PopulationDiagnostics::collect(&[a, b]).unique_genomes, 2);
+    }
+
+    #[test]
+    fn species_entropy_is_zero_for_one_species_and_ln_k_for_even_split() {
+        let mut d = PopulationDiagnostics::default();
+        d.set_species_sizes([12usize].into_iter());
+        assert_eq!(d.species_entropy, 0.0);
+        assert_eq!(d.largest_species, 12);
+        d.set_species_sizes([5usize, 5, 5, 5].into_iter());
+        assert!((d.species_entropy - 4.0f64.ln()).abs() < 1e-12);
+        assert_eq!(d.largest_species, 5);
+        d.set_species_sizes(std::iter::empty());
+        assert_eq!(d.species_entropy, 0.0);
+        assert_eq!(d.largest_species, 0);
+    }
+
+    #[test]
+    fn diagnostics_are_deterministic() {
+        let c = NeatConfig::builder(4, 1).build().unwrap();
+        let genomes: Vec<Genome> = (0..16)
+            .map(|k| {
+                let mut rk = XorWow::seed_from_u64_value(77 + k);
+                Genome::initial(k, &c, &mut rk)
+            })
+            .collect();
+        let a = PopulationDiagnostics::collect(&genomes);
+        let b = PopulationDiagnostics::collect(&genomes);
+        assert_eq!(a, b);
+        assert!(a.high_order_entropy > 0.0 && a.high_order_entropy <= 9.0 / 8.0);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * [`gym`] — the environment suite from Table I of the paper, plus the
 //!   session workloads ([`gym::EpisodeEvaluator`],
 //!   [`gym::DriftingEvaluator`]).
+//! * [`scenario`] — the continual-learning scenario suite: drift
+//!   schedules, task-sequence curricula with io-adapter mapping, and the
+//!   continual metrics (fitness matrix, forgetting, recovery) computed by
+//!   a session observer.
 //! * [`soc`] — the GeneSys SoC simulator (EvE, ADAM, SRAM, NoC, energy),
 //!   which doubles as a session [`Backend`], and the binary
 //!   [`soc::snapshot`] checkpoint format.
@@ -53,6 +57,7 @@ pub use genesys_core as soc;
 pub use genesys_gym as gym;
 pub use genesys_neat as neat;
 pub use genesys_platforms as platforms;
+pub use genesys_scenario as scenario;
 pub use genesys_serve as serve;
 
 pub use genesys_neat::{

@@ -4,7 +4,7 @@
 //! with a stable numeric code and never panics.
 
 use genesys::gym::EnvKind;
-use genesys::neat::{trace::OpCounters, GenerationStats, NeatConfig};
+use genesys::neat::{trace::OpCounters, GenerationStats, NeatConfig, PopulationDiagnostics};
 use genesys::serve::protocol::{
     decode_reply, decode_request, encode_reply, encode_request, request_id_of, take_frame,
 };
@@ -151,6 +151,12 @@ fn arb_event(rng: &mut TestRng) -> OwnedGenerationEvent {
         fittest_parent_reuse: (rng.next_u64() % 32) as usize,
         inference_macs: rng.next_u64() % (1 << 40),
         env_steps: rng.next_u64() % (1 << 30),
+        diagnostics: PopulationDiagnostics {
+            high_order_entropy: rng.unit_f64() * 9.0 / 8.0,
+            unique_genomes: (rng.next_u64() % 4096) as usize,
+            species_entropy: rng.unit_f64() * 4.0,
+            largest_species: (rng.next_u64() % 4096) as usize,
+        },
         speciate_ns: rng.next_u64() % (1 << 34),
         reproduce_ns: rng.next_u64() % (1 << 34),
         eval_ns: rng.next_u64() % (1 << 34),

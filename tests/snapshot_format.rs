@@ -188,7 +188,7 @@ proptest! {
         )
         .unwrap();
         state.best_ever = Some(forged.clone());
-        let wrapped = RunState::Monolithic(state.clone());
+        let wrapped = RunState::Monolithic(Box::new(state.clone()));
         let words = encode_snapshot(&wrapped).expect("31-bit ids encode");
         prop_assert_eq!(decode_snapshot(&words).unwrap(), wrapped);
 
@@ -205,7 +205,7 @@ proptest! {
         .unwrap();
         state.best_ever = Some(overflowed);
         prop_assert!(matches!(
-            encode_snapshot(&RunState::Monolithic(state)),
+            encode_snapshot(&RunState::Monolithic(Box::new(state))),
             Err(SnapshotError::NodeIdOverflow { .. })
         ));
     }
